@@ -1,0 +1,191 @@
+//! Benign scientific workloads.
+//!
+//! Detectors are only meaningful against honest base rates, so the benign
+//! generator deliberately includes the behaviours that look *almost* like
+//! attacks: writing compressed archives (high entropy, like ransomware
+//! output), pulling large datasets (big flows, like exfil in reverse),
+//! `pip install` (external connections + subprocess spawn, like a
+//! dropper), and long model-training CPU burns (like mining).
+
+use crate::campaign::{Campaign, CampaignStep};
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::vfs::ContentKind;
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::Duration;
+
+/// Parameters of one benign session.
+#[derive(Clone, Debug)]
+pub struct BenignProfile {
+    /// Number of cells in the session.
+    pub cells: usize,
+    /// Mean think time between cells (seconds).
+    pub mean_think_secs: f64,
+    /// Probability a cell downloads a package / dataset.
+    pub download_prob: f64,
+    /// Probability a cell writes an archive checkpoint.
+    pub archive_prob: f64,
+    /// Probability a cell is a training burst.
+    pub train_prob: f64,
+}
+
+impl Default for BenignProfile {
+    fn default() -> Self {
+        BenignProfile {
+            cells: 20,
+            mean_think_secs: 45.0,
+            download_prob: 0.1,
+            archive_prob: 0.08,
+            train_prob: 0.15,
+        }
+    }
+}
+
+/// Generate one benign interactive session for `user` on `server`.
+pub fn session(server: usize, user: &str, profile: &BenignProfile, rng: &mut SimRng) -> Campaign {
+    let mut steps = Vec::with_capacity(profile.cells + 1);
+    let src = HostAddr::internal(HostId(1000 + server as u32));
+    steps.push(CampaignStep::AuthLogin {
+        username: user.to_string(),
+        src,
+        offset: Duration::ZERO,
+    });
+    let mut t = Duration::from_secs(2);
+    for i in 0..profile.cells {
+        let draw = rng.f64();
+        let script = if draw < profile.download_prob {
+            // pip install / dataset pull: external connection, download-
+            // heavy (negative asymmetry — opposite of exfil).
+            let mirror = HostAddr::external(40 + rng.range(0, 5) as u32);
+            CellScript::new(
+                "!pip install --user torch-geometric",
+                vec![
+                    Action::Exec {
+                        name: "pip".into(),
+                        cmdline: "pip install --user torch-geometric".into(),
+                    },
+                    Action::Connect {
+                        dst: mirror,
+                        dst_port: 443,
+                    },
+                    Action::SendBytes {
+                        bytes: 2_000,
+                        entropy_high: false,
+                    },
+                    Action::RecvBytes {
+                        bytes: rng.lognormal(20_000_000.0, 1.0) as u64,
+                    },
+                ],
+            )
+        } else if draw < profile.download_prob + profile.archive_prob {
+            // Checkpoint archive: local high-entropy write (ransomware
+            // detector's legitimate lookalike).
+            CellScript::new(
+                "shutil.make_archive('ckpt', 'gztar', 'models/')",
+                vec![Action::WriteFile {
+                    path: format!("/home/{user}/archive/ckpt_{i}.tar.gz"),
+                    kind: ContentKind::Archive,
+                    size: rng.lognormal(200_000_000.0, 0.7) as u64,
+                }],
+            )
+        } else if draw < profile.download_prob + profile.archive_prob + profile.train_prob {
+            // Training burst: sustained CPU on the kernel process.
+            CellScript::new(
+                "trainer.fit(model, dl)",
+                vec![
+                    Action::ReadFile {
+                        path: format!("/home/{user}/data/run_0.csv"),
+                    },
+                    Action::BurnCpu {
+                        wall: Duration::from_secs(rng.range(120, 900)),
+                        utilization: 0.85,
+                    },
+                    Action::WriteFile {
+                        path: format!("/home/{user}/models/ckpt_{i}.bin"),
+                        kind: ContentKind::ModelWeights,
+                        size: rng.lognormal(300_000_000.0, 0.5) as u64,
+                    },
+                ],
+            )
+        } else {
+            // Ordinary analysis cell.
+            CellScript::new(
+                "df = pd.read_csv(...); df.describe()",
+                vec![
+                    Action::ReadFile {
+                        path: format!("/home/{user}/data/run_{}.csv", rng.range(0, 8)),
+                    },
+                    Action::WriteFile {
+                        path: format!("/home/{user}/out_{i}.csv"),
+                        kind: ContentKind::Csv,
+                        size: rng.lognormal(500_000.0, 1.0) as u64,
+                    },
+                    Action::Print {
+                        text: "count 1.2e6\nmean 0.173\n".into(),
+                    },
+                ],
+            )
+        };
+        steps.push(CampaignStep::Cell {
+            server,
+            user: user.to_string(),
+            offset: t,
+            script,
+        });
+        t = t + Duration::from_secs_f64(rng.exp(profile.mean_think_secs).max(1.0));
+    }
+    Campaign {
+        class: None,
+        name: format!("benign-{user}-s{server}"),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_shape() {
+        let mut rng = SimRng::new(1);
+        let c = session(0, "alice", &BenignProfile::default(), &mut rng);
+        assert!(!c.is_attack());
+        assert_eq!(c.steps.len(), 21); // login + 20 cells
+        assert!(matches!(c.steps[0], CampaignStep::AuthLogin { .. }));
+        // Offsets non-decreasing.
+        let offs: Vec<u64> = c.steps.iter().map(|s| s.offset().as_micros()).collect();
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(2);
+        let mut b = SimRng::new(2);
+        let ca = session(0, "alice", &BenignProfile::default(), &mut a);
+        let cb = session(0, "alice", &BenignProfile::default(), &mut b);
+        assert_eq!(ca.steps.len(), cb.steps.len());
+        assert_eq!(ca.duration(), cb.duration());
+    }
+
+    #[test]
+    fn profile_probabilities_drive_mix() {
+        let mut rng = SimRng::new(3);
+        let profile = BenignProfile {
+            cells: 200,
+            download_prob: 1.0,
+            archive_prob: 0.0,
+            train_prob: 0.0,
+            ..Default::default()
+        };
+        let c = session(0, "alice", &profile, &mut rng);
+        let downloads = c
+            .steps
+            .iter()
+            .filter(|s| match s {
+                CampaignStep::Cell { script, .. } => script.code.contains("pip install"),
+                _ => false,
+            })
+            .count();
+        assert_eq!(downloads, 200);
+    }
+}

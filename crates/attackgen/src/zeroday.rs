@@ -1,0 +1,119 @@
+//! The "unknown unknown" (Fig. 3): a zero-day proxy with no published
+//! signature. We model a stealthy comm-channel abuse: silent cell
+//! execution (no iopub echo), tiny paced transfers over the *existing*
+//! WebSocket session (no new external flow until the very end), and no
+//! dropped files. Signature engines score zero on it by construction;
+//! only anomaly features (silent-execute rarity, comm-volume drift) can
+//! see it — which is the paper's argument for defense in depth.
+
+use crate::campaign::{Campaign, CampaignStep};
+use crate::AttackClass;
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::Duration;
+
+/// Zero-day proxy parameters.
+#[derive(Clone, Debug)]
+pub struct ZeroDayParams {
+    /// Number of stealth cells.
+    pub stages: usize,
+    /// Seconds between stages.
+    pub stage_interval_secs: f64,
+    /// Final staging target (one small outbound flush at the end).
+    pub flush_dst: HostAddr,
+}
+
+impl Default for ZeroDayParams {
+    fn default() -> Self {
+        ZeroDayParams {
+            stages: 12,
+            stage_interval_secs: 300.0,
+            flush_dst: HostAddr::external(101),
+        }
+    }
+}
+
+/// Build the zero-day-proxy campaign on `server` as `user`.
+pub fn campaign(server: usize, user: &str, params: &ZeroDayParams) -> Campaign {
+    let mut steps = Vec::new();
+    let mut t = Duration::ZERO;
+    for stage in 0..params.stages {
+        // Each stage reads a little and keeps state in kernel memory —
+        // no file writes, no external traffic.
+        steps.push(CampaignStep::Cell {
+            server,
+            user: user.to_string(),
+            offset: t,
+            script: CellScript::new(
+                &format!("_s{stage} = stage({stage})  # CVE-????-?????"),
+                vec![Action::ReadFile {
+                    path: format!("/home/{user}/models/ckpt_0.bin"),
+                }],
+            ),
+        });
+        t = t + Duration::from_secs_f64(params.stage_interval_secs);
+    }
+    // One small flush at the end: below volume thresholds.
+    steps.push(CampaignStep::Cell {
+        server,
+        user: user.to_string(),
+        offset: t,
+        script: CellScript::new(
+            "comm.send(buffer[:40960])",
+            vec![
+                Action::Connect {
+                    dst: params.flush_dst,
+                    dst_port: 443,
+                },
+                Action::SendBytes {
+                    bytes: 40_960,
+                    entropy_high: true,
+                },
+            ],
+        ),
+    });
+    Campaign {
+        class: Some(AttackClass::ZeroDay),
+        name: format!("zeroday-{user}-s{server}"),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::execute;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+    use ja_netsim::time::SimTime;
+
+    #[test]
+    fn footprint_is_minimal() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(41));
+        let user = d.owner_of(0).to_string();
+        let c = campaign(0, &user, &ZeroDayParams::default());
+        let out = execute(&mut d, &[(SimTime::ZERO, c)], 9);
+        // No file writes at all.
+        assert!(!out.sys_events.iter().any(|e| e.class() == "file_write"));
+        // Exactly one small external flow.
+        let ext: Vec<_> = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .filter(|f| !f.tuple.dst.is_internal())
+            .collect();
+        assert_eq!(ext.len(), 1);
+        assert!(ext[0].bytes_up <= 64 * 1024);
+    }
+
+    #[test]
+    fn stages_are_paced() {
+        let params = ZeroDayParams {
+            stages: 4,
+            stage_interval_secs: 100.0,
+            ..Default::default()
+        };
+        let c = campaign(0, "u", &params);
+        assert_eq!(c.duration(), Duration::from_secs(400));
+        assert_eq!(c.steps.len(), 5);
+    }
+}

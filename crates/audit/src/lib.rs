@@ -1,0 +1,33 @@
+//! # ja-audit — the Jupyter kernel auditing tool
+//!
+//! The paper proposes "an embedded tracing tool … embedded in Jupyter
+//! kernel (starting with Python kernel) to enable extensive logging of
+//! user commands" (§IV.B), pointing at NERSC's instrumented SSH and
+//! Bates-style system provenance as design guides. This crate is that
+//! tool against the simulated kernel's event stream:
+//!
+//! - [`ring`] — the bounded in-kernel event buffer (burst behaviour is
+//!   ablation A2: capacity vs completeness).
+//! - [`tracer`] — ingestion front-end with drop accounting.
+//! - [`provenance`] — the provenance graph (processes, files, remotes)
+//!   with ancestry and taint queries.
+//! - [`detectors`] — audit-plane detectors for every taxonomy class:
+//!   entropy-burst ransomware, sustained-CPU mining, staged exfil,
+//!   credential harvesting, and the zero-day anomaly heuristics.
+//! - [`anonymize`] — privacy-preserving export for the paper's proposed
+//!   *Jupyter Security & Resiliency Data Set* ("log anonymization and
+//!   privacy-preserving sharing need to be studied").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anonymize;
+pub mod detectors;
+pub mod provenance;
+pub mod ring;
+pub mod tracer;
+
+pub use detectors::{AuditDetector, AuditThresholds};
+pub use provenance::ProvenanceGraph;
+pub use ring::RingBuffer;
+pub use tracer::Tracer;

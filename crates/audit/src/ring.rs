@@ -1,0 +1,131 @@
+//! A bounded ring buffer for in-kernel event capture.
+//!
+//! The embedded tracer cannot allocate unboundedly inside the kernel
+//! process; when bursts exceed capacity the oldest events are evicted
+//! and counted. Ablation A2 measures audit completeness vs capacity.
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity FIFO that evicts the oldest entry when full.
+#[derive(Clone, Debug)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    /// Events evicted before being drained.
+    pub dropped: u64,
+    /// Total events ever pushed.
+    pub pushed: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Ring with the given capacity (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+            pushed: 0,
+        }
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Is the ring empty?
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Push an event, evicting the oldest when full.
+    pub fn push(&mut self, item: T) {
+        self.pushed += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(item);
+    }
+
+    /// Drain everything currently buffered (oldest first).
+    pub fn drain(&mut self) -> Vec<T> {
+        self.buf.drain(..).collect()
+    }
+
+    /// Iterate without draining.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Fraction of pushed events retained or drained (completeness).
+    pub fn completeness(&self) -> f64 {
+        if self.pushed == 0 {
+            1.0
+        } else {
+            1.0 - self.dropped as f64 / self.pushed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut r = RingBuffer::new(10);
+        for i in 0..5 {
+            r.push(i);
+        }
+        assert_eq!(r.drain(), vec![0, 1, 2, 3, 4]);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped, 0);
+    }
+
+    #[test]
+    fn eviction_drops_oldest() {
+        let mut r = RingBuffer::new(3);
+        for i in 0..10 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped, 7);
+        assert_eq!(r.drain(), vec![7, 8, 9]);
+        assert!((r.completeness() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_minimum_one() {
+        let mut r = RingBuffer::new(0);
+        assert_eq!(r.capacity(), 1);
+        r.push(1);
+        r.push(2);
+        assert_eq!(r.drain(), vec![2]);
+    }
+
+    #[test]
+    fn completeness_empty_is_one() {
+        let r: RingBuffer<u8> = RingBuffer::new(4);
+        assert_eq!(r.completeness(), 1.0);
+    }
+
+    #[test]
+    fn drain_then_refill() {
+        let mut r = RingBuffer::new(2);
+        r.push(1);
+        assert_eq!(r.drain(), vec![1]);
+        r.push(2);
+        r.push(3);
+        r.push(4);
+        assert_eq!(r.drain(), vec![3, 4]);
+        assert_eq!(r.pushed, 4);
+        assert_eq!(r.dropped, 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: ring-buffer invariants and anonymization safety.
+
+use ja_audit::anonymize::Anonymizer;
+use ja_audit::ring::RingBuffer;
+use ja_kernelsim::events::{SysEvent, SysEventKind};
+use ja_netsim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    /// The ring always retains the newest min(pushed, capacity) items in
+    /// FIFO order, and pushed == drained + dropped.
+    #[test]
+    fn ring_retention_invariant(capacity in 1usize..64,
+                                items in proptest::collection::vec(any::<u32>(), 0..256)) {
+        let mut ring = RingBuffer::new(capacity);
+        for &i in &items {
+            ring.push(i);
+        }
+        let drained = ring.drain();
+        let keep = items.len().min(capacity);
+        prop_assert_eq!(&drained, &items[items.len() - keep..]);
+        prop_assert_eq!(ring.pushed as usize, items.len());
+        prop_assert_eq!(ring.dropped as usize + drained.len(), items.len());
+    }
+
+    /// Interleaved push/drain never loses order within a drain and never
+    /// double-delivers.
+    #[test]
+    fn ring_interleaved_delivery(capacity in 1usize..32,
+                                 chunks in proptest::collection::vec(
+                                     proptest::collection::vec(any::<u32>(), 0..16), 0..16)) {
+        let mut ring = RingBuffer::new(capacity);
+        let mut delivered: Vec<u32> = Vec::new();
+        let mut pushed_total = 0usize;
+        for chunk in &chunks {
+            for &i in chunk {
+                ring.push(i);
+            }
+            pushed_total += chunk.len();
+            delivered.extend(ring.drain());
+        }
+        prop_assert_eq!(delivered.len() + ring.dropped as usize, pushed_total);
+        // Delivered sequence is a subsequence of the pushed sequence.
+        let all: Vec<u32> = chunks.concat();
+        let mut pos = 0usize;
+        for d in &delivered {
+            match all[pos..].iter().position(|x| x == d) {
+                Some(off) => pos += off + 1,
+                None => prop_assert!(false, "delivered item not in push order"),
+            }
+        }
+    }
+
+    /// Anonymization is deterministic, strips the username, and
+    /// preserves time/server/class/volume.
+    #[test]
+    fn anonymizer_preserves_structure(user in "[a-z]{3,12}",
+                                      path_leaf in "[a-z0-9_]{1,16}",
+                                      bytes in any::<u64>(),
+                                      entropy in 0.0f64..8.0,
+                                      t in any::<u64>()) {
+        let anon = Anonymizer::new(b"prop-key");
+        let e = SysEvent {
+            time: SimTime(t),
+            server_id: 3,
+            user: user.clone(),
+            kind: SysEventKind::FileWrite {
+                path: format!("/home/{user}/{path_leaf}.csv"),
+                bytes,
+                entropy_bits: entropy,
+            },
+        };
+        let a1 = anon.anon_event(&e);
+        let a2 = anon.anon_event(&e);
+        prop_assert_eq!(&a1, &a2);
+        prop_assert_ne!(&a1.user, &user);
+        prop_assert_eq!(a1.time, e.time);
+        prop_assert_eq!(a1.server_id, 3);
+        match a1.kind {
+            SysEventKind::FileWrite { path, bytes: b2, entropy_bits } => {
+                prop_assert!(!path.contains(&user));
+                prop_assert!(path.ends_with(".csv"));
+                prop_assert_eq!(b2, bytes);
+                prop_assert_eq!(entropy_bits, entropy);
+            }
+            _ => prop_assert!(false, "kind changed"),
+        }
+    }
+}

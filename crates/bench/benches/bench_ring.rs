@@ -1,0 +1,31 @@
+//! A2 — audit ring-buffer cost: push/drain throughput vs capacity, the
+//! in-kernel budget of the embedded tracer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ja_audit::ring::RingBuffer;
+use std::hint::black_box;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a2_ring");
+    const EVENTS: usize = 100_000;
+    for capacity in [1usize << 8, 1 << 12, 1 << 16] {
+        group.throughput(Throughput::Elements(EVENTS as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    let mut ring: RingBuffer<u64> = RingBuffer::new(cap);
+                    for i in 0..EVENTS as u64 {
+                        ring.push(i);
+                    }
+                    black_box(ring.drain().len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

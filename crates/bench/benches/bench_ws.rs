@@ -1,0 +1,50 @@
+//! E7 (throughput leg) — WebSocket analyzer parse rate: how fast the
+//! Zeek-style streaming decoder chews through frame streams of varying
+//! message sizes and fragmentation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ja_websocket::codec::{fragment, FrameDecoder, MessageAssembler};
+use ja_websocket::frame::Opcode;
+use std::hint::black_box;
+
+fn build_stream(msg_size: usize, messages: usize, fragments: usize) -> Vec<u8> {
+    let payload = vec![0xcdu8; msg_size];
+    let mut wire = Vec::new();
+    for _ in 0..messages {
+        for f in fragment(Opcode::Binary, &payload, fragments, true) {
+            wire.extend_from_slice(&f.encode());
+        }
+    }
+    wire
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_ws_parse");
+    for (msg_size, fragments) in [(256usize, 1usize), (4096, 1), (4096, 4), (65536, 1)] {
+        let wire = build_stream(msg_size, 64, fragments);
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{msg_size}B_x{fragments}frag")),
+            &wire,
+            |b, w| {
+                b.iter(|| {
+                    let mut dec = FrameDecoder::new();
+                    let mut asm = MessageAssembler::new();
+                    let mut msgs = 0usize;
+                    for chunk in w.chunks(1448) {
+                        for frame in dec.feed(chunk).expect("valid stream") {
+                            if asm.push(frame).expect("valid assembly").is_some() {
+                                msgs += 1;
+                            }
+                        }
+                    }
+                    black_box(msgs)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E5 — the paper's scalability lesson: "network traffic will keep
+//! increasing, and a security auditor may add unsustainable performance
+//! overhead … one must harness the power of supercomputers". We sweep
+//! offered load and compare the sequential analyzer pipeline against
+//! the rayon-parallel one.
+
+use ja_monitor::engine::{Monitor, MonitorConfig};
+
+fn main() {
+    let seed = ja_bench::seed_from_args();
+    println!("=== E5: monitor overhead vs offered traffic (seed {seed}) ===\n");
+    println!("rayon threads available: {}\n", rayon::current_num_threads());
+    println!(
+        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "workload", "segments", "MB", "seq (seg/s)", "par (seg/s)", "speedup"
+    );
+    for (servers, sessions) in [(2usize, 1usize), (4, 2), (8, 3), (16, 4), (24, 6)] {
+        let trace = ja_bench::scaled_trace(servers, sessions, seed);
+        let s = trace.summary();
+        let monitor = Monitor::new(MonitorConfig::default());
+        // Warm + best-of-3 to keep numbers stable in a shared VM.
+        let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::MAX, f64::min);
+        let seq_secs = best(&|| {
+            let (_, st) = monitor.analyze(&trace);
+            st.elapsed_secs
+        });
+        let par_secs = best(&|| {
+            let (_, st) = monitor.analyze_parallel(&trace);
+            st.elapsed_secs
+        });
+        let seq_tput = s.segments as f64 / seq_secs;
+        let par_tput = s.segments as f64 / par_secs;
+        println!(
+            "{:<24} {:>10} {:>10.1} {:>12.0} {:>12.0} {:>8.2}x",
+            format!("{servers} srv x {sessions} sess"),
+            s.segments,
+            s.bytes as f64 / 1e6,
+            seq_tput,
+            par_tput,
+            par_tput.max(1.0) / seq_tput.max(1.0)
+        );
+    }
+    println!("\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. The crossover");
+    println!(" shows where flow-level parallelism starts paying for its coordination overhead.)");
+}

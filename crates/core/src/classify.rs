@@ -1,0 +1,156 @@
+//! Alert → incident grouping and OSCRP classification.
+//!
+//! Raw alerts arrive from four planes; analysts think in *incidents*.
+//! Alerts of one class, attributed to one locus (server or source
+//! host), within a merge window, become one incident carrying its OSCRP
+//! concerns and consequences.
+
+use crate::oscrp::{concerns_of, consequences_of_avenue, Concern, Consequence};
+use ja_attackgen::AttackClass;
+use ja_monitor::alerts::{Alert, AlertSource};
+use ja_netsim::time::{Duration, SimTime};
+
+/// One classified incident.
+#[derive(Clone, Debug)]
+pub struct Incident {
+    /// Attack class.
+    pub class: AttackClass,
+    /// First alert time.
+    pub start: SimTime,
+    /// Last alert time.
+    pub end: SimTime,
+    /// Attributed server (if any alert carried one).
+    pub server_id: Option<u32>,
+    /// Attributed user (if any alert carried one).
+    pub user: Option<String>,
+    /// Planes that contributed alerts.
+    pub sources: Vec<AlertSource>,
+    /// Max confidence across alerts.
+    pub confidence: f64,
+    /// Alert count merged into this incident.
+    pub alerts: usize,
+    /// OSCRP concerns.
+    pub concerns: Vec<Concern>,
+    /// OSCRP consequences.
+    pub consequences: Vec<Consequence>,
+}
+
+impl Incident {
+    /// Corroborated by more than one plane?
+    pub fn corroborated(&self) -> bool {
+        self.sources.len() > 1
+    }
+}
+
+/// Group alerts into incidents. Alerts must be time-sorted (the engine
+/// guarantees this).
+pub fn incidents(alerts: &[Alert], merge_window: Duration) -> Vec<Incident> {
+    let mut out: Vec<Incident> = Vec::new();
+    for a in alerts {
+        let locus_server = a.server_id;
+        let merged = out.iter_mut().rev().find(|i| {
+            i.class == a.class
+                && a.time.since(i.end) <= merge_window
+                && match (i.server_id, locus_server) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => true,
+                }
+        });
+        match merged {
+            Some(i) => {
+                i.end = i.end.max(a.time);
+                i.confidence = i.confidence.max(a.confidence);
+                i.alerts += 1;
+                i.server_id = i.server_id.or(locus_server);
+                if i.user.is_none() {
+                    i.user.clone_from(&a.user);
+                }
+                if !i.sources.contains(&a.source) {
+                    i.sources.push(a.source);
+                }
+            }
+            None => out.push(Incident {
+                class: a.class,
+                start: a.time,
+                end: a.time,
+                server_id: locus_server,
+                user: a.user.clone(),
+                sources: vec![a.source],
+                confidence: a.confidence,
+                alerts: 1,
+                concerns: concerns_of(a.class),
+                consequences: consequences_of_avenue(a.class),
+            }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alert(class: AttackClass, t: u64, server: Option<u32>, source: AlertSource) -> Alert {
+        let mut a = Alert::new(SimTime::from_secs(t), class, 0.8, source);
+        a.server_id = server;
+        a
+    }
+
+    #[test]
+    fn nearby_same_class_alerts_merge() {
+        let alerts = vec![
+            alert(AttackClass::Ransomware, 100, Some(1), AlertSource::KernelAudit),
+            alert(AttackClass::Ransomware, 160, Some(1), AlertSource::Network),
+            alert(AttackClass::Ransomware, 220, Some(1), AlertSource::KernelAudit),
+        ];
+        let inc = incidents(&alerts, Duration::from_secs(300));
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].alerts, 3);
+        assert!(inc[0].corroborated());
+        assert_eq!(inc[0].start, SimTime::from_secs(100));
+        assert_eq!(inc[0].end, SimTime::from_secs(220));
+        assert!(!inc[0].concerns.is_empty());
+    }
+
+    #[test]
+    fn different_servers_stay_separate() {
+        let alerts = vec![
+            alert(AttackClass::Cryptomining, 100, Some(1), AlertSource::Network),
+            alert(AttackClass::Cryptomining, 110, Some(2), AlertSource::Network),
+        ];
+        let inc = incidents(&alerts, Duration::from_secs(300));
+        assert_eq!(inc.len(), 2);
+    }
+
+    #[test]
+    fn distant_alerts_stay_separate() {
+        let alerts = vec![
+            alert(AttackClass::DataExfiltration, 100, Some(1), AlertSource::Network),
+            alert(AttackClass::DataExfiltration, 10_000, Some(1), AlertSource::Network),
+        ];
+        let inc = incidents(&alerts, Duration::from_secs(300));
+        assert_eq!(inc.len(), 2);
+        assert!(!inc[0].corroborated());
+    }
+
+    #[test]
+    fn different_classes_stay_separate() {
+        let alerts = vec![
+            alert(AttackClass::Ransomware, 100, Some(1), AlertSource::KernelAudit),
+            alert(AttackClass::DataExfiltration, 110, Some(1), AlertSource::Network),
+        ];
+        let inc = incidents(&alerts, Duration::from_secs(300));
+        assert_eq!(inc.len(), 2);
+    }
+
+    #[test]
+    fn unattributed_alert_joins_incident() {
+        let alerts = vec![
+            alert(AttackClass::Cryptomining, 100, Some(1), AlertSource::KernelAudit),
+            alert(AttackClass::Cryptomining, 120, None, AlertSource::Network),
+        ];
+        let inc = incidents(&alerts, Duration::from_secs(300));
+        assert_eq!(inc.len(), 1);
+        assert_eq!(inc[0].server_id, Some(1));
+    }
+}

@@ -1,0 +1,214 @@
+//! The *Jupyter Security & Resiliency Data Set* schema (§IV.B): "a
+//! clear need for an open-source dataset of Jupyter-related logs in the
+//! scientific data workloads", with anonymization applied before
+//! sharing.
+//!
+//! A dataset bundles three log families plus labels, serialized as
+//! JSON lines for downstream tooling.
+
+use ja_attackgen::campaign::{GroundTruth, ScenarioOutput};
+use ja_audit::anonymize::Anonymizer;
+use serde::{Deserialize, Serialize};
+
+/// One labeled window in the dataset.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct LabelRecord {
+    /// Attack class label (None = benign).
+    pub class: Option<String>,
+    /// Start (µs).
+    pub start_us: u64,
+    /// End (µs).
+    pub end_us: u64,
+    /// Servers touched.
+    pub servers: Vec<usize>,
+}
+
+/// One flow record.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct FlowRecord {
+    /// Flow id.
+    pub flow_id: u64,
+    /// Source (dotted).
+    pub src: String,
+    /// Destination (dotted).
+    pub dst: String,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Bytes up.
+    pub bytes_up: u64,
+    /// Bytes down.
+    pub bytes_down: u64,
+    /// Duration (seconds).
+    pub duration_secs: f64,
+}
+
+/// One audit-event record (anonymized).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct EventRecord {
+    /// Time (µs).
+    pub time_us: u64,
+    /// Server.
+    pub server_id: u32,
+    /// Pseudonymous user.
+    pub user: String,
+    /// Event class.
+    pub class: String,
+}
+
+/// One auth-log record.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AuthRecord {
+    /// Time (µs).
+    pub time_us: u64,
+    /// Pseudonymous username.
+    pub user: String,
+    /// Source (dotted).
+    pub src: String,
+    /// Outcome string.
+    pub outcome: String,
+}
+
+/// The exported dataset.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Schema version.
+    pub version: u32,
+    /// Flow summaries.
+    pub flows: Vec<FlowRecord>,
+    /// Anonymized audit events.
+    pub events: Vec<EventRecord>,
+    /// Auth log.
+    pub auth: Vec<AuthRecord>,
+    /// Ground-truth labels.
+    pub labels: Vec<LabelRecord>,
+}
+
+impl Dataset {
+    /// Build a dataset from a scenario, anonymizing with `site_key`.
+    pub fn from_scenario(out: &ScenarioOutput, site_key: &[u8]) -> Self {
+        let anon = Anonymizer::new(site_key);
+        let flows = out
+            .trace
+            .flow_summaries()
+            .into_iter()
+            .map(|f| FlowRecord {
+                flow_id: f.flow_id,
+                src: f.tuple.src.to_string_dotted(),
+                dst: f.tuple.dst.to_string_dotted(),
+                dst_port: f.tuple.dst_port,
+                bytes_up: f.bytes_up,
+                bytes_down: f.bytes_down,
+                duration_secs: f.duration().as_secs_f64(),
+            })
+            .collect();
+        let events = anon
+            .anon_stream(&out.sys_events)
+            .into_iter()
+            .map(|e| EventRecord {
+                time_us: e.time.as_micros(),
+                server_id: e.server_id,
+                user: e.user.clone(),
+                class: e.class().to_string(),
+            })
+            .collect();
+        let auth = out
+            .auth_log
+            .iter()
+            .map(|a| AuthRecord {
+                time_us: a.time.as_micros(),
+                user: anon.pseudonym(&a.username),
+                src: a.src.to_string_dotted(),
+                outcome: format!("{:?}", a.outcome).to_lowercase(),
+            })
+            .collect();
+        let labels = out
+            .ground_truth
+            .iter()
+            .map(|g: &GroundTruth| LabelRecord {
+                class: g.class.map(|c| c.label().to_string()),
+                start_us: g.start.as_micros(),
+                end_us: g.end.as_micros(),
+                servers: g.servers.clone(),
+            })
+            .collect();
+        Dataset {
+            version: 1,
+            flows,
+            events,
+            auth,
+            labels,
+        }
+    }
+
+    /// Serialize to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_attackgen::mixer::{run_scenario, ScenarioSpec};
+    use ja_attackgen::AttackClass;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+
+    fn scenario() -> ScenarioOutput {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(81));
+        run_scenario(
+            &mut d,
+            &ScenarioSpec {
+                benign_sessions_per_server: 1,
+                attacks: vec![AttackClass::Ransomware],
+                horizon_secs: 1800,
+                seed: 81,
+            },
+        )
+    }
+
+    #[test]
+    fn export_is_complete_and_round_trips() {
+        let out = scenario();
+        let ds = Dataset::from_scenario(&out, b"site-key");
+        assert!(!ds.flows.is_empty());
+        assert!(!ds.events.is_empty());
+        assert!(!ds.auth.is_empty());
+        assert_eq!(ds.labels.len(), out.ground_truth.len());
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.flows, ds.flows);
+        assert_eq!(back.labels, ds.labels);
+    }
+
+    #[test]
+    fn export_contains_no_real_usernames() {
+        let out = scenario();
+        let real_users: Vec<String> = out
+            .sys_events
+            .iter()
+            .map(|e| e.user.clone())
+            .collect::<std::collections::HashSet<_>>()
+            .into_iter()
+            .collect();
+        let ds = Dataset::from_scenario(&out, b"site-key");
+        let json = ds.to_json();
+        for u in real_users {
+            assert!(!json.contains(&format!("\"{u}\"")), "leaked {u}");
+        }
+    }
+
+    #[test]
+    fn labels_preserve_attack_class() {
+        let out = scenario();
+        let ds = Dataset::from_scenario(&out, b"k");
+        assert!(ds
+            .labels
+            .iter()
+            .any(|l| l.class.as_deref() == Some("ransomware")));
+        assert!(ds.labels.iter().any(|l| l.class.is_none()));
+    }
+}

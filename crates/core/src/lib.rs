@@ -1,0 +1,38 @@
+//! # ja-core — taxonomy, risk model, and the unified auditing pipeline
+//!
+//! The paper's primary contribution is (1) the taxonomy of attacks
+//! against Jupyter deployments (Fig. 1), (2) the threat model following
+//! TrustedCI's Open Science Cyber Risk Profile (Fig. 3 / Table 1), and
+//! (3) the design of an auditing architecture with "better visibility
+//! against such attacks". This crate is that contribution:
+//!
+//! - [`taxonomy`] — the Fig. 1 tree, with every node bound to an
+//!   executable campaign generator and at least one detector.
+//! - [`oscrp`] — avenues → concerns → consequences (Fig. 3), total and
+//!   tested.
+//! - [`classify`] — alert → incident grouping → OSCRP mapping.
+//! - [`metrics`] — precision/recall/F1 scoring of alerts against ground
+//!   truth (the E4 instrument).
+//! - [`risk`] — incident risk scoring (likelihood × consequence weight).
+//! - [`pipeline`] — the end-to-end system: deployment + campaigns +
+//!   network monitor + kernel audit + honeypot intel → report.
+//! - [`report`] — human-readable tables for every experiment binary.
+//! - [`dataset`] — the "Jupyter Security & Resiliency Data Set" export
+//!   schema (anonymized events + flow summaries + labels).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod dataset;
+pub mod metrics;
+pub mod oscrp;
+pub mod pipeline;
+pub mod report;
+pub mod risk;
+pub mod taxonomy;
+
+pub use metrics::{score, ClassScore, Scoreboard};
+pub use oscrp::{Concern, Consequence};
+pub use pipeline::{Pipeline, PipelineConfig};
+pub use taxonomy::Taxonomy;

@@ -1,0 +1,317 @@
+//! Detection scoring: alerts vs ground truth.
+//!
+//! A campaign counts as *detected* when at least one alert of its class
+//! lands inside its (slack-extended) activity window with compatible
+//! attribution. Alerts of class C outside every class-C window are
+//! false positives. This is the instrument behind E4/E6/E10.
+
+use ja_attackgen::campaign::GroundTruth;
+use ja_attackgen::AttackClass;
+use ja_monitor::alerts::Alert;
+use ja_netsim::time::{Duration, SimTime};
+
+/// Scoring knobs.
+#[derive(Clone, Debug)]
+pub struct ScoringConfig {
+    /// Only alerts at or above this confidence count.
+    pub min_confidence: f64,
+    /// Window slack added after campaign end (detection latency grace).
+    pub slack: Duration,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        ScoringConfig {
+            min_confidence: 0.5,
+            slack: Duration::from_secs(1800),
+        }
+    }
+}
+
+/// Per-class score.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClassScore {
+    /// Campaigns of this class in ground truth.
+    pub campaigns: usize,
+    /// Campaigns with at least one matching alert.
+    pub detected: usize,
+    /// Alerts matching some campaign (true positives).
+    pub tp_alerts: usize,
+    /// Alerts matching no campaign (false positives).
+    pub fp_alerts: usize,
+    /// Seconds from campaign start to first matching alert, averaged
+    /// over detected campaigns.
+    pub mean_latency_secs: f64,
+}
+
+impl ClassScore {
+    /// Campaign-level recall.
+    pub fn recall(&self) -> f64 {
+        if self.campaigns == 0 {
+            // No campaigns of this class: recall undefined, report 1.0
+            // so overall aggregation is not dragged down.
+            1.0
+        } else {
+            self.detected as f64 / self.campaigns as f64
+        }
+    }
+
+    /// Alert-level precision.
+    pub fn precision(&self) -> f64 {
+        let total = self.tp_alerts + self.fp_alerts;
+        if total == 0 {
+            1.0
+        } else {
+            self.tp_alerts as f64 / total as f64
+        }
+    }
+
+    /// F1 over campaign recall and alert precision.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+/// Scores for all classes plus the aggregate.
+#[derive(Clone, Debug, Default)]
+pub struct Scoreboard {
+    /// Per-class rows in [`AttackClass::ALL`] order.
+    pub classes: Vec<(AttackClass, ClassScore)>,
+}
+
+impl Scoreboard {
+    /// Score for one class.
+    pub fn class(&self, class: AttackClass) -> &ClassScore {
+        &self
+            .classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .expect("all classes present")
+            .1
+    }
+
+    /// Macro-averaged recall over classes that had campaigns.
+    pub fn macro_recall(&self) -> f64 {
+        let active: Vec<&ClassScore> = self
+            .classes
+            .iter()
+            .map(|(_, s)| s)
+            .filter(|s| s.campaigns > 0)
+            .collect();
+        if active.is_empty() {
+            return 1.0;
+        }
+        active.iter().map(|s| s.recall()).sum::<f64>() / active.len() as f64
+    }
+
+    /// Total false positives across classes.
+    pub fn total_fp(&self) -> usize {
+        self.classes.iter().map(|(_, s)| s.fp_alerts).sum()
+    }
+
+    /// Render as a table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<20} {:>9} {:>9} {:>7} {:>7} {:>10} {:>10} {:>12}\n",
+            "class", "campaigns", "detected", "tp", "fp", "precision", "recall", "latency(s)"
+        ));
+        for (class, s) in &self.classes {
+            out.push_str(&format!(
+                "{:<20} {:>9} {:>9} {:>7} {:>7} {:>10.3} {:>10.3} {:>12.1}\n",
+                class.label(),
+                s.campaigns,
+                s.detected,
+                s.tp_alerts,
+                s.fp_alerts,
+                s.precision(),
+                s.recall(),
+                s.mean_latency_secs
+            ));
+        }
+        out.push_str(&format!(
+            "macro recall {:.3}, total false positives {}\n",
+            self.macro_recall(),
+            self.total_fp()
+        ));
+        out
+    }
+}
+
+fn window_matches(alert: &Alert, gt: &GroundTruth, slack: Duration) -> bool {
+    let start = gt.start;
+    let end = gt.end + slack;
+    if alert.time < start || alert.time > end {
+        return false;
+    }
+    // Attribution: if both sides know a server, they must agree.
+    if let Some(sid) = alert.server_id {
+        if !gt.servers.is_empty() && !gt.servers.contains(&(sid as usize)) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Score alerts against ground truth.
+pub fn score(alerts: &[Alert], ground_truth: &[GroundTruth], cfg: &ScoringConfig) -> Scoreboard {
+    let mut board = Scoreboard::default();
+    for class in AttackClass::ALL {
+        let campaigns: Vec<&GroundTruth> = ground_truth
+            .iter()
+            .filter(|g| g.class == Some(class))
+            .collect();
+        let class_alerts: Vec<&Alert> = alerts
+            .iter()
+            .filter(|a| a.class == class && a.confidence >= cfg.min_confidence)
+            .collect();
+        let mut s = ClassScore {
+            campaigns: campaigns.len(),
+            ..Default::default()
+        };
+        let mut latencies = Vec::new();
+        for gt in &campaigns {
+            let mut first: Option<SimTime> = None;
+            for a in &class_alerts {
+                if window_matches(a, gt, cfg.slack) {
+                    first = Some(first.map_or(a.time, |f| f.min(a.time)));
+                }
+            }
+            if let Some(t) = first {
+                s.detected += 1;
+                latencies.push(t.since(gt.start).as_secs_f64());
+            }
+        }
+        for a in &class_alerts {
+            if campaigns.iter().any(|gt| window_matches(a, gt, cfg.slack)) {
+                s.tp_alerts += 1;
+            } else {
+                s.fp_alerts += 1;
+            }
+        }
+        s.mean_latency_secs = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        };
+        board.classes.push((class, s));
+    }
+    board
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_monitor::alerts::AlertSource;
+
+    fn gt(class: AttackClass, server: usize, start: u64, end: u64) -> GroundTruth {
+        GroundTruth {
+            class: Some(class),
+            name: "t".into(),
+            servers: vec![server],
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        }
+    }
+
+    fn alert(class: AttackClass, t: u64, conf: f64, server: Option<u32>) -> Alert {
+        let mut a = Alert::new(SimTime::from_secs(t), class, conf, AlertSource::Network);
+        a.server_id = server;
+        a
+    }
+
+    #[test]
+    fn matching_alert_scores_tp() {
+        let gts = vec![gt(AttackClass::Ransomware, 0, 100, 200)];
+        let alerts = vec![alert(AttackClass::Ransomware, 150, 0.9, Some(0))];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        let s = b.class(AttackClass::Ransomware);
+        assert_eq!(s.detected, 1);
+        assert_eq!(s.tp_alerts, 1);
+        assert_eq!(s.fp_alerts, 0);
+        assert_eq!(s.recall(), 1.0);
+        assert_eq!(s.precision(), 1.0);
+        assert!((s.mean_latency_secs - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrong_class_is_fp_not_detection() {
+        let gts = vec![gt(AttackClass::Ransomware, 0, 100, 200)];
+        let alerts = vec![alert(AttackClass::Cryptomining, 150, 0.9, Some(0))];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        assert_eq!(b.class(AttackClass::Ransomware).detected, 0);
+        assert_eq!(b.class(AttackClass::Cryptomining).fp_alerts, 1);
+    }
+
+    #[test]
+    fn wrong_server_rejected() {
+        let gts = vec![gt(AttackClass::Ransomware, 0, 100, 200)];
+        let alerts = vec![alert(AttackClass::Ransomware, 150, 0.9, Some(3))];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        assert_eq!(b.class(AttackClass::Ransomware).detected, 0);
+        assert_eq!(b.class(AttackClass::Ransomware).fp_alerts, 1);
+    }
+
+    #[test]
+    fn unattributed_alert_matches_by_time() {
+        let gts = vec![gt(AttackClass::ZeroDay, 1, 100, 200)];
+        let alerts = vec![alert(AttackClass::ZeroDay, 190, 0.6, None)];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        assert_eq!(b.class(AttackClass::ZeroDay).detected, 1);
+    }
+
+    #[test]
+    fn slack_window_allows_late_alerts() {
+        let gts = vec![gt(AttackClass::DataExfiltration, 0, 100, 200)];
+        let cfg = ScoringConfig::default();
+        // 200 + 1800 slack = 2000 max.
+        let late_ok = vec![alert(AttackClass::DataExfiltration, 1999, 0.9, Some(0))];
+        assert_eq!(
+            score(&late_ok, &gts, &cfg)
+                .class(AttackClass::DataExfiltration)
+                .detected,
+            1
+        );
+        let too_late = vec![alert(AttackClass::DataExfiltration, 2001, 0.9, Some(0))];
+        assert_eq!(
+            score(&too_late, &gts, &cfg)
+                .class(AttackClass::DataExfiltration)
+                .detected,
+            0
+        );
+    }
+
+    #[test]
+    fn low_confidence_ignored() {
+        let gts = vec![gt(AttackClass::Ransomware, 0, 100, 200)];
+        let alerts = vec![alert(AttackClass::Ransomware, 150, 0.3, Some(0))];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        assert_eq!(b.class(AttackClass::Ransomware).detected, 0);
+        assert_eq!(b.total_fp(), 0);
+    }
+
+    #[test]
+    fn macro_recall_ignores_absent_classes() {
+        let gts = vec![
+            gt(AttackClass::Ransomware, 0, 100, 200),
+            gt(AttackClass::Cryptomining, 1, 100, 200),
+        ];
+        let alerts = vec![alert(AttackClass::Ransomware, 150, 0.9, Some(0))];
+        let b = score(&alerts, &gts, &ScoringConfig::default());
+        assert!((b.macro_recall() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let b = score(&[], &[], &ScoringConfig::default());
+        let r = b.render();
+        assert!(r.contains("ransomware"));
+        assert!(r.contains("macro recall"));
+    }
+}

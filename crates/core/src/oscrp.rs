@@ -1,0 +1,214 @@
+//! The Open Science Cyber Risk Profile mapping (Fig. 3 / Table 1):
+//! avenues of attack → concerns → consequences, after Peisert & Welch's
+//! OSCRP ("the Rosetta stone for open science and cybersecurity").
+
+use ja_attackgen::AttackClass;
+
+/// OSCRP concerns (middle row of Fig. 3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Concern {
+    /// Data is encrypted, deleted or corrupted.
+    InaccessibleOrIncorrectData,
+    /// Data left the perimeter.
+    ExposedData,
+    /// Compute is degraded, stolen or unavailable.
+    DisruptionOfComputing,
+}
+
+impl Concern {
+    /// All concerns.
+    pub const ALL: [Concern; 3] = [
+        Concern::InaccessibleOrIncorrectData,
+        Concern::ExposedData,
+        Concern::DisruptionOfComputing,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Concern::InaccessibleOrIncorrectData => "inaccessible-or-incorrect-data",
+            Concern::ExposedData => "exposed-data",
+            Concern::DisruptionOfComputing => "disruption-of-computing",
+        }
+    }
+}
+
+/// OSCRP consequences (bottom row of Fig. 3): to science, and to
+/// facilities & humans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Consequence {
+    /// Results cannot be reproduced.
+    IrreproducibleResults,
+    /// Analyses run on tampered data mislead science.
+    MisguidedScientificInterpretation,
+    /// Regulatory / contractual exposure.
+    LegalActions,
+    /// Sponsors walk away.
+    FundingLoss,
+    /// The facility's standing suffers.
+    ReducedReputation,
+}
+
+impl Consequence {
+    /// All consequences.
+    pub const ALL: [Consequence; 5] = [
+        Consequence::IrreproducibleResults,
+        Consequence::MisguidedScientificInterpretation,
+        Consequence::LegalActions,
+        Consequence::FundingLoss,
+        Consequence::ReducedReputation,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Consequence::IrreproducibleResults => "irreproducible-results",
+            Consequence::MisguidedScientificInterpretation => "misguided-interpretation",
+            Consequence::LegalActions => "legal-actions",
+            Consequence::FundingLoss => "funding-loss",
+            Consequence::ReducedReputation => "reduced-reputation",
+        }
+    }
+
+    /// Is this a consequence to science (vs facilities & humans)?
+    pub fn to_science(self) -> bool {
+        matches!(
+            self,
+            Consequence::IrreproducibleResults | Consequence::MisguidedScientificInterpretation
+        )
+    }
+}
+
+/// Concerns raised by an avenue of attack (Fig. 3 top→middle arrows).
+pub fn concerns_of(avenue: AttackClass) -> Vec<Concern> {
+    match avenue {
+        AttackClass::Ransomware => vec![Concern::InaccessibleOrIncorrectData],
+        AttackClass::DataExfiltration => vec![Concern::ExposedData],
+        AttackClass::Cryptomining => vec![Concern::DisruptionOfComputing],
+        AttackClass::AccountTakeover => vec![
+            Concern::ExposedData,
+            Concern::DisruptionOfComputing,
+            Concern::InaccessibleOrIncorrectData,
+        ],
+        AttackClass::Misconfiguration => vec![Concern::ExposedData, Concern::DisruptionOfComputing],
+        AttackClass::ZeroDay => vec![
+            Concern::InaccessibleOrIncorrectData,
+            Concern::ExposedData,
+            Concern::DisruptionOfComputing,
+        ],
+    }
+}
+
+/// Consequences implied by a concern (Fig. 3 middle→bottom arrows).
+pub fn consequences_of(concern: Concern) -> Vec<Consequence> {
+    match concern {
+        Concern::InaccessibleOrIncorrectData => vec![
+            Consequence::IrreproducibleResults,
+            Consequence::MisguidedScientificInterpretation,
+        ],
+        Concern::ExposedData => vec![
+            Consequence::LegalActions,
+            Consequence::ReducedReputation,
+            Consequence::FundingLoss,
+        ],
+        Concern::DisruptionOfComputing => vec![
+            Consequence::IrreproducibleResults,
+            Consequence::FundingLoss,
+            Consequence::ReducedReputation,
+        ],
+    }
+}
+
+/// Full avenue → consequence closure.
+pub fn consequences_of_avenue(avenue: AttackClass) -> Vec<Consequence> {
+    let mut out: Vec<Consequence> = concerns_of(avenue)
+        .into_iter()
+        .flat_map(consequences_of)
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Render the Fig. 3 / Table 1 mapping as a text table (the E3
+/// artifact).
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} | {:<70} | consequences\n",
+        "avenue of attack", "concerns"
+    ));
+    out.push_str(&"-".repeat(140));
+    out.push('\n');
+    for avenue in AttackClass::ALL {
+        let concerns: Vec<&str> = concerns_of(avenue).iter().map(|c| c.label()).collect();
+        let consequences: Vec<&str> = consequences_of_avenue(avenue)
+            .iter()
+            .map(|c| c.label())
+            .collect();
+        out.push_str(&format!(
+            "{:<22} | {:<70} | {}\n",
+            avenue.label(),
+            concerns.join(", "),
+            consequences.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_avenue_has_concerns_and_consequences() {
+        for avenue in AttackClass::ALL {
+            assert!(!concerns_of(avenue).is_empty(), "{avenue:?}");
+            assert!(!consequences_of_avenue(avenue).is_empty(), "{avenue:?}");
+        }
+    }
+
+    #[test]
+    fn every_concern_maps_to_consequences() {
+        for c in Concern::ALL {
+            assert!(!consequences_of(c).is_empty());
+        }
+    }
+
+    #[test]
+    fn ransomware_threatens_reproducibility() {
+        let cons = consequences_of_avenue(AttackClass::Ransomware);
+        assert!(cons.contains(&Consequence::IrreproducibleResults));
+        assert!(!cons.contains(&Consequence::LegalActions));
+    }
+
+    #[test]
+    fn exfiltration_threatens_facility() {
+        let cons = consequences_of_avenue(AttackClass::DataExfiltration);
+        assert!(cons.contains(&Consequence::LegalActions));
+        assert!(cons.contains(&Consequence::FundingLoss));
+        assert!(cons.iter().any(|c| !c.to_science()));
+    }
+
+    #[test]
+    fn table_mentions_everything() {
+        let t = render_table();
+        for a in AttackClass::ALL {
+            assert!(t.contains(a.label()));
+        }
+        for c in Concern::ALL {
+            assert!(t.contains(c.label()));
+        }
+        for c in Consequence::ALL {
+            assert!(t.contains(c.label()));
+        }
+    }
+
+    #[test]
+    fn science_vs_facility_partition() {
+        assert!(Consequence::IrreproducibleResults.to_science());
+        assert!(!Consequence::FundingLoss.to_science());
+        let science = Consequence::ALL.iter().filter(|c| c.to_science()).count();
+        assert_eq!(science, 2);
+    }
+}

@@ -1,0 +1,112 @@
+//! Human-readable reporting: the output surface of every experiment
+//! binary and the quickstart.
+
+use crate::classify::Incident;
+use crate::metrics::Scoreboard;
+use crate::risk;
+use ja_monitor::alerts::{Alert, AlertSource};
+
+/// A consolidated run report.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// All alerts, time-ordered.
+    pub alerts: Vec<Alert>,
+    /// Grouped incidents.
+    pub incidents: Vec<Incident>,
+    /// Detection scores (when ground truth was available).
+    pub scoreboard: Option<Scoreboard>,
+}
+
+impl Report {
+    /// Total alert count.
+    pub fn alerts_total(&self) -> usize {
+        self.alerts.len()
+    }
+
+    /// Alerts from one plane.
+    pub fn alerts_from(&self, source: AlertSource) -> usize {
+        self.alerts.iter().filter(|a| a.source == source).count()
+    }
+
+    /// Incident count.
+    pub fn incidents_total(&self) -> usize {
+        self.incidents.len()
+    }
+
+    /// Render the report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "alerts: {} (network {}, kernel-audit {}, honeypot {}, config-scan {})\n",
+            self.alerts_total(),
+            self.alerts_from(AlertSource::Network),
+            self.alerts_from(AlertSource::KernelAudit),
+            self.alerts_from(AlertSource::HoneypotIntel),
+            self.alerts_from(AlertSource::ConfigScan),
+        ));
+        out.push_str(&format!("incidents: {}\n", self.incidents_total()));
+        let ranked = risk::rank(self.incidents.clone());
+        for (score, i) in ranked.iter().take(10) {
+            out.push_str(&format!(
+                "  [risk {score:.2}] {} on server {:?} ({} alerts, sources {:?}, confidence {:.2})\n",
+                i.class.label(),
+                i.server_id,
+                i.alerts,
+                i.sources,
+                i.confidence
+            ));
+        }
+        if let Some(board) = &self.scoreboard {
+            out.push('\n');
+            out.push_str(&board.render());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::incidents;
+    use ja_attackgen::AttackClass;
+    use ja_netsim::time::{Duration, SimTime};
+
+    #[test]
+    fn report_renders_and_counts() {
+        let alerts = vec![
+            Alert::new(
+                SimTime::from_secs(1),
+                AttackClass::Ransomware,
+                0.9,
+                AlertSource::KernelAudit,
+            )
+            .with_server(0),
+            Alert::new(
+                SimTime::from_secs(2),
+                AttackClass::Ransomware,
+                0.8,
+                AlertSource::Network,
+            )
+            .with_server(0),
+        ];
+        let incidents = incidents(&alerts, Duration::from_secs(60));
+        let r = Report {
+            alerts,
+            incidents,
+            scoreboard: None,
+        };
+        assert_eq!(r.alerts_total(), 2);
+        assert_eq!(r.alerts_from(AlertSource::Network), 1);
+        assert_eq!(r.incidents_total(), 1);
+        let text = r.render();
+        assert!(text.contains("ransomware"));
+        assert!(text.contains("risk"));
+    }
+
+    #[test]
+    fn empty_report() {
+        let r = Report::default();
+        assert_eq!(r.alerts_total(), 0);
+        assert!(r.render().contains("alerts: 0"));
+    }
+}

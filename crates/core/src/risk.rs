@@ -1,0 +1,101 @@
+//! Incident risk scoring: likelihood × consequence weight, OSCRP-style.
+//!
+//! The OSCRP's purpose is prioritization: which incidents threaten the
+//! science mission most. We weight consequences (a facility cares more
+//! about funding loss than a one-off irreproducible run), scale by
+//! detection confidence and corroboration, and rank.
+
+use crate::classify::Incident;
+use crate::oscrp::Consequence;
+
+/// Consequence weights (relative severity, facility perspective).
+pub fn consequence_weight(c: Consequence) -> f64 {
+    match c {
+        Consequence::IrreproducibleResults => 0.6,
+        Consequence::MisguidedScientificInterpretation => 0.8,
+        Consequence::LegalActions => 1.0,
+        Consequence::FundingLoss => 1.0,
+        Consequence::ReducedReputation => 0.7,
+    }
+}
+
+/// Risk score of one incident in [0, ~3]: summed consequence weights ×
+/// confidence × corroboration bonus.
+pub fn incident_risk(i: &Incident) -> f64 {
+    let impact: f64 = i.consequences.iter().map(|&c| consequence_weight(c)).sum();
+    let corroboration = if i.corroborated() { 1.25 } else { 1.0 };
+    impact * i.confidence * corroboration
+}
+
+/// Rank incidents by descending risk.
+pub fn rank(mut incidents: Vec<Incident>) -> Vec<(f64, Incident)> {
+    incidents.sort_by(|a, b| {
+        incident_risk(b)
+            .partial_cmp(&incident_risk(a))
+            .expect("risk is finite")
+    });
+    incidents.into_iter().map(|i| (incident_risk(&i), i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oscrp::{concerns_of, consequences_of_avenue};
+    use ja_attackgen::AttackClass;
+    use ja_monitor::alerts::AlertSource;
+    use ja_netsim::time::SimTime;
+
+    fn incident(class: AttackClass, confidence: f64, corroborated: bool) -> Incident {
+        Incident {
+            class,
+            start: SimTime::ZERO,
+            end: SimTime::ZERO,
+            server_id: Some(0),
+            user: None,
+            sources: if corroborated {
+                vec![AlertSource::Network, AlertSource::KernelAudit]
+            } else {
+                vec![AlertSource::Network]
+            },
+            confidence,
+            alerts: 1,
+            concerns: concerns_of(class),
+            consequences: consequences_of_avenue(class),
+        }
+    }
+
+    #[test]
+    fn corroboration_raises_risk() {
+        let solo = incident(AttackClass::Ransomware, 0.9, false);
+        let multi = incident(AttackClass::Ransomware, 0.9, true);
+        assert!(incident_risk(&multi) > incident_risk(&solo));
+    }
+
+    #[test]
+    fn confidence_scales_risk() {
+        let low = incident(AttackClass::Cryptomining, 0.3, false);
+        let high = incident(AttackClass::Cryptomining, 0.9, false);
+        assert!(incident_risk(&high) > incident_risk(&low) * 2.0);
+    }
+
+    #[test]
+    fn exfiltration_outranks_mining_at_equal_confidence() {
+        // Exfil implies legal + funding + reputation; mining implies the
+        // disruption set only.
+        let exfil = incident(AttackClass::DataExfiltration, 0.8, false);
+        let mining = incident(AttackClass::Cryptomining, 0.8, false);
+        assert!(incident_risk(&exfil) > incident_risk(&mining));
+    }
+
+    #[test]
+    fn rank_is_descending() {
+        let ranked = rank(vec![
+            incident(AttackClass::Cryptomining, 0.4, false),
+            incident(AttackClass::DataExfiltration, 0.9, true),
+            incident(AttackClass::ZeroDay, 0.5, false),
+        ]);
+        let scores: Vec<f64> = ranked.iter().map(|(s, _)| *s).collect();
+        assert!(scores.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(ranked[0].1.class, AttackClass::DataExfiltration);
+    }
+}

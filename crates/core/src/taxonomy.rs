@@ -1,0 +1,283 @@
+//! The Fig. 1 taxonomy: "a taxonomy of Jupyter attacks in the wild that
+//! we have collected and internal Jupyter security issues regarding
+//! science assets".
+//!
+//! Every leaf is bound to the workspace artifacts that make it
+//! executable and detectable, so E1 can verify the taxonomy is *live*:
+//! no node without a campaign generator, no node without a detector.
+
+use ja_attackgen::AttackClass;
+
+/// Which observation plane can detect a node's activity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Plane {
+    /// Passive network monitor.
+    Network,
+    /// Embedded kernel audit.
+    KernelAudit,
+    /// Configuration scanner.
+    ConfigScan,
+    /// Hub auth log.
+    AuthLog,
+}
+
+/// One taxonomy node.
+#[derive(Clone, Debug)]
+pub struct TaxonomyNode {
+    /// Display name.
+    pub name: &'static str,
+    /// Bound attack class (leaves of the "attacks in the wild" branch).
+    pub class: Option<AttackClass>,
+    /// Real-world anchors (CVEs, incidents) cited by the paper.
+    pub anchors: Vec<&'static str>,
+    /// Module path of the campaign generator exercising this node.
+    pub campaign: Option<&'static str>,
+    /// Planes with a detector for this node.
+    pub detected_by: Vec<Plane>,
+    /// Children.
+    pub children: Vec<TaxonomyNode>,
+}
+
+impl TaxonomyNode {
+    fn leaf(
+        name: &'static str,
+        class: AttackClass,
+        anchors: Vec<&'static str>,
+        campaign: &'static str,
+        detected_by: Vec<Plane>,
+    ) -> Self {
+        TaxonomyNode {
+            name,
+            class: Some(class),
+            anchors,
+            campaign: Some(campaign),
+            detected_by,
+            children: Vec::new(),
+        }
+    }
+
+    fn inner(name: &'static str, children: Vec<TaxonomyNode>) -> Self {
+        TaxonomyNode {
+            name,
+            class: None,
+            anchors: Vec::new(),
+            campaign: None,
+            detected_by: Vec::new(),
+            children,
+        }
+    }
+}
+
+/// The full taxonomy.
+#[derive(Clone, Debug)]
+pub struct Taxonomy {
+    /// Root node.
+    pub root: TaxonomyNode,
+}
+
+impl Default for Taxonomy {
+    fn default() -> Self {
+        Self::paper_fig1()
+    }
+}
+
+impl Taxonomy {
+    /// Build the Fig. 1 taxonomy.
+    pub fn paper_fig1() -> Self {
+        use Plane::*;
+        let wild = TaxonomyNode::inner(
+            "Attacks in the wild",
+            vec![
+                TaxonomyNode::leaf(
+                    "Ransomware",
+                    AttackClass::Ransomware,
+                    vec!["HPC ransomware incidents [9]-[11]"],
+                    "ja_attackgen::ransomware",
+                    vec![KernelAudit, Network],
+                ),
+                TaxonomyNode::leaf(
+                    "Data exfiltration",
+                    AttackClass::DataExfiltration,
+                    vec!["stealthML data-driven exfiltration [12]"],
+                    "ja_attackgen::exfiltration",
+                    vec![Network, KernelAudit],
+                ),
+                TaxonomyNode::leaf(
+                    "Crypto-mining (resource abuse)",
+                    AttackClass::Cryptomining,
+                    vec!["exposed-8888 mass mining campaigns"],
+                    "ja_attackgen::cryptomining",
+                    vec![KernelAudit, Network],
+                ),
+                TaxonomyNode::leaf(
+                    "Account takeover",
+                    AttackClass::AccountTakeover,
+                    vec!["personalized password guessing [9]", "SSO failures [5]"],
+                    "ja_attackgen::takeover",
+                    vec![AuthLog, KernelAudit],
+                ),
+                TaxonomyNode::leaf(
+                    "Security misconfiguration",
+                    AttackClass::Misconfiguration,
+                    vec!["CVE-2024-22415", "CVE-2020-16977", "CVE-2021-32798"],
+                    "ja_attackgen::misconfig",
+                    vec![ConfigScan, Network],
+                ),
+                TaxonomyNode::leaf(
+                    "\"Unknown unknown\" zero-day exploits",
+                    AttackClass::ZeroDay,
+                    vec!["AI-driven attacks [12], [19]"],
+                    "ja_attackgen::zeroday",
+                    vec![Network, KernelAudit],
+                ),
+            ],
+        );
+        let internal = TaxonomyNode::inner(
+            "Internal Jupyter security issues (science assets)",
+            vec![
+                TaxonomyNode::inner(
+                    "Vast attack interface",
+                    vec![
+                        TaxonomyNode::inner("Terminal access", vec![]),
+                        TaxonomyNode::inner("File browser (direct data access)", vec![]),
+                        TaxonomyNode::inner("Untrusted cells (arbitrary code execution)", vec![]),
+                        TaxonomyNode::inner("Multi-language kernels (Python/R/Julia)", vec![]),
+                    ],
+                ),
+                TaxonomyNode::inner(
+                    "Observability gaps",
+                    vec![
+                        TaxonomyNode::inner("Encrypted WebSocket datagrams defeat Zeek", vec![]),
+                        TaxonomyNode::inner("Application logs track usability, not security", vec![]),
+                    ],
+                ),
+                TaxonomyNode::inner(
+                    "Cryptographic design",
+                    vec![
+                        TaxonomyNode::inner("HMAC-SHA256 message signing (key in connection file)", vec![]),
+                        TaxonomyNode::inner("Harvest-now-decrypt-later quantum exposure", vec![]),
+                        TaxonomyNode::inner("Signature spoofing under a CRQC", vec![]),
+                    ],
+                ),
+                TaxonomyNode::inner(
+                    "Trust & supply chain",
+                    vec![
+                        TaxonomyNode::inner("Third-party OIDC/SSO integrations", vec![]),
+                        TaxonomyNode::inner("Volunteer-driven security response", vec![]),
+                    ],
+                ),
+            ],
+        );
+        Taxonomy {
+            root: TaxonomyNode::inner("Jupyter Notebook attack taxonomy", vec![wild, internal]),
+        }
+    }
+
+    /// All attack-class leaves.
+    pub fn leaves(&self) -> Vec<&TaxonomyNode> {
+        fn walk<'a>(n: &'a TaxonomyNode, out: &mut Vec<&'a TaxonomyNode>) {
+            if n.class.is_some() {
+                out.push(n);
+            }
+            for c in &n.children {
+                walk(c, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(&self.root, &mut out);
+        out
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        fn walk(n: &TaxonomyNode) -> usize {
+            1 + n.children.iter().map(walk).sum::<usize>()
+        }
+        walk(&self.root)
+    }
+
+    /// Render as an indented text tree (the E1 artifact).
+    pub fn render(&self) -> String {
+        fn walk(n: &TaxonomyNode, depth: usize, out: &mut String) {
+            let indent = "  ".repeat(depth);
+            out.push_str(&indent);
+            out.push_str(n.name);
+            if let Some(c) = n.class {
+                out.push_str(&format!(" [class: {}]", c.label()));
+            }
+            if !n.anchors.is_empty() {
+                out.push_str(&format!(" ({})", n.anchors.join("; ")));
+            }
+            out.push('\n');
+            if let Some(camp) = n.campaign {
+                out.push_str(&format!("{indent}    campaign: {camp}\n"));
+            }
+            if !n.detected_by.is_empty() {
+                out.push_str(&format!("{indent}    detectors: {:?}\n", n.detected_by));
+            }
+            for c in &n.children {
+                walk(c, depth + 1, out);
+            }
+        }
+        let mut out = String::new();
+        walk(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Coverage check used by E1: every attack class appears exactly
+    /// once as a leaf, with a campaign and at least one detector plane.
+    pub fn verify_coverage(&self) -> Result<(), String> {
+        let leaves = self.leaves();
+        for class in AttackClass::ALL {
+            let hits: Vec<_> = leaves.iter().filter(|l| l.class == Some(class)).collect();
+            if hits.len() != 1 {
+                return Err(format!(
+                    "class {} appears {} times in the taxonomy",
+                    class.label(),
+                    hits.len()
+                ));
+            }
+            let leaf = hits[0];
+            if leaf.campaign.is_none() {
+                return Err(format!("class {} has no campaign generator", class.label()));
+            }
+            if leaf.detected_by.is_empty() {
+                return Err(format!("class {} has no detector plane", class.label()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_is_total() {
+        Taxonomy::paper_fig1().verify_coverage().unwrap();
+    }
+
+    #[test]
+    fn six_wild_leaves() {
+        let t = Taxonomy::paper_fig1();
+        assert_eq!(t.leaves().len(), 6);
+    }
+
+    #[test]
+    fn render_mentions_every_class_and_cve() {
+        let text = Taxonomy::paper_fig1().render();
+        for class in AttackClass::ALL {
+            assert!(text.contains(class.label()), "missing {}", class.label());
+        }
+        assert!(text.contains("CVE-2024-22415"));
+        assert!(text.contains("Zeek"));
+        assert!(text.contains("Harvest-now-decrypt-later"));
+    }
+
+    #[test]
+    fn node_count_includes_internal_branch() {
+        let t = Taxonomy::paper_fig1();
+        assert!(t.node_count() > 20, "count {}", t.node_count());
+    }
+}

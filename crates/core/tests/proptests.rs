@@ -1,0 +1,98 @@
+//! Property tests: OSCRP totality, scoring bounds, incident-grouping
+//! invariants, risk finiteness.
+
+use ja_attackgen::campaign::GroundTruth;
+use ja_attackgen::AttackClass;
+use ja_core::classify::incidents;
+use ja_core::metrics::{score, ScoringConfig};
+use ja_core::oscrp;
+use ja_core::risk::incident_risk;
+use ja_monitor::alerts::{Alert, AlertSource};
+use ja_netsim::time::{Duration, SimTime};
+use proptest::prelude::*;
+
+fn arb_class() -> impl Strategy<Value = AttackClass> {
+    prop_oneof![
+        Just(AttackClass::Ransomware),
+        Just(AttackClass::DataExfiltration),
+        Just(AttackClass::Cryptomining),
+        Just(AttackClass::AccountTakeover),
+        Just(AttackClass::Misconfiguration),
+        Just(AttackClass::ZeroDay),
+    ]
+}
+
+fn arb_alert() -> impl Strategy<Value = Alert> {
+    (arb_class(), 0u64..10_000, 0.0f64..1.0, proptest::option::of(0u32..8)).prop_map(
+        |(class, t, conf, server)| {
+            let mut a = Alert::new(SimTime::from_secs(t), class, conf, AlertSource::Network);
+            a.server_id = server;
+            a
+        },
+    )
+}
+
+proptest! {
+    /// OSCRP closure is total and deduplicated for every avenue.
+    #[test]
+    fn oscrp_closure_total(class in arb_class()) {
+        let concerns = oscrp::concerns_of(class);
+        prop_assert!(!concerns.is_empty());
+        let consequences = oscrp::consequences_of_avenue(class);
+        prop_assert!(!consequences.is_empty());
+        let set: std::collections::HashSet<_> = consequences.iter().collect();
+        prop_assert_eq!(set.len(), consequences.len());
+    }
+
+    /// Scoring invariants: precision/recall/F1 in [0, 1]; tp + fp equals
+    /// the number of scoreable alerts per class.
+    #[test]
+    fn scoring_bounds(alerts in proptest::collection::vec(arb_alert(), 0..64),
+                      gts in proptest::collection::vec(
+                          (arb_class(), 0u64..5_000, 0u64..5_000, 0usize..8), 0..8)) {
+        let ground_truth: Vec<GroundTruth> = gts
+            .into_iter()
+            .map(|(class, start, len, server)| GroundTruth {
+                class: Some(class),
+                name: "g".into(),
+                servers: vec![server],
+                start: SimTime::from_secs(start),
+                end: SimTime::from_secs(start + len),
+            })
+            .collect();
+        let mut sorted = alerts.clone();
+        sorted.sort_by_key(|a| a.time);
+        let cfg = ScoringConfig::default();
+        let board = score(&sorted, &ground_truth, &cfg);
+        for (class, s) in &board.classes {
+            prop_assert!((0.0..=1.0).contains(&s.precision()));
+            prop_assert!((0.0..=1.0).contains(&s.recall()));
+            prop_assert!((0.0..=1.0).contains(&s.f1()));
+            prop_assert!(s.detected <= s.campaigns);
+            let scoreable = sorted
+                .iter()
+                .filter(|a| a.class == *class && a.confidence >= cfg.min_confidence)
+                .count();
+            prop_assert_eq!(s.tp_alerts + s.fp_alerts, scoreable);
+        }
+        prop_assert!((0.0..=1.0).contains(&board.macro_recall()));
+    }
+
+    /// Incident grouping conserves alerts and produces finite,
+    /// non-negative risks.
+    #[test]
+    fn incidents_conserve_alerts(alerts in proptest::collection::vec(arb_alert(), 0..64),
+                                 window in 1u64..10_000) {
+        let mut sorted = alerts;
+        sorted.sort_by_key(|a| a.time);
+        let incs = incidents(&sorted, Duration::from_secs(window));
+        let total: usize = incs.iter().map(|i| i.alerts).sum();
+        prop_assert_eq!(total, sorted.len());
+        for i in &incs {
+            prop_assert!(i.start <= i.end);
+            let r = incident_risk(i);
+            prop_assert!(r.is_finite() && r >= 0.0);
+            prop_assert!(!i.sources.is_empty());
+        }
+    }
+}

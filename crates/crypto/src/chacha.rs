@@ -1,0 +1,214 @@
+//! RFC 8439 ChaCha20 stream cipher.
+//!
+//! Used by the simulators in two roles the paper cares about:
+//!
+//! 1. **Opaque transports** — when a simulated Jupyter deployment enables
+//!    TLS, payload bytes handed to the network are ChaCha20-encrypted so
+//!    the Zeek-style monitor genuinely cannot parse them (experiment E7).
+//! 2. **Ransomware payloads** — the ransomware campaign encrypts victim
+//!    files through this cipher, so file contents really do jump to
+//!    ~8 bits/byte entropy, which is what the ransomware detector keys on.
+
+/// ChaCha20 stream cipher instance (keyed, nonce'd, seekable by block).
+#[derive(Clone)]
+pub struct ChaCha20 {
+    key: [u32; 8],
+    nonce: [u32; 3],
+    counter: u32,
+    /// Remaining bytes of the current keystream block.
+    block: [u8; 64],
+    block_pos: usize,
+}
+
+impl std::fmt::Debug for ChaCha20 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha20")
+            .field("counter", &self.counter)
+            .finish_non_exhaustive()
+    }
+}
+
+const SIGMA: [u32; 4] = [0x61707865, 0x3320646e, 0x79622d32, 0x6b206574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha20 {
+    /// Create a cipher from a 32-byte key and 12-byte nonce, with the block
+    /// counter starting at `counter` (RFC 8439 uses 1 for AEAD payloads; raw
+    /// keystream tests use 0).
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut k = [0u32; 8];
+        for (i, c) in key.chunks_exact(4).enumerate() {
+            k[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        let mut n = [0u32; 3];
+        for (i, c) in nonce.chunks_exact(4).enumerate() {
+            n[i] = u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+        }
+        ChaCha20 {
+            key: k,
+            nonce: n,
+            counter,
+            block: [0u8; 64],
+            block_pos: 64,
+        }
+    }
+
+    /// Convenience constructor deriving key and nonce from arbitrary seed
+    /// bytes (hashes the seed; simulation use only).
+    pub fn from_seed(seed: &[u8]) -> Self {
+        let key = crate::sha256::sha256(seed);
+        let nd = crate::sha256::sha256(&key);
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&nd[..12]);
+        Self::new(&key, &nonce, 0)
+    }
+
+    /// Generate the keystream block for the current counter.
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&SIGMA);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter;
+        state[13..16].copy_from_slice(&self.nonce);
+        let mut w = state;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            let word = w[i].wrapping_add(state[i]);
+            self.block[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.block_pos = 0;
+    }
+
+    /// XOR `data` in place with the keystream (encryption == decryption).
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for byte in data.iter_mut() {
+            if self.block_pos == 64 {
+                self.refill();
+            }
+            *byte ^= self.block[self.block_pos];
+            self.block_pos += 1;
+        }
+    }
+
+    /// Encrypt a copy of `data`.
+    pub fn encrypt(&mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply(&mut out);
+        out
+    }
+
+    /// Produce `n` raw keystream bytes.
+    pub fn keystream(&mut self, n: usize) -> Vec<u8> {
+        let mut out = vec![0u8; n];
+        self.apply(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hex;
+
+    /// RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let mut k = [0u8; 32];
+        k.copy_from_slice(&key);
+        let nonce_bytes = hex::decode("000000090000004a00000000").unwrap();
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&nonce_bytes);
+        let mut c = ChaCha20::new(&k, &nonce, 1);
+        let ks = c.keystream(64);
+        assert_eq!(
+            hex::encode(&ks),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    /// RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encrypt_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let mut k = [0u8; 32];
+        k.copy_from_slice(&key);
+        let nonce_bytes = hex::decode("000000000000004a00000000").unwrap();
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&nonce_bytes);
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut c = ChaCha20::new(&k, &nonce, 1);
+        let ct = c.encrypt(plaintext);
+        assert_eq!(
+            hex::encode(&ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut enc = ChaCha20::from_seed(b"ransomware-campaign-42");
+        let mut dec = ChaCha20::from_seed(b"ransomware-campaign-42");
+        let msg = b"important research data: model weights v3".to_vec();
+        let ct = enc.encrypt(&msg);
+        assert_ne!(ct, msg);
+        let pt = dec.encrypt(&ct);
+        assert_eq!(pt, msg);
+    }
+
+    #[test]
+    fn keystream_is_high_entropy() {
+        let mut c = ChaCha20::from_seed(b"entropy-check");
+        let ks = c.keystream(65536);
+        let stats = crate::entropy::ByteStats::from_bytes(&ks);
+        assert!(stats.shannon_bits() > 7.9, "got {}", stats.shannon_bits());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaCha20::from_seed(b"a").keystream(32);
+        let b = ChaCha20::from_seed(b"b").keystream(32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn apply_across_block_boundaries() {
+        // Encrypt in odd-sized chunks and compare with one-shot.
+        let mut one = ChaCha20::from_seed(b"chunks");
+        let data = vec![0x5au8; 300];
+        let whole = one.encrypt(&data);
+        let mut chunked = ChaCha20::from_seed(b"chunks");
+        let mut out = Vec::new();
+        for chunk in data.chunks(37) {
+            out.extend_from_slice(&chunked.encrypt(chunk));
+        }
+        assert_eq!(out, whole);
+    }
+}

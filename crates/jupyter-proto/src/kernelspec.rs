@@ -1,0 +1,144 @@
+//! Kernel descriptors: "Notebooks can be processed by any programming
+//! language through kernels (Python, R, or Julia)" (§I).
+
+use serde::{Deserialize, Serialize};
+
+/// Languages with first-class kernels in the simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum Language {
+    /// CPython (ipykernel) — the paper's kernel-auditing tool "starts
+    /// with the Python kernel".
+    Python,
+    /// R (IRkernel).
+    R,
+    /// Julia (IJulia).
+    Julia,
+}
+
+impl Language {
+    /// All supported languages.
+    pub const ALL: [Language; 3] = [Language::Python, Language::R, Language::Julia];
+
+    /// Canonical file extension.
+    pub fn extension(self) -> &'static str {
+        match self {
+            Language::Python => "py",
+            Language::R => "r",
+            Language::Julia => "jl",
+        }
+    }
+}
+
+/// A kernelspec entry (subset of `kernel.json`).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSpec {
+    /// Registry name, e.g. `python3`.
+    pub name: String,
+    /// Implementation language.
+    pub language: Language,
+    /// Human-readable name shown in the launcher.
+    pub display_name: String,
+}
+
+impl KernelSpec {
+    /// The default Python 3 spec.
+    pub fn python3() -> Self {
+        KernelSpec {
+            name: "python3".into(),
+            language: Language::Python,
+            display_name: "Python 3 (ipykernel)".into(),
+        }
+    }
+
+    /// The default R spec.
+    pub fn ir() -> Self {
+        KernelSpec {
+            name: "ir".into(),
+            language: Language::R,
+            display_name: "R".into(),
+        }
+    }
+
+    /// The default Julia spec.
+    pub fn julia() -> Self {
+        KernelSpec {
+            name: "julia-1.10".into(),
+            language: Language::Julia,
+            display_name: "Julia 1.10".into(),
+        }
+    }
+}
+
+/// The kernelspec registry of a simulated deployment.
+#[derive(Clone, Debug, Default)]
+pub struct KernelSpecRegistry {
+    specs: Vec<KernelSpec>,
+}
+
+impl KernelSpecRegistry {
+    /// Registry with the three standard kernels.
+    pub fn standard() -> Self {
+        KernelSpecRegistry {
+            specs: vec![KernelSpec::python3(), KernelSpec::ir(), KernelSpec::julia()],
+        }
+    }
+
+    /// Register an additional spec.
+    pub fn register(&mut self, spec: KernelSpec) {
+        self.specs.push(spec);
+    }
+
+    /// Look up by registry name.
+    pub fn get(&self, name: &str) -> Option<&KernelSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+
+    /// All registered specs.
+    pub fn all(&self) -> &[KernelSpec] {
+        &self.specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_registry_has_three_kernels() {
+        let r = KernelSpecRegistry::standard();
+        assert_eq!(r.all().len(), 3);
+        assert!(r.get("python3").is_some());
+        assert!(r.get("ir").is_some());
+        assert!(r.get("julia-1.10").is_some());
+        assert!(r.get("cobol").is_none());
+    }
+
+    #[test]
+    fn register_custom_kernel() {
+        let mut r = KernelSpecRegistry::standard();
+        r.register(KernelSpec {
+            name: "xeus-cling".into(),
+            language: Language::Python, // stand-in
+            display_name: "C++".into(),
+        });
+        assert_eq!(r.all().len(), 4);
+        assert!(r.get("xeus-cling").is_some());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let s = KernelSpec::python3();
+        let text = serde_json::to_string(&s).unwrap();
+        assert!(text.contains("\"python\""));
+        let back: KernelSpec = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(Language::Python.extension(), "py");
+        assert_eq!(Language::R.extension(), "r");
+        assert_eq!(Language::Julia.extension(), "jl");
+    }
+}

@@ -1,0 +1,319 @@
+//! The notebook document format (nbformat 4.x subset).
+//!
+//! "Jupyter notebooks represent code, results, and notes of different
+//! scientific applications using JSON documents … A JSON string
+//! represents each cell" (§I). The attack surface the paper calls
+//! "untrusted cells" lives here: notebooks fetched from public
+//! repositories can carry hostile source that executes on open.
+
+use serde::{Deserialize, Serialize};
+
+/// Output of a code cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "output_type", rename_all = "snake_case")]
+pub enum Output {
+    /// Text written to stdout/stderr.
+    Stream {
+        /// `stdout` or `stderr`.
+        name: String,
+        /// The text, stored joined (we do not model the list form).
+        text: String,
+    },
+    /// The value of the last expression.
+    ExecuteResult {
+        /// Execution counter at production time.
+        execution_count: u32,
+        /// MIME bundle, reduced to `text/plain`.
+        data: String,
+    },
+    /// A raised exception.
+    Error {
+        /// Exception class name.
+        ename: String,
+        /// Exception message.
+        evalue: String,
+    },
+}
+
+/// A notebook cell.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "cell_type", rename_all = "snake_case")]
+pub enum Cell {
+    /// Executable code.
+    Code {
+        /// Source text.
+        source: String,
+        /// Execution counter (None if never run).
+        execution_count: Option<u32>,
+        /// Outputs from the last run.
+        outputs: Vec<Output>,
+    },
+    /// Markdown prose.
+    Markdown {
+        /// Source text.
+        source: String,
+    },
+    /// Raw passthrough cell.
+    Raw {
+        /// Source text.
+        source: String,
+    },
+}
+
+impl Cell {
+    /// Code cell with no outputs.
+    pub fn code(source: &str) -> Self {
+        Cell::Code {
+            source: source.to_string(),
+            execution_count: None,
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Markdown cell.
+    pub fn markdown(source: &str) -> Self {
+        Cell::Markdown {
+            source: source.to_string(),
+        }
+    }
+
+    /// The cell's source text regardless of type.
+    pub fn source(&self) -> &str {
+        match self {
+            Cell::Code { source, .. } | Cell::Markdown { source } | Cell::Raw { source } => source,
+        }
+    }
+
+    /// Is this an executable cell?
+    pub fn is_code(&self) -> bool {
+        matches!(self, Cell::Code { .. })
+    }
+}
+
+/// Notebook-level metadata (subset).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NotebookMetadata {
+    /// Kernel the notebook was authored against.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub kernelspec: Option<crate::kernelspec::KernelSpec>,
+    /// Free-form author field.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub authors: Option<Vec<String>>,
+}
+
+/// A notebook document.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Notebook {
+    /// Major format version (4 for everything we emit).
+    pub nbformat: u32,
+    /// Minor format version.
+    pub nbformat_minor: u32,
+    /// Document metadata.
+    #[serde(default)]
+    pub metadata: NotebookMetadata,
+    /// The cells, in order.
+    pub cells: Vec<Cell>,
+}
+
+/// Validation problems found by [`Notebook::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NbError {
+    /// Unsupported major version.
+    BadVersion(u32),
+    /// A code cell's execution_count regressed (counts must be
+    /// non-decreasing in document order when present).
+    NonMonotonicCount {
+        /// Index of the offending cell.
+        cell: usize,
+    },
+}
+
+impl std::fmt::Display for NbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NbError::BadVersion(v) => write!(f, "unsupported nbformat major version {v}"),
+            NbError::NonMonotonicCount { cell } => {
+                write!(f, "execution_count regressed at cell {cell}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NbError {}
+
+impl Notebook {
+    /// An empty version-4 notebook.
+    pub fn new() -> Self {
+        Notebook {
+            nbformat: 4,
+            nbformat_minor: 5,
+            metadata: NotebookMetadata::default(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Append a cell, returning `self` for chaining.
+    pub fn with_cell(mut self, cell: Cell) -> Self {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Parse a notebook from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+
+    /// Serialize to pretty JSON (the on-disk `.ipynb` form).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("notebook serialization cannot fail")
+    }
+
+    /// Count of code cells.
+    pub fn code_cell_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.is_code()).count()
+    }
+
+    /// All code sources concatenated — what a kernel would execute on
+    /// "Run All", and what source-level scanners inspect.
+    pub fn all_code(&self) -> String {
+        let mut out = String::new();
+        for c in &self.cells {
+            if c.is_code() {
+                out.push_str(c.source());
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Structural validation.
+    pub fn validate(&self) -> Result<(), NbError> {
+        if self.nbformat != 4 {
+            return Err(NbError::BadVersion(self.nbformat));
+        }
+        let mut last = 0u32;
+        for (i, c) in self.cells.iter().enumerate() {
+            if let Cell::Code {
+                execution_count: Some(n),
+                ..
+            } = c
+            {
+                if *n < last {
+                    return Err(NbError::NonMonotonicCount { cell: i });
+                }
+                last = *n;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Notebook {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Notebook {
+        Notebook::new()
+            .with_cell(Cell::markdown("# Analysis of telescope data"))
+            .with_cell(Cell::code("import numpy as np\ndata = np.load('obs.npy')"))
+            .with_cell(Cell::Code {
+                source: "data.mean()".into(),
+                execution_count: Some(2),
+                outputs: vec![Output::ExecuteResult {
+                    execution_count: 2,
+                    data: "0.173".into(),
+                }],
+            })
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let nb = sample();
+        let text = nb.to_json();
+        let back = Notebook::from_json(&text).unwrap();
+        assert_eq!(back, nb);
+    }
+
+    #[test]
+    fn json_has_expected_shape() {
+        let text = sample().to_json();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v["nbformat"], 4);
+        assert_eq!(v["cells"][0]["cell_type"], "markdown");
+        assert_eq!(v["cells"][1]["cell_type"], "code");
+        assert_eq!(v["cells"][2]["outputs"][0]["output_type"], "execute_result");
+    }
+
+    #[test]
+    fn code_helpers() {
+        let nb = sample();
+        assert_eq!(nb.code_cell_count(), 2);
+        assert!(nb.all_code().contains("np.load"));
+        assert!(!nb.all_code().contains("telescope")); // markdown excluded
+    }
+
+    #[test]
+    fn validate_accepts_sample() {
+        sample().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_version() {
+        let mut nb = sample();
+        nb.nbformat = 3;
+        assert_eq!(nb.validate(), Err(NbError::BadVersion(3)));
+    }
+
+    #[test]
+    fn validate_rejects_count_regression() {
+        let nb = Notebook::new()
+            .with_cell(Cell::Code {
+                source: "a".into(),
+                execution_count: Some(5),
+                outputs: vec![],
+            })
+            .with_cell(Cell::Code {
+                source: "b".into(),
+                execution_count: Some(3),
+                outputs: vec![],
+            });
+        assert_eq!(nb.validate(), Err(NbError::NonMonotonicCount { cell: 1 }));
+    }
+
+    #[test]
+    fn parse_handwritten_ipynb() {
+        let text = r#"{
+            "nbformat": 4, "nbformat_minor": 5,
+            "metadata": {},
+            "cells": [
+                {"cell_type": "code", "source": "print(1)",
+                 "execution_count": 1,
+                 "outputs": [{"output_type": "stream", "name": "stdout", "text": "1\n"}]},
+                {"cell_type": "raw", "source": "passthrough"}
+            ]
+        }"#;
+        let nb = Notebook::from_json(text).unwrap();
+        assert_eq!(nb.cells.len(), 2);
+        assert!(matches!(&nb.cells[1], Cell::Raw { source } if source == "passthrough"));
+    }
+
+    #[test]
+    fn error_output_round_trip() {
+        let nb = Notebook::new().with_cell(Cell::Code {
+            source: "1/0".into(),
+            execution_count: Some(1),
+            outputs: vec![Output::Error {
+                ename: "ZeroDivisionError".into(),
+                evalue: "division by zero".into(),
+            }],
+        });
+        let back = Notebook::from_json(&nb.to_json()).unwrap();
+        assert_eq!(back, nb);
+    }
+}

@@ -1,0 +1,531 @@
+//! The two-process REPL model of Fig. 2.
+//!
+//! "The client takes the user's code specified in a cell, sends it to the
+//! corresponding kernel to execute, and returns the result to the client
+//! for display" (§II). [`ClientSession`] plays the client (signs and
+//! sequences requests); [`KernelSession`] plays the kernel (verifies,
+//! executes, and emits the canonical iopub/shell message sequence);
+//! [`validate_execute_sequence`] checks conformance — used by experiment
+//! E2 and by the monitor's protocol-conformance feature.
+
+use crate::channels::Channel;
+use crate::messages::{
+    ErrorContent, ExecuteInputContent, ExecuteReply, ExecuteRequest, ExecuteResultContent,
+    ExecutionState, Header, MsgType, ReplyStatus, StatusContent, StreamContent,
+};
+use crate::wire::{WireError, WireMessage};
+
+/// What executing a cell "does", as observable protocol output. The
+/// kernel simulator derives this from its effect model; tests construct
+/// it directly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellEffect {
+    /// Text written to stdout.
+    pub stdout: Option<String>,
+    /// Text written to stderr.
+    pub stderr: Option<String>,
+    /// Final expression value.
+    pub result: Option<String>,
+    /// Raised exception (ename, evalue); forces an error reply.
+    pub error: Option<(String, String)>,
+}
+
+impl CellEffect {
+    /// Effect producing only a result value.
+    pub fn result(v: &str) -> Self {
+        CellEffect {
+            result: Some(v.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Effect producing only stdout text.
+    pub fn stdout(s: &str) -> Self {
+        CellEffect {
+            stdout: Some(s.to_string()),
+            ..Default::default()
+        }
+    }
+
+    /// Effect raising an exception.
+    pub fn error(ename: &str, evalue: &str) -> Self {
+        CellEffect {
+            error: Some((ename.to_string(), evalue.to_string())),
+            ..Default::default()
+        }
+    }
+}
+
+/// Client half of the two-process model.
+#[derive(Clone, Debug)]
+pub struct ClientSession {
+    /// Session id shared by all messages from this client.
+    pub session_id: String,
+    /// Authenticated username.
+    pub username: String,
+    key: Vec<u8>,
+    seq: u64,
+}
+
+impl ClientSession {
+    /// New client session signing with `key` (empty key ⇒ unsigned).
+    pub fn new(session_id: &str, username: &str, key: &[u8]) -> Self {
+        ClientSession {
+            session_id: session_id.to_string(),
+            username: username.to_string(),
+            key: key.to_vec(),
+            seq: 0,
+        }
+    }
+
+    /// Produce a signed request message of the given type and content.
+    pub fn request(&mut self, msg_type: MsgType, content_json: String, sim_us: u64) -> WireMessage {
+        let header = Header::new(msg_type, &self.session_id, &self.username, self.seq, sim_us);
+        self.seq += 1;
+        WireMessage::build(
+            &self.key,
+            vec![self.session_id.as_bytes().to_vec()],
+            &header,
+            None,
+            content_json,
+        )
+    }
+
+    /// Convenience: an `execute_request` for `code`.
+    pub fn execute_request(&mut self, code: &str, sim_us: u64) -> WireMessage {
+        let content =
+            serde_json::to_string(&ExecuteRequest::new(code)).expect("content serializes");
+        self.request(MsgType::ExecuteRequest, content, sim_us)
+    }
+
+    /// Messages issued so far.
+    pub fn messages_sent(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Kernel half of the two-process model.
+#[derive(Clone, Debug)]
+pub struct KernelSession {
+    /// Kernel-side session id (distinct from client session).
+    pub kernel_session_id: String,
+    key: Vec<u8>,
+    execution_count: u32,
+    seq: u64,
+    state: ExecutionState,
+}
+
+impl KernelSession {
+    /// New kernel session verifying/signing with `key`.
+    pub fn new(kernel_session_id: &str, key: &[u8]) -> Self {
+        KernelSession {
+            kernel_session_id: kernel_session_id.to_string(),
+            key: key.to_vec(),
+            execution_count: 0,
+            seq: 0,
+            state: ExecutionState::Starting,
+        }
+    }
+
+    /// Current execution counter.
+    pub fn execution_count(&self) -> u32 {
+        self.execution_count
+    }
+
+    /// Current kernel state.
+    pub fn state(&self) -> ExecutionState {
+        self.state
+    }
+
+    fn emit(
+        &mut self,
+        msg_type: MsgType,
+        parent: &Header,
+        content_json: String,
+        sim_us: u64,
+    ) -> WireMessage {
+        let header = Header::new(
+            msg_type,
+            &self.kernel_session_id,
+            &parent.username,
+            self.seq,
+            sim_us,
+        );
+        self.seq += 1;
+        WireMessage::build(&self.key, vec![], &header, Some(parent), content_json)
+    }
+
+    fn status(&mut self, parent: &Header, state: ExecutionState, sim_us: u64) -> WireMessage {
+        self.state = state;
+        let content = serde_json::to_string(&StatusContent {
+            execution_state: state,
+        })
+        .expect("serializes");
+        self.emit(MsgType::Status, parent, content, sim_us)
+    }
+
+    /// Handle an `execute_request`, producing the canonical Fig. 2
+    /// sequence as `(channel, message)` pairs:
+    ///
+    /// 1. iopub `status: busy`
+    /// 2. iopub `execute_input`
+    /// 3. iopub `stream` / `execute_result` / `error` (per `effect`)
+    /// 4. iopub `status: idle`
+    /// 5. shell `execute_reply`
+    ///
+    /// Fails with [`WireError::BadSignature`] when the request does not
+    /// verify — the protocol-level defense the paper credits HMAC for.
+    pub fn handle_execute(
+        &mut self,
+        request: &WireMessage,
+        effect: &CellEffect,
+        sim_us: u64,
+    ) -> Result<Vec<(Channel, WireMessage)>, WireError> {
+        if !request.verify(&self.key) {
+            return Err(WireError::BadSignature);
+        }
+        let parent = request.parsed_header()?;
+        let req: ExecuteRequest =
+            serde_json::from_str(&request.content).map_err(|_| WireError::BadHeader)?;
+        let mut out = Vec::with_capacity(6);
+        out.push((
+            Channel::IoPub,
+            self.status(&parent, ExecutionState::Busy, sim_us),
+        ));
+        self.execution_count += 1;
+        let count = self.execution_count;
+        if !req.silent {
+            let input = serde_json::to_string(&ExecuteInputContent {
+                code: req.code.clone(),
+                execution_count: count,
+            })
+            .expect("serializes");
+            out.push((
+                Channel::IoPub,
+                self.emit(MsgType::ExecuteInput, &parent, input, sim_us),
+            ));
+        }
+        if let Some(text) = &effect.stdout {
+            let c = serde_json::to_string(&StreamContent {
+                name: "stdout".into(),
+                text: text.clone(),
+            })
+            .expect("serializes");
+            out.push((
+                Channel::IoPub,
+                self.emit(MsgType::Stream, &parent, c, sim_us),
+            ));
+        }
+        if let Some(text) = &effect.stderr {
+            let c = serde_json::to_string(&StreamContent {
+                name: "stderr".into(),
+                text: text.clone(),
+            })
+            .expect("serializes");
+            out.push((
+                Channel::IoPub,
+                self.emit(MsgType::Stream, &parent, c, sim_us),
+            ));
+        }
+        let reply_status = if let Some((ename, evalue)) = &effect.error {
+            let c = serde_json::to_string(&ErrorContent {
+                ename: ename.clone(),
+                evalue: evalue.clone(),
+            })
+            .expect("serializes");
+            out.push((
+                Channel::IoPub,
+                self.emit(MsgType::Error, &parent, c, sim_us),
+            ));
+            ReplyStatus::Error
+        } else {
+            if let Some(v) = &effect.result {
+                let c = serde_json::to_string(&ExecuteResultContent {
+                    execution_count: count,
+                    data: v.clone(),
+                })
+                .expect("serializes");
+                out.push((
+                    Channel::IoPub,
+                    self.emit(MsgType::ExecuteResult, &parent, c, sim_us),
+                ));
+            }
+            ReplyStatus::Ok
+        };
+        out.push((
+            Channel::IoPub,
+            self.status(&parent, ExecutionState::Idle, sim_us),
+        ));
+        let reply = serde_json::to_string(&ExecuteReply {
+            status: reply_status,
+            execution_count: count,
+        })
+        .expect("serializes");
+        out.push((
+            Channel::Shell,
+            self.emit(MsgType::ExecuteReply, &parent, reply, sim_us),
+        ));
+        Ok(out)
+    }
+
+    /// Handle a control-channel request (interrupt/shutdown), producing
+    /// the busy/ack/idle triple.
+    pub fn handle_control(
+        &mut self,
+        request: &WireMessage,
+        sim_us: u64,
+    ) -> Result<Vec<(Channel, WireMessage)>, WireError> {
+        if !request.verify(&self.key) {
+            return Err(WireError::BadSignature);
+        }
+        let parent = request.parsed_header()?;
+        let reply_type = match parent.msg_type {
+            MsgType::InterruptRequest => MsgType::InterruptReply,
+            MsgType::ShutdownRequest => MsgType::ShutdownReply,
+            _ => return Err(WireError::BadHeader),
+        };
+        let busy = (
+            Channel::IoPub,
+            self.status(&parent, ExecutionState::Busy, sim_us),
+        );
+        let reply = (
+            Channel::Control,
+            self.emit(reply_type, &parent, "{}".into(), sim_us),
+        );
+        let idle = (
+            Channel::IoPub,
+            self.status(&parent, ExecutionState::Idle, sim_us),
+        );
+        Ok(vec![busy, reply, idle])
+    }
+
+    /// Heartbeat echo: the hb channel returns its input unchanged.
+    pub fn heartbeat(&self, ping: &[u8]) -> Vec<u8> {
+        ping.to_vec()
+    }
+}
+
+/// Conformance check for an execute exchange (Fig. 2): given the
+/// `(channel, msg_type)` trace of one request's responses, verify the
+/// canonical shape. Returns a human-readable violation, or `None` when
+/// conformant.
+pub fn validate_execute_sequence(trace: &[(Channel, MsgType)]) -> Option<String> {
+    if trace.is_empty() {
+        return Some("empty trace".into());
+    }
+    if trace[0] != (Channel::IoPub, MsgType::Status) {
+        return Some(format!("first message is {:?}, not iopub status", trace[0]));
+    }
+    let last = *trace.last().expect("non-empty");
+    if last != (Channel::Shell, MsgType::ExecuteReply) {
+        return Some(format!("last message is {last:?}, not shell execute_reply"));
+    }
+    // Second-to-last must be the idle status.
+    if trace.len() < 3 {
+        return Some("trace too short for busy/idle bracket".into());
+    }
+    if trace[trace.len() - 2] != (Channel::IoPub, MsgType::Status) {
+        return Some("missing idle status before execute_reply".into());
+    }
+    // Everything between must be iopub output traffic.
+    for (i, &(ch, mt)) in trace[1..trace.len() - 2].iter().enumerate() {
+        if ch != Channel::IoPub {
+            return Some(format!("interior message {i} on {ch:?}, not iopub"));
+        }
+        if !matches!(
+            mt,
+            MsgType::ExecuteInput | MsgType::Stream | MsgType::ExecuteResult | MsgType::Error
+        ) {
+            return Some(format!("interior message {i} has type {mt:?}"));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: &[u8] = b"fig2-key";
+
+    fn run_one(effect: CellEffect) -> Vec<(Channel, WireMessage)> {
+        let mut client = ClientSession::new("cs-1", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-1", KEY);
+        let req = client.execute_request("x = 1", 1000);
+        kernel.handle_execute(&req, &effect, 1001).unwrap()
+    }
+
+    fn trace_of(msgs: &[(Channel, WireMessage)]) -> Vec<(Channel, MsgType)> {
+        msgs.iter()
+            .map(|(c, m)| (*c, m.msg_type().unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn canonical_sequence_for_result() {
+        let msgs = run_one(CellEffect::result("1"));
+        let trace = trace_of(&msgs);
+        assert_eq!(
+            trace,
+            vec![
+                (Channel::IoPub, MsgType::Status),
+                (Channel::IoPub, MsgType::ExecuteInput),
+                (Channel::IoPub, MsgType::ExecuteResult),
+                (Channel::IoPub, MsgType::Status),
+                (Channel::Shell, MsgType::ExecuteReply),
+            ]
+        );
+        assert_eq!(validate_execute_sequence(&trace), None);
+    }
+
+    #[test]
+    fn canonical_sequence_for_stdout_and_error() {
+        let msgs = run_one(CellEffect {
+            stdout: Some("partial\n".into()),
+            error: Some(("ValueError".into(), "bad".into())),
+            ..Default::default()
+        });
+        let trace = trace_of(&msgs);
+        assert_eq!(
+            trace,
+            vec![
+                (Channel::IoPub, MsgType::Status),
+                (Channel::IoPub, MsgType::ExecuteInput),
+                (Channel::IoPub, MsgType::Stream),
+                (Channel::IoPub, MsgType::Error),
+                (Channel::IoPub, MsgType::Status),
+                (Channel::Shell, MsgType::ExecuteReply),
+            ]
+        );
+        assert_eq!(validate_execute_sequence(&trace), None);
+        // Reply must carry error status.
+        let reply: ExecuteReply = serde_json::from_str(&msgs.last().unwrap().1.content).unwrap();
+        assert_eq!(reply.status, ReplyStatus::Error);
+    }
+
+    #[test]
+    fn all_responses_signed_and_parented() {
+        let mut client = ClientSession::new("cs-2", "bob", KEY);
+        let mut kernel = KernelSession::new("ks-2", KEY);
+        let req = client.execute_request("print('hi')", 5);
+        let msgs = kernel
+            .handle_execute(&req, &CellEffect::stdout("hi\n"), 6)
+            .unwrap();
+        let parent = req.parsed_header().unwrap();
+        for (_, m) in &msgs {
+            assert!(m.verify(KEY));
+            let p: Header = serde_json::from_str(&m.parent_header).unwrap();
+            assert_eq!(p.msg_id, parent.msg_id);
+        }
+    }
+
+    #[test]
+    fn execution_count_increments() {
+        let mut client = ClientSession::new("cs-3", "eve", KEY);
+        let mut kernel = KernelSession::new("ks-3", KEY);
+        for want in 1..=3u32 {
+            let req = client.execute_request("1+1", want as u64);
+            let msgs = kernel
+                .handle_execute(&req, &CellEffect::result("2"), 0)
+                .unwrap();
+            let reply: ExecuteReply =
+                serde_json::from_str(&msgs.last().unwrap().1.content).unwrap();
+            assert_eq!(reply.execution_count, want);
+        }
+        assert_eq!(kernel.execution_count(), 3);
+    }
+
+    #[test]
+    fn forged_request_rejected() {
+        let mut client = ClientSession::new("cs-4", "mallory", b"attacker-key");
+        let mut kernel = KernelSession::new("ks-4", KEY);
+        let req = client.execute_request("__import__('os').system('id')", 0);
+        assert_eq!(
+            kernel.handle_execute(&req, &CellEffect::default(), 0),
+            Err(WireError::BadSignature)
+        );
+        assert_eq!(kernel.execution_count(), 0);
+    }
+
+    #[test]
+    fn unsigned_kernel_accepts_unsigned_requests() {
+        // Misconfigured deployment: empty key on both sides.
+        let mut client = ClientSession::new("cs-5", "anon", &[]);
+        let mut kernel = KernelSession::new("ks-5", &[]);
+        let req = client.execute_request("whoami", 0);
+        let msgs = kernel
+            .handle_execute(&req, &CellEffect::stdout("root\n"), 0)
+            .unwrap();
+        assert!(!msgs.is_empty());
+    }
+
+    #[test]
+    fn silent_execution_omits_execute_input() {
+        let mut client = ClientSession::new("cs-6", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-6", KEY);
+        let content = serde_json::to_string(&ExecuteRequest {
+            code: "stealth()".into(),
+            store_history: false,
+            silent: true,
+        })
+        .unwrap();
+        let req = client.request(MsgType::ExecuteRequest, content, 0);
+        let msgs = kernel
+            .handle_execute(&req, &CellEffect::default(), 0)
+            .unwrap();
+        let trace = trace_of(&msgs);
+        assert!(!trace.contains(&(Channel::IoPub, MsgType::ExecuteInput)));
+        // Silent mode is the attacker's friend: still conformant shape-wise.
+        assert_eq!(validate_execute_sequence(&trace), None);
+    }
+
+    #[test]
+    fn control_shutdown_sequence() {
+        let mut client = ClientSession::new("cs-7", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-7", KEY);
+        let req = client.request(MsgType::ShutdownRequest, "{\"restart\":false}".into(), 0);
+        let msgs = kernel.handle_control(&req, 0).unwrap();
+        let trace = trace_of(&msgs);
+        assert_eq!(
+            trace,
+            vec![
+                (Channel::IoPub, MsgType::Status),
+                (Channel::Control, MsgType::ShutdownReply),
+                (Channel::IoPub, MsgType::Status),
+            ]
+        );
+    }
+
+    #[test]
+    fn heartbeat_echo() {
+        let kernel = KernelSession::new("ks-8", KEY);
+        assert_eq!(kernel.heartbeat(b"ping-7"), b"ping-7".to_vec());
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        use Channel::*;
+        use MsgType::*;
+        assert!(validate_execute_sequence(&[]).is_some());
+        // Missing leading busy status.
+        assert!(
+            validate_execute_sequence(&[(IoPub, Stream), (IoPub, Status), (Shell, ExecuteReply)])
+                .is_some()
+        );
+        // Reply on wrong channel.
+        assert!(validate_execute_sequence(&[
+            (IoPub, Status),
+            (IoPub, Status),
+            (IoPub, ExecuteReply)
+        ])
+        .is_some());
+        // Interior message on shell.
+        assert!(validate_execute_sequence(&[
+            (IoPub, Status),
+            (Shell, Stream),
+            (IoPub, Status),
+            (Shell, ExecuteReply)
+        ])
+        .is_some());
+    }
+}

@@ -1,0 +1,201 @@
+//! The cell effect model: what executing a cell *does*.
+//!
+//! The real Python kernel's semantics are out of scope (and irrelevant to
+//! the taxonomy — the auditor watches *effects*). A [`CellScript`] pairs
+//! the source text that appears in the `execute_request` with the
+//! sequence of side effects the "interpreter" performs. Benign workloads
+//! and attack campaigns are both just action sequences, which is exactly
+//! what puts them on equal footing for the detectors.
+
+use crate::vfs::ContentKind;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::Duration;
+
+/// One side effect of executing a cell.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Read a file (path must exist in the VFS or the action is a no-op
+    /// error recorded as stderr).
+    ReadFile {
+        /// Path.
+        path: String,
+    },
+    /// Create/overwrite a file with content of `kind`.
+    WriteFile {
+        /// Path.
+        path: String,
+        /// Content archetype.
+        kind: ContentKind,
+        /// Nominal size.
+        size: u64,
+    },
+    /// Encrypt a file in place (ransomware primitive).
+    EncryptFile {
+        /// Path.
+        path: String,
+        /// Key seed (per campaign).
+        key_seed: Vec<u8>,
+    },
+    /// Rename a file.
+    RenameFile {
+        /// From.
+        from: String,
+        /// To.
+        to: String,
+    },
+    /// Delete a file.
+    DeleteFile {
+        /// Path.
+        path: String,
+    },
+    /// Spawn a subprocess.
+    Exec {
+        /// Executable name.
+        name: String,
+        /// Command line.
+        cmdline: String,
+    },
+    /// Burn CPU on the most recently spawned process (or the kernel
+    /// process when none) for `wall` at `utilization`.
+    BurnCpu {
+        /// Wall-clock duration.
+        wall: Duration,
+        /// Utilization in 0..=1 per core.
+        utilization: f64,
+    },
+    /// Open an outbound connection.
+    Connect {
+        /// Destination.
+        dst: HostAddr,
+        /// Port.
+        dst_port: u16,
+    },
+    /// Send bytes on the most recent outbound connection. `entropy_high`
+    /// selects ciphertext-like payload (tunnelled/encrypted exfil) vs
+    /// text-like.
+    SendBytes {
+        /// Volume.
+        bytes: u64,
+        /// Ciphertext-like payload?
+        entropy_high: bool,
+    },
+    /// Receive bytes on the most recent outbound connection (downloads,
+    /// C2 responses).
+    RecvBytes {
+        /// Volume.
+        bytes: u64,
+    },
+    /// Idle for a duration (low-and-slow pacing).
+    Sleep {
+        /// Duration.
+        wall: Duration,
+    },
+    /// Emit stdout text (pure protocol effect).
+    Print {
+        /// Text.
+        text: String,
+    },
+}
+
+/// A cell: the code string shown to the protocol plus its effects.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellScript {
+    /// Source text carried in the execute_request.
+    pub code: String,
+    /// Side effects, in order.
+    pub actions: Vec<Action>,
+}
+
+impl CellScript {
+    /// A cell with no side effects.
+    pub fn pure(code: &str) -> Self {
+        CellScript {
+            code: code.to_string(),
+            actions: Vec::new(),
+        }
+    }
+
+    /// A cell with effects.
+    pub fn new(code: &str, actions: Vec<Action>) -> Self {
+        CellScript {
+            code: code.to_string(),
+            actions,
+        }
+    }
+
+    /// Total wall time the cell spends sleeping/burning (used by
+    /// schedulers to advance the clock).
+    pub fn wall_duration(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        for a in &self.actions {
+            match a {
+                Action::Sleep { wall } | Action::BurnCpu { wall, .. } => total = total + *wall,
+                _ => {}
+            }
+        }
+        total
+    }
+
+    /// Total outbound bytes the cell sends.
+    pub fn outbound_bytes(&self) -> u64 {
+        self.actions
+            .iter()
+            .map(|a| match a {
+                Action::SendBytes { bytes, .. } => *bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_duration_sums_sleeps_and_burns() {
+        let c = CellScript::new(
+            "mine()",
+            vec![
+                Action::Sleep {
+                    wall: Duration::from_secs(2),
+                },
+                Action::BurnCpu {
+                    wall: Duration::from_secs(3),
+                    utilization: 1.0,
+                },
+            ],
+        );
+        assert_eq!(c.wall_duration(), Duration::from_secs(5));
+    }
+
+    #[test]
+    fn outbound_bytes_sum() {
+        let c = CellScript::new(
+            "exfil()",
+            vec![
+                Action::Connect {
+                    dst: HostAddr::external(1),
+                    dst_port: 443,
+                },
+                Action::SendBytes {
+                    bytes: 1000,
+                    entropy_high: true,
+                },
+                Action::SendBytes {
+                    bytes: 500,
+                    entropy_high: true,
+                },
+            ],
+        );
+        assert_eq!(c.outbound_bytes(), 1500);
+    }
+
+    #[test]
+    fn pure_cell_is_inert() {
+        let c = CellScript::pure("1 + 1");
+        assert_eq!(c.wall_duration(), Duration::ZERO);
+        assert_eq!(c.outbound_bytes(), 0);
+        assert!(c.actions.is_empty());
+    }
+}

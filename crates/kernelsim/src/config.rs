@@ -1,0 +1,325 @@
+//! Server and deployment configuration, including the misconfiguration
+//! axes the paper's taxonomy names (security misconfiguration is a
+//! first-class avenue of attack in Fig. 1, and CVE-2024-22415-class bugs
+//! ride on stale versions).
+
+use ja_netsim::rng::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How the notebook server authenticates browser connections.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AuthMode {
+    /// Random bearer token (Jupyter default).
+    Token,
+    /// Hashed password.
+    Password,
+    /// No authentication at all — the classic exposed-8888 misconfig.
+    None,
+}
+
+/// Transport protection between browser and server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum TransportMode {
+    /// Plain WebSocket over TCP — the sensor sees everything.
+    PlainWs,
+    /// WebSocket inside TLS — the sensor sees only ciphertext bytes
+    /// (the "encrypted datagrams … challenge even Zeek" regime).
+    Tls,
+    /// TLS plus per-message payload encryption (defense-in-depth
+    /// variant discussed for high-assurance deployments): even with TLS
+    /// keys, message bodies are opaque.
+    E2eEncrypted,
+}
+
+impl TransportMode {
+    /// Can a passive sensor parse WebSocket framing on this transport?
+    pub fn framing_visible(self) -> bool {
+        matches!(self, TransportMode::PlainWs)
+    }
+
+    /// Can a passive sensor read kernel-message bodies?
+    pub fn payload_visible(self) -> bool {
+        matches!(self, TransportMode::PlainWs)
+    }
+}
+
+/// Version staleness relative to the patch horizon, as a proxy for
+/// exposure to published CVEs (e.g. CVE-2020-16977, CVE-2021-32798,
+/// CVE-2024-22415 cited in the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PatchLevel {
+    /// Tracking upstream; no known CVEs.
+    Current,
+    /// Behind by one advisory cycle; low-severity CVEs apply.
+    Stale,
+    /// Multiple advisories behind; RCE-class CVEs apply.
+    Vulnerable,
+}
+
+/// Configuration of one single-user notebook server.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Authentication mode.
+    pub auth: AuthMode,
+    /// Transport protection.
+    pub transport: TransportMode,
+    /// Whether kernel messages are HMAC-signed (empty key when false).
+    pub hmac_signing: bool,
+    /// Whether login tokens appear in request URLs (`?token=…`) —
+    /// leaks through logs, proxies and referrer headers.
+    pub token_in_url: bool,
+    /// Listening on 0.0.0.0 (reachable from outside) vs localhost.
+    pub listen_all_interfaces: bool,
+    /// Runtime dir (connection files, tokens) world-readable.
+    pub runtime_dir_world_readable: bool,
+    /// Allowing arbitrary cross-origin WebSocket connections.
+    pub permissive_cors: bool,
+    /// Patch staleness.
+    pub patch_level: PatchLevel,
+    /// Idle-kernel culling configured (absence enables long-running
+    /// abuse like miners).
+    pub idle_culling: bool,
+}
+
+impl ServerConfig {
+    /// A hardened baseline: everything the NASA/NVIDIA/AWS guidance
+    /// recommends.
+    pub fn hardened() -> Self {
+        ServerConfig {
+            auth: AuthMode::Token,
+            transport: TransportMode::Tls,
+            hmac_signing: true,
+            token_in_url: false,
+            listen_all_interfaces: false,
+            runtime_dir_world_readable: false,
+            permissive_cors: false,
+            patch_level: PatchLevel::Current,
+            idle_culling: true,
+        }
+    }
+
+    /// The classic laptop-grade default carelessly deployed on a login
+    /// node: no auth, plain WS, exposed to the world.
+    pub fn exposed() -> Self {
+        ServerConfig {
+            auth: AuthMode::None,
+            transport: TransportMode::PlainWs,
+            hmac_signing: false,
+            token_in_url: false,
+            listen_all_interfaces: true,
+            runtime_dir_world_readable: true,
+            permissive_cors: true,
+            patch_level: PatchLevel::Vulnerable,
+            idle_culling: false,
+        }
+    }
+
+    /// Sample a configuration where each misconfiguration independently
+    /// occurs with probability `misconfig_rate` (experiment E8 sweeps
+    /// this).
+    pub fn sample(rng: &mut SimRng, misconfig_rate: f64) -> Self {
+        let mut c = Self::hardened();
+        if rng.chance(misconfig_rate) {
+            c.auth = if rng.chance(0.5) {
+                AuthMode::None
+            } else {
+                AuthMode::Password
+            };
+        }
+        if rng.chance(misconfig_rate) {
+            c.transport = TransportMode::PlainWs;
+        }
+        if rng.chance(misconfig_rate) {
+            c.hmac_signing = false;
+        }
+        if rng.chance(misconfig_rate) {
+            c.token_in_url = true;
+        }
+        if rng.chance(misconfig_rate) {
+            c.listen_all_interfaces = true;
+        }
+        if rng.chance(misconfig_rate) {
+            c.runtime_dir_world_readable = true;
+        }
+        if rng.chance(misconfig_rate) {
+            c.permissive_cors = true;
+        }
+        if rng.chance(misconfig_rate) {
+            c.patch_level = if rng.chance(0.4) {
+                PatchLevel::Vulnerable
+            } else {
+                PatchLevel::Stale
+            };
+        }
+        if rng.chance(misconfig_rate) {
+            c.idle_culling = false;
+        }
+        c
+    }
+
+    /// Enumerate the misconfiguration classes present (the scanner's
+    /// finding list for one server).
+    pub fn misconfigurations(&self) -> Vec<MisconfigClass> {
+        let mut v = Vec::new();
+        if self.auth == AuthMode::None {
+            v.push(MisconfigClass::NoAuthentication);
+        }
+        if self.transport == TransportMode::PlainWs {
+            v.push(MisconfigClass::UnencryptedTransport);
+        }
+        if !self.hmac_signing {
+            v.push(MisconfigClass::UnsignedMessages);
+        }
+        if self.token_in_url {
+            v.push(MisconfigClass::TokenInUrl);
+        }
+        if self.listen_all_interfaces {
+            v.push(MisconfigClass::ExposedInterface);
+        }
+        if self.runtime_dir_world_readable {
+            v.push(MisconfigClass::WorldReadableRuntimeDir);
+        }
+        if self.permissive_cors {
+            v.push(MisconfigClass::PermissiveCors);
+        }
+        if self.patch_level != PatchLevel::Current {
+            v.push(MisconfigClass::StalePatches);
+        }
+        if !self.idle_culling {
+            v.push(MisconfigClass::NoIdleCulling);
+        }
+        v
+    }
+
+    /// Is the server remotely exploitable without credentials?
+    /// (no auth + exposed interface, or RCE-grade CVE + exposed).
+    pub fn trivially_exploitable(&self) -> bool {
+        self.listen_all_interfaces
+            && (self.auth == AuthMode::None || self.patch_level == PatchLevel::Vulnerable)
+    }
+}
+
+/// The misconfiguration classes the E8 scanner reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MisconfigClass {
+    /// `auth = none`.
+    NoAuthentication,
+    /// Plain-WS transport.
+    UnencryptedTransport,
+    /// HMAC signing disabled.
+    UnsignedMessages,
+    /// Token in URL query strings.
+    TokenInUrl,
+    /// Listening on all interfaces.
+    ExposedInterface,
+    /// World-readable runtime dir (connection files leak).
+    WorldReadableRuntimeDir,
+    /// Arbitrary cross-origin access.
+    PermissiveCors,
+    /// Known CVEs unpatched.
+    StalePatches,
+    /// No idle culling (resource-abuse enabler).
+    NoIdleCulling,
+}
+
+impl MisconfigClass {
+    /// All classes, for report tabulation.
+    pub const ALL: [MisconfigClass; 9] = [
+        MisconfigClass::NoAuthentication,
+        MisconfigClass::UnencryptedTransport,
+        MisconfigClass::UnsignedMessages,
+        MisconfigClass::TokenInUrl,
+        MisconfigClass::ExposedInterface,
+        MisconfigClass::WorldReadableRuntimeDir,
+        MisconfigClass::PermissiveCors,
+        MisconfigClass::StalePatches,
+        MisconfigClass::NoIdleCulling,
+    ];
+
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MisconfigClass::NoAuthentication => "no-authentication",
+            MisconfigClass::UnencryptedTransport => "unencrypted-transport",
+            MisconfigClass::UnsignedMessages => "unsigned-messages",
+            MisconfigClass::TokenInUrl => "token-in-url",
+            MisconfigClass::ExposedInterface => "exposed-interface",
+            MisconfigClass::WorldReadableRuntimeDir => "world-readable-runtime-dir",
+            MisconfigClass::PermissiveCors => "permissive-cors",
+            MisconfigClass::StalePatches => "stale-patches",
+            MisconfigClass::NoIdleCulling => "no-idle-culling",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hardened_has_no_misconfigs() {
+        assert!(ServerConfig::hardened().misconfigurations().is_empty());
+        assert!(!ServerConfig::hardened().trivially_exploitable());
+    }
+
+    #[test]
+    fn exposed_has_all_core_misconfigs() {
+        let m = ServerConfig::exposed().misconfigurations();
+        assert!(m.contains(&MisconfigClass::NoAuthentication));
+        assert!(m.contains(&MisconfigClass::ExposedInterface));
+        assert!(m.contains(&MisconfigClass::StalePatches));
+        assert!(ServerConfig::exposed().trivially_exploitable());
+    }
+
+    #[test]
+    fn sample_rate_zero_is_hardened() {
+        let mut rng = SimRng::new(1);
+        for _ in 0..10 {
+            assert_eq!(ServerConfig::sample(&mut rng, 0.0), ServerConfig::hardened());
+        }
+    }
+
+    #[test]
+    fn sample_rate_one_is_fully_misconfigured() {
+        let mut rng = SimRng::new(2);
+        let c = ServerConfig::sample(&mut rng, 1.0);
+        assert_eq!(c.misconfigurations().len(), MisconfigClass::ALL.len());
+    }
+
+    #[test]
+    fn sample_rate_mid_produces_mix() {
+        let mut rng = SimRng::new(3);
+        let counts: Vec<usize> = (0..200)
+            .map(|_| ServerConfig::sample(&mut rng, 0.3).misconfigurations().len())
+            .collect();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        // 9 axes at 0.3 ⇒ ~2.7 expected.
+        assert!((mean - 2.7).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn transport_visibility() {
+        assert!(TransportMode::PlainWs.framing_visible());
+        assert!(TransportMode::PlainWs.payload_visible());
+        assert!(!TransportMode::Tls.framing_visible());
+        assert!(!TransportMode::E2eEncrypted.payload_visible());
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            MisconfigClass::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), MisconfigClass::ALL.len());
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let c = ServerConfig::exposed();
+        let text = serde_json::to_string(&c).unwrap();
+        let back: ServerConfig = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,166 @@
+//! Fleet builder: a hub plus N single-user servers with controlled
+//! configuration hygiene — the unit every experiment runs against.
+
+use crate::config::ServerConfig;
+use crate::hub::Hub;
+use crate::server::NotebookServer;
+use crate::users::{self, User};
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::SimTime;
+
+/// A complete simulated site: hub + servers + users.
+pub struct Deployment {
+    /// The hub.
+    pub hub: Hub,
+    /// Single-user servers (index = server id).
+    pub servers: Vec<NotebookServer>,
+    /// RNG for site-level draws.
+    pub rng: SimRng,
+}
+
+/// Knobs for building a deployment.
+#[derive(Clone, Debug)]
+pub struct DeploymentSpec {
+    /// Number of single-user servers.
+    pub servers: usize,
+    /// Independent per-axis misconfiguration probability.
+    pub misconfig_rate: f64,
+    /// Fraction of weak credentials.
+    pub weak_cred_fraction: f64,
+    /// Fraction of breached credentials.
+    pub breached_cred_fraction: f64,
+    /// MFA enrollment fraction.
+    pub mfa_fraction: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DeploymentSpec {
+    /// A small, well-run lab: 4 servers, hardened, good hygiene.
+    pub fn small_lab(seed: u64) -> Self {
+        DeploymentSpec {
+            servers: 4,
+            misconfig_rate: 0.0,
+            weak_cred_fraction: 0.1,
+            breached_cred_fraction: 0.02,
+            mfa_fraction: 0.8,
+            seed,
+        }
+    }
+
+    /// A sprawling campus deployment with realistic hygiene problems.
+    pub fn campus(seed: u64) -> Self {
+        DeploymentSpec {
+            servers: 24,
+            misconfig_rate: 0.15,
+            weak_cred_fraction: 0.25,
+            breached_cred_fraction: 0.05,
+            mfa_fraction: 0.4,
+            seed,
+        }
+    }
+}
+
+impl Deployment {
+    /// Build a deployment from a spec. One user per server is
+    /// provisioned with a populated home directory and a running kernel.
+    pub fn build(spec: &DeploymentSpec) -> Self {
+        let mut rng = SimRng::new(spec.seed);
+        let users: Vec<User> = users::generate_population(
+            &mut rng,
+            spec.servers,
+            spec.weak_cred_fraction,
+            spec.breached_cred_fraction,
+            spec.mfa_fraction,
+        );
+        let mut servers = Vec::with_capacity(spec.servers);
+        for (i, user) in users.iter().enumerate() {
+            let config = ServerConfig::sample(&mut rng, spec.misconfig_rate);
+            let mut srv = NotebookServer::new(i as u32, config, spec.seed ^ (i as u64) << 20);
+            srv.provision_user(&user.name, SimTime::ZERO);
+            srv.start_kernel(&user.name, SimTime::ZERO);
+            servers.push(srv);
+        }
+        Deployment {
+            hub: Hub::new(users),
+            servers,
+            rng,
+        }
+    }
+
+    /// The username owning server `i` (one user per server by
+    /// construction).
+    pub fn owner_of(&self, server: usize) -> &str {
+        &self.hub.users()[server].name
+    }
+
+    /// All kernel-audit events across the fleet, time-ordered.
+    pub fn all_sys_events(&self) -> Vec<crate::events::SysEvent> {
+        let mut all: Vec<_> = self
+            .servers
+            .iter()
+            .flat_map(|s| s.sys_events.iter().cloned())
+            .collect();
+        all.sort_by_key(|e| e.time);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_provisions_everything() {
+        let d = Deployment::build(&DeploymentSpec::small_lab(7));
+        assert_eq!(d.servers.len(), 4);
+        assert_eq!(d.hub.users().len(), 4);
+        for (i, s) in d.servers.iter().enumerate() {
+            let owner = d.owner_of(i);
+            assert!(!s.vfs.is_empty(), "server {i} home populated");
+            assert!(!s.vfs.list(&format!("/home/{owner}/")).is_empty());
+        }
+    }
+
+    #[test]
+    fn small_lab_is_hardened() {
+        let d = Deployment::build(&DeploymentSpec::small_lab(7));
+        for s in &d.servers {
+            assert!(s.config.misconfigurations().is_empty());
+        }
+    }
+
+    #[test]
+    fn campus_has_misconfigurations() {
+        let d = Deployment::build(&DeploymentSpec::campus(7));
+        let total: usize = d
+            .servers
+            .iter()
+            .map(|s| s.config.misconfigurations().len())
+            .sum();
+        assert!(total > 0, "campus spec should produce some misconfigs");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = Deployment::build(&DeploymentSpec::campus(9));
+        let b = Deployment::build(&DeploymentSpec::campus(9));
+        for (sa, sb) in a.servers.iter().zip(&b.servers) {
+            assert_eq!(sa.config, sb.config);
+        }
+        let c = Deployment::build(&DeploymentSpec::campus(10));
+        let differs = a
+            .servers
+            .iter()
+            .zip(&c.servers)
+            .any(|(x, y)| x.config != y.config);
+        assert!(differs);
+    }
+
+    #[test]
+    fn distinct_server_addresses() {
+        let d = Deployment::build(&DeploymentSpec::campus(11));
+        let addrs: std::collections::HashSet<_> = d.servers.iter().map(|s| s.addr).collect();
+        assert_eq!(addrs.len(), d.servers.len());
+    }
+}

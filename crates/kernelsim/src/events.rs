@@ -1,0 +1,140 @@
+//! Kernel-level system events — the stream the paper's proposed *Jupyter
+//! kernel auditing tool* would capture via embedded tracing ("an embedded
+//! tracing tool must be embedded in Jupyter kernel … to enable extensive
+//! logging of user commands", §IV.B).
+
+use crate::process::Pid;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::SimTime;
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SysEventKind {
+    /// A cell began executing (the "user command" log).
+    CellExecute {
+        /// Kernel id on this server.
+        kernel_id: u32,
+        /// The code (as carried in execute_request).
+        code: String,
+    },
+    /// File opened for read.
+    FileRead {
+        /// Path.
+        path: String,
+        /// Bytes read.
+        bytes: u64,
+    },
+    /// File created or overwritten.
+    FileWrite {
+        /// Path.
+        path: String,
+        /// Bytes written.
+        bytes: u64,
+        /// Shannon entropy of (a sample of) the written content.
+        entropy_bits: f64,
+    },
+    /// File renamed.
+    FileRename {
+        /// Old path.
+        from: String,
+        /// New path.
+        to: String,
+    },
+    /// File deleted.
+    FileDelete {
+        /// Path.
+        path: String,
+    },
+    /// Process spawned (terminal command, `!cmd`, subprocess).
+    ProcExec {
+        /// New pid.
+        pid: Pid,
+        /// Executable.
+        name: String,
+        /// Command line.
+        cmdline: String,
+    },
+    /// CPU accounting sample for a process.
+    CpuSample {
+        /// Pid.
+        pid: Pid,
+        /// CPU-seconds consumed since the last sample.
+        cpu_secs: f64,
+        /// Utilization (0..=n_cores) during the interval.
+        utilization: f64,
+    },
+    /// Outbound connection initiated from the kernel/server.
+    NetConnect {
+        /// Destination address.
+        dst: HostAddr,
+        /// Destination port.
+        dst_port: u16,
+    },
+    /// Bytes sent on an outbound connection.
+    NetSend {
+        /// Destination address.
+        dst: HostAddr,
+        /// Destination port.
+        dst_port: u16,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+/// One audited event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SysEvent {
+    /// When.
+    pub time: SimTime,
+    /// Server (deployment-unique).
+    pub server_id: u32,
+    /// Acting user.
+    pub user: String,
+    /// What.
+    pub kind: SysEventKind,
+}
+
+impl SysEvent {
+    /// Short event-class label for reports and rule matching.
+    pub fn class(&self) -> &'static str {
+        match self.kind {
+            SysEventKind::CellExecute { .. } => "cell_execute",
+            SysEventKind::FileRead { .. } => "file_read",
+            SysEventKind::FileWrite { .. } => "file_write",
+            SysEventKind::FileRename { .. } => "file_rename",
+            SysEventKind::FileDelete { .. } => "file_delete",
+            SysEventKind::ProcExec { .. } => "proc_exec",
+            SysEventKind::CpuSample { .. } => "cpu_sample",
+            SysEventKind::NetConnect { .. } => "net_connect",
+            SysEventKind::NetSend { .. } => "net_send",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_are_stable() {
+        let e = SysEvent {
+            time: SimTime::ZERO,
+            server_id: 0,
+            user: "a".into(),
+            kind: SysEventKind::FileWrite {
+                path: "/x".into(),
+                bytes: 10,
+                entropy_bits: 7.9,
+            },
+        };
+        assert_eq!(e.class(), "file_write");
+        let e2 = SysEvent {
+            kind: SysEventKind::NetConnect {
+                dst: HostAddr::external(1),
+                dst_port: 3333,
+            },
+            ..e
+        };
+        assert_eq!(e2.class(), "net_connect");
+    }
+}

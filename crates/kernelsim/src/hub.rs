@@ -1,0 +1,209 @@
+//! The JupyterHub front door: authentication and the auth log.
+//!
+//! Account takeover (Fig. 3) starts here: brute force and credential
+//! stuffing against the hub's login endpoint, visible as an auth-event
+//! stream with source addresses — the input to the takeover detector.
+
+use crate::users::User;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::SimTime;
+
+/// Result of one login attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AuthOutcome {
+    /// Correct credentials, session granted.
+    Success,
+    /// Wrong credentials.
+    Failure,
+    /// Correct credentials but MFA challenge failed (stolen password
+    /// without the second factor).
+    MfaBlocked,
+    /// Unknown account name.
+    NoSuchUser,
+}
+
+/// One entry in the hub's auth log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuthEvent {
+    /// When.
+    pub time: SimTime,
+    /// Claimed username.
+    pub username: String,
+    /// Source address.
+    pub src: HostAddr,
+    /// Outcome.
+    pub outcome: AuthOutcome,
+}
+
+/// The hub: user registry + auth log.
+#[derive(Clone, Debug, Default)]
+pub struct Hub {
+    users: Vec<User>,
+    /// The auth log (append-only).
+    pub auth_log: Vec<AuthEvent>,
+}
+
+impl Hub {
+    /// Hub with a user population.
+    pub fn new(users: Vec<User>) -> Self {
+        Hub {
+            users,
+            auth_log: Vec::new(),
+        }
+    }
+
+    /// Users.
+    pub fn users(&self) -> &[User] {
+        &self.users
+    }
+
+    /// Look up a user.
+    pub fn user(&self, name: &str) -> Option<&User> {
+        self.users.iter().find(|u| u.name == name)
+    }
+
+    /// A legitimate login by the account owner (always knows the
+    /// password, passes MFA).
+    pub fn login_legitimate(&mut self, time: SimTime, username: &str, src: HostAddr) -> AuthOutcome {
+        let outcome = if self.user(username).is_some() {
+            AuthOutcome::Success
+        } else {
+            AuthOutcome::NoSuchUser
+        };
+        self.auth_log.push(AuthEvent {
+            time,
+            username: username.to_string(),
+            src,
+            outcome,
+        });
+        outcome
+    }
+
+    /// An attacker's guess against `username`. Success probability comes
+    /// from the account's credential strength; MFA blocks otherwise
+    /// correct guesses.
+    pub fn login_guess(
+        &mut self,
+        time: SimTime,
+        username: &str,
+        src: HostAddr,
+        rng: &mut SimRng,
+    ) -> AuthOutcome {
+        let outcome = match self.user(username) {
+            None => AuthOutcome::NoSuchUser,
+            Some(u) => {
+                if rng.chance(u.guess_success_prob()) {
+                    if u.login_blocked_by_mfa() {
+                        AuthOutcome::MfaBlocked
+                    } else {
+                        AuthOutcome::Success
+                    }
+                } else {
+                    AuthOutcome::Failure
+                }
+            }
+        };
+        self.auth_log.push(AuthEvent {
+            time,
+            username: username.to_string(),
+            src,
+            outcome,
+        });
+        outcome
+    }
+
+    /// Failed attempts from one source (brute-force fingerprint).
+    pub fn failures_from(&self, src: HostAddr) -> usize {
+        self.auth_log
+            .iter()
+            .filter(|e| e.src == src && e.outcome != AuthOutcome::Success)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::users::{CredentialStrength, Role};
+
+    fn hub() -> Hub {
+        Hub::new(vec![
+            User {
+                name: "alice".into(),
+                role: Role::Researcher,
+                strength: CredentialStrength::Strong,
+                mfa: false,
+            },
+            User {
+                name: "bob".into(),
+                role: Role::Researcher,
+                strength: CredentialStrength::Breached,
+                mfa: false,
+            },
+            User {
+                name: "carol".into(),
+                role: Role::Staff,
+                strength: CredentialStrength::Breached,
+                mfa: true,
+            },
+        ])
+    }
+
+    #[test]
+    fn legitimate_login_succeeds_and_logs() {
+        let mut h = hub();
+        let src = HostAddr::internal(ja_netsim::addr::HostId(5));
+        assert_eq!(
+            h.login_legitimate(SimTime::ZERO, "alice", src),
+            AuthOutcome::Success
+        );
+        assert_eq!(
+            h.login_legitimate(SimTime::ZERO, "nobody", src),
+            AuthOutcome::NoSuchUser
+        );
+        assert_eq!(h.auth_log.len(), 2);
+    }
+
+    #[test]
+    fn breached_account_falls_quickly_without_mfa() {
+        let mut h = hub();
+        let mut rng = SimRng::new(1);
+        let src = HostAddr::external(66);
+        let mut succeeded = false;
+        for i in 0..100 {
+            if h.login_guess(SimTime::from_secs(i), "bob", src, &mut rng) == AuthOutcome::Success {
+                succeeded = true;
+                break;
+            }
+        }
+        assert!(succeeded, "breached cred should fall within 100 guesses");
+    }
+
+    #[test]
+    fn mfa_blocks_stolen_credentials() {
+        let mut h = hub();
+        let mut rng = SimRng::new(2);
+        let src = HostAddr::external(66);
+        let mut outcomes = Vec::new();
+        for i in 0..200 {
+            outcomes.push(h.login_guess(SimTime::from_secs(i), "carol", src, &mut rng));
+        }
+        assert!(outcomes.contains(&AuthOutcome::MfaBlocked));
+        assert!(!outcomes.contains(&AuthOutcome::Success));
+    }
+
+    #[test]
+    fn strong_account_resists_small_budgets() {
+        let mut h = hub();
+        let mut rng = SimRng::new(3);
+        let src = HostAddr::external(66);
+        for i in 0..1000 {
+            assert_ne!(
+                h.login_guess(SimTime::from_secs(i), "alice", src, &mut rng),
+                AuthOutcome::Success
+            );
+        }
+        assert_eq!(h.failures_from(src), 1000);
+    }
+}

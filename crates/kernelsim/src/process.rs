@@ -1,0 +1,216 @@
+//! Process table with CPU accounting.
+//!
+//! Cryptomining is, at the host level, a process that burns CPU at
+//! near-100% for hours; the resource-abuse avenue of Fig. 1. The audit
+//! tool samples this table; detectors look at sustained utilization and
+//! process-name/cmdline signatures.
+
+use ja_netsim::time::{Duration, SimTime};
+
+/// Process identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// A tracked process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    /// Pid.
+    pub pid: Pid,
+    /// Parent pid (kernel processes hang off the notebook server).
+    pub ppid: Option<Pid>,
+    /// Executable name.
+    pub name: String,
+    /// Full command line.
+    pub cmdline: String,
+    /// Owner username.
+    pub owner: String,
+    /// Start time.
+    pub started: SimTime,
+    /// End time (None while running).
+    pub ended: Option<SimTime>,
+    /// Accumulated CPU-seconds.
+    pub cpu_secs: f64,
+}
+
+impl Process {
+    /// Wall-clock lifetime so far (up to `now`).
+    pub fn lifetime(&self, now: SimTime) -> Duration {
+        self.ended.unwrap_or(now).since(self.started)
+    }
+
+    /// Mean utilization over the lifetime (CPU-seconds per wall-second).
+    pub fn mean_utilization(&self, now: SimTime) -> f64 {
+        let wall = self.lifetime(now).as_secs_f64();
+        if wall <= 0.0 {
+            0.0
+        } else {
+            self.cpu_secs / wall
+        }
+    }
+
+    /// Is the process still running?
+    pub fn is_running(&self) -> bool {
+        self.ended.is_none()
+    }
+}
+
+/// The process table of one server.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    procs: Vec<Process>,
+    next_pid: u32,
+}
+
+impl ProcessTable {
+    /// Empty table (pids start at 1000, like a freshly booted node).
+    pub fn new() -> Self {
+        ProcessTable {
+            procs: Vec::new(),
+            next_pid: 1000,
+        }
+    }
+
+    /// Spawn a process; returns its pid.
+    pub fn spawn(
+        &mut self,
+        name: &str,
+        cmdline: &str,
+        owner: &str,
+        ppid: Option<Pid>,
+        now: SimTime,
+    ) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.push(Process {
+            pid,
+            ppid,
+            name: name.to_string(),
+            cmdline: cmdline.to_string(),
+            owner: owner.to_string(),
+            started: now,
+            ended: None,
+            cpu_secs: 0.0,
+        });
+        pid
+    }
+
+    /// Account CPU burn to a process.
+    pub fn burn_cpu(&mut self, pid: Pid, cpu_secs: f64) {
+        if let Some(p) = self.get_mut(pid) {
+            p.cpu_secs += cpu_secs.max(0.0);
+        }
+    }
+
+    /// Terminate a process.
+    pub fn kill(&mut self, pid: Pid, now: SimTime) {
+        if let Some(p) = self.get_mut(pid) {
+            if p.ended.is_none() {
+                p.ended = Some(now);
+            }
+        }
+    }
+
+    fn get_mut(&mut self, pid: Pid) -> Option<&mut Process> {
+        self.procs.iter_mut().find(|p| p.pid == pid)
+    }
+
+    /// Lookup.
+    pub fn get(&self, pid: Pid) -> Option<&Process> {
+        self.procs.iter().find(|p| p.pid == pid)
+    }
+
+    /// All processes (running and dead).
+    pub fn all(&self) -> &[Process] {
+        &self.procs
+    }
+
+    /// Running processes.
+    pub fn running(&self) -> impl Iterator<Item = &Process> {
+        self.procs.iter().filter(|p| p.is_running())
+    }
+
+    /// Children of a pid (the process tree the provenance graph mirrors).
+    pub fn children(&self, pid: Pid) -> Vec<&Process> {
+        self.procs.iter().filter(|p| p.ppid == Some(pid)).collect()
+    }
+
+    /// Total CPU-seconds across all processes owned by `user`.
+    pub fn cpu_secs_by_user(&self, user: &str) -> f64 {
+        self.procs
+            .iter()
+            .filter(|p| p.owner == user)
+            .map(|p| p.cpu_secs)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_increasing_pids() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("python", "python kernel.py", "alice", None, SimTime::ZERO);
+        let b = t.spawn("bash", "bash", "alice", Some(a), SimTime::ZERO);
+        assert!(b.0 > a.0);
+        assert_eq!(t.children(a).len(), 1);
+        assert_eq!(t.get(b).unwrap().ppid, Some(a));
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("xmrig", "./xmrig -o pool:3333", "mallory", None, SimTime::ZERO);
+        t.burn_cpu(p, 3500.0);
+        let now = SimTime::from_secs(3600);
+        let proc = t.get(p).unwrap();
+        assert!((proc.mean_utilization(now) - 3500.0 / 3600.0).abs() < 1e-9);
+        assert!(proc.is_running());
+        t.kill(p, now);
+        assert!(!t.get(p).unwrap().is_running());
+        // Lifetime frozen at kill time.
+        assert_eq!(
+            t.get(p).unwrap().lifetime(SimTime::from_secs(9999)),
+            Duration::from_secs(3600)
+        );
+    }
+
+    #[test]
+    fn zero_lifetime_utilization_is_zero() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("x", "x", "u", None, SimTime::from_secs(5));
+        assert_eq!(t.get(p).unwrap().mean_utilization(SimTime::from_secs(5)), 0.0);
+    }
+
+    #[test]
+    fn per_user_cpu_totals() {
+        let mut t = ProcessTable::new();
+        let a = t.spawn("a", "a", "alice", None, SimTime::ZERO);
+        let b = t.spawn("b", "b", "alice", None, SimTime::ZERO);
+        let c = t.spawn("c", "c", "bob", None, SimTime::ZERO);
+        t.burn_cpu(a, 10.0);
+        t.burn_cpu(b, 5.0);
+        t.burn_cpu(c, 2.0);
+        assert_eq!(t.cpu_secs_by_user("alice"), 15.0);
+        assert_eq!(t.cpu_secs_by_user("bob"), 2.0);
+        assert_eq!(t.cpu_secs_by_user("eve"), 0.0);
+    }
+
+    #[test]
+    fn negative_burn_ignored() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("x", "x", "u", None, SimTime::ZERO);
+        t.burn_cpu(p, -5.0);
+        assert_eq!(t.get(p).unwrap().cpu_secs, 0.0);
+    }
+
+    #[test]
+    fn kill_is_idempotent() {
+        let mut t = ProcessTable::new();
+        let p = t.spawn("x", "x", "u", None, SimTime::ZERO);
+        t.kill(p, SimTime::from_secs(1));
+        t.kill(p, SimTime::from_secs(2));
+        assert_eq!(t.get(p).unwrap().ended, Some(SimTime::from_secs(1)));
+    }
+}

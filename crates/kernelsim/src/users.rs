@@ -1,0 +1,153 @@
+//! User accounts: credential strength, MFA, roles — the substrate of the
+//! account-takeover avenue. The paper's threat model includes single
+//! sign-on integration ([5], [6]); we model its failure modes as
+//! credential strength + MFA flags that brute-force and credential-
+//! stuffing campaigns test against.
+
+use ja_netsim::rng::SimRng;
+
+/// Coarse credential strength tiers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CredentialStrength {
+    /// On a breach list; credential stuffing succeeds immediately.
+    Breached,
+    /// Guessable within a modest online budget.
+    Weak,
+    /// Resists online guessing.
+    Strong,
+}
+
+/// Account roles (consequence severity scales with privilege).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Regular researcher.
+    Researcher,
+    /// PI with allocation management rights.
+    PrincipalInvestigator,
+    /// Facility staff with admin on the hub.
+    Staff,
+}
+
+/// A user account.
+#[derive(Clone, Debug)]
+pub struct User {
+    /// Login name.
+    pub name: String,
+    /// Role.
+    pub role: Role,
+    /// Credential strength.
+    pub strength: CredentialStrength,
+    /// MFA enrolled?
+    pub mfa: bool,
+}
+
+impl User {
+    /// Probability a single online guess succeeds against this account
+    /// (per-attempt; MFA gates the final login, not the guess).
+    pub fn guess_success_prob(&self) -> f64 {
+        match self.strength {
+            CredentialStrength::Breached => 0.5, // stuffing with known creds
+            CredentialStrength::Weak => 0.002,
+            CredentialStrength::Strong => 1e-6,
+        }
+    }
+
+    /// Does a correct credential still fail login (MFA challenge)?
+    pub fn login_blocked_by_mfa(&self) -> bool {
+        self.mfa
+    }
+}
+
+/// Generate a user population with configurable hygiene.
+pub fn generate_population(
+    rng: &mut SimRng,
+    count: usize,
+    weak_fraction: f64,
+    breached_fraction: f64,
+    mfa_fraction: f64,
+) -> Vec<User> {
+    (0..count)
+        .map(|i| {
+            let draw = rng.f64();
+            let strength = if draw < breached_fraction {
+                CredentialStrength::Breached
+            } else if draw < breached_fraction + weak_fraction {
+                CredentialStrength::Weak
+            } else {
+                CredentialStrength::Strong
+            };
+            let role = match i {
+                0 => Role::Staff,
+                i if i % 10 == 1 => Role::PrincipalInvestigator,
+                _ => Role::Researcher,
+            };
+            User {
+                name: format!("user{i:03}"),
+                role,
+                strength,
+                mfa: rng.chance(mfa_fraction),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_fractions_respected() {
+        let mut rng = SimRng::new(5);
+        let pop = generate_population(&mut rng, 2000, 0.2, 0.05, 0.5);
+        assert_eq!(pop.len(), 2000);
+        let breached = pop
+            .iter()
+            .filter(|u| u.strength == CredentialStrength::Breached)
+            .count() as f64
+            / 2000.0;
+        let weak = pop
+            .iter()
+            .filter(|u| u.strength == CredentialStrength::Weak)
+            .count() as f64
+            / 2000.0;
+        let mfa = pop.iter().filter(|u| u.mfa).count() as f64 / 2000.0;
+        assert!((breached - 0.05).abs() < 0.02, "breached {breached}");
+        assert!((weak - 0.2).abs() < 0.03, "weak {weak}");
+        assert!((mfa - 0.5).abs() < 0.05, "mfa {mfa}");
+    }
+
+    #[test]
+    fn roles_assigned() {
+        let mut rng = SimRng::new(6);
+        let pop = generate_population(&mut rng, 50, 0.0, 0.0, 0.0);
+        assert_eq!(pop[0].role, Role::Staff);
+        assert!(pop.iter().any(|u| u.role == Role::PrincipalInvestigator));
+        assert!(pop.iter().all(|u| u.strength == CredentialStrength::Strong));
+    }
+
+    #[test]
+    fn guess_probabilities_ordered() {
+        let mk = |s| User {
+            name: "u".into(),
+            role: Role::Researcher,
+            strength: s,
+            mfa: false,
+        };
+        assert!(
+            mk(CredentialStrength::Breached).guess_success_prob()
+                > mk(CredentialStrength::Weak).guess_success_prob()
+        );
+        assert!(
+            mk(CredentialStrength::Weak).guess_success_prob()
+                > mk(CredentialStrength::Strong).guess_success_prob()
+        );
+    }
+
+    #[test]
+    fn unique_names() {
+        let mut rng = SimRng::new(7);
+        let pop = generate_population(&mut rng, 100, 0.1, 0.1, 0.1);
+        let names: std::collections::HashSet<_> = pop.iter().map(|u| &u.name).collect();
+        assert_eq!(names.len(), 100);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the deployment substrate.
+
+use ja_kernelsim::config::{MisconfigClass, ServerConfig};
+use ja_kernelsim::process::ProcessTable;
+use ja_kernelsim::vfs::{ContentKind, Vfs};
+use ja_netsim::rng::SimRng;
+use ja_netsim::time::SimTime;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = ContentKind> {
+    prop_oneof![
+        Just(ContentKind::Text),
+        Just(ContentKind::Csv),
+        Just(ContentKind::ModelWeights),
+        Just(ContentKind::Archive),
+        Just(ContentKind::Encrypted),
+    ]
+}
+
+proptest! {
+    /// Any sequence of create/rename/delete keeps the VFS consistent:
+    /// successful reads only on live paths, file count matches the model.
+    #[test]
+    fn vfs_model_consistency(ops in proptest::collection::vec(
+        (0u8..4, 0usize..8, 0usize..8, arb_kind()), 1..64)) {
+        let mut vfs = Vfs::new();
+        let mut model: std::collections::BTreeSet<String> = Default::default();
+        let mut rng = SimRng::new(1);
+        let path = |i: usize| format!("/w/f{i}");
+        for (op, a, b, kind) in ops {
+            match op {
+                0 => {
+                    let p = path(a);
+                    let r = vfs.create(&p, kind, 100, "u", &mut rng, SimTime::ZERO);
+                    prop_assert_eq!(r.is_ok(), !model.contains(&p));
+                    model.insert(p);
+                }
+                1 => {
+                    let (from, to) = (path(a), path(b));
+                    let r = vfs.rename(&from, &to, SimTime::ZERO);
+                    let expect = model.contains(&from) && !model.contains(&to);
+                    prop_assert_eq!(r.is_ok(), expect, "rename {} -> {}", from, to);
+                    if expect {
+                        model.remove(&from);
+                        model.insert(to);
+                    }
+                }
+                2 => {
+                    let p = path(a);
+                    let r = vfs.delete(&p);
+                    prop_assert_eq!(r.is_ok(), model.remove(&p));
+                }
+                _ => {
+                    let p = path(a);
+                    prop_assert_eq!(vfs.read(&p).is_ok(), model.contains(&p));
+                }
+            }
+        }
+        prop_assert_eq!(vfs.len(), model.len());
+        for p in &model {
+            prop_assert!(vfs.read(p).is_ok());
+        }
+    }
+
+    /// Encrypting any file raises (or keeps) its entropy and marks it.
+    #[test]
+    fn vfs_encrypt_monotone_entropy(kind in arb_kind(), seed in any::<u64>()) {
+        let mut vfs = Vfs::new();
+        let mut rng = SimRng::new(seed);
+        vfs.create("/f", kind, 1000, "u", &mut rng, SimTime::ZERO).unwrap();
+        let before = vfs.read("/f").unwrap().entropy_bits();
+        vfs.encrypt_in_place("/f", &seed.to_le_bytes(), SimTime::ZERO).unwrap();
+        let node = vfs.read("/f").unwrap();
+        prop_assert!(node.entropy_bits() > 7.0 || before > 7.0);
+        prop_assert_eq!(node.kind, ContentKind::Encrypted);
+    }
+
+    /// Misconfiguration count is monotone in rate on average, and every
+    /// sampled config's findings are a subset of the 9 classes.
+    #[test]
+    fn config_sampling_valid(rate in 0.0f64..1.0, seed in any::<u64>()) {
+        let mut rng = SimRng::new(seed);
+        let c = ServerConfig::sample(&mut rng, rate);
+        let m = c.misconfigurations();
+        prop_assert!(m.len() <= MisconfigClass::ALL.len());
+        let set: std::collections::HashSet<_> = m.iter().collect();
+        prop_assert_eq!(set.len(), m.len(), "duplicate findings");
+    }
+
+    /// CPU accounting: total CPU across processes equals the sum of
+    /// burns; utilization never exceeds burn/wall.
+    #[test]
+    fn process_cpu_conserved(burns in proptest::collection::vec(0.0f64..100.0, 1..20)) {
+        let mut t = ProcessTable::new();
+        let mut total = 0.0;
+        for (i, &b) in burns.iter().enumerate() {
+            let pid = t.spawn("p", "p", "u", None, SimTime::ZERO);
+            t.burn_cpu(pid, b);
+            total += b;
+            let _ = i;
+        }
+        let sum: f64 = t.all().iter().map(|p| p.cpu_secs).sum();
+        prop_assert!((sum - total).abs() < 1e-9);
+    }
+}

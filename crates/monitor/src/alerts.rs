@@ -1,0 +1,110 @@
+//! Alerts: the monitor's output unit, attributed and scored.
+
+use ja_attackgen::AttackClass;
+use ja_netsim::addr::HostAddr;
+use ja_netsim::time::SimTime;
+
+/// Which subsystem raised the alert.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AlertSource {
+    /// Network monitor (this crate).
+    Network,
+    /// Kernel auditing tool (`ja-audit`).
+    KernelAudit,
+    /// Honeypot-derived signature match.
+    HoneypotIntel,
+    /// Configuration scanner.
+    ConfigScan,
+}
+
+/// One alert.
+#[derive(Clone, Debug)]
+pub struct Alert {
+    /// When the triggering activity was observed.
+    pub time: SimTime,
+    /// Classified attack class.
+    pub class: AttackClass,
+    /// Confidence in [0, 1].
+    pub confidence: f64,
+    /// Subsystem that raised it.
+    pub source: AlertSource,
+    /// Attributed host (server or attacker), if known.
+    pub host: Option<HostAddr>,
+    /// Attributed server id, if known.
+    pub server_id: Option<u32>,
+    /// Attributed user, if known.
+    pub user: Option<String>,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl Alert {
+    /// Builder-style constructor.
+    pub fn new(time: SimTime, class: AttackClass, confidence: f64, source: AlertSource) -> Self {
+        Alert {
+            time,
+            class,
+            confidence: confidence.clamp(0.0, 1.0),
+            source,
+            host: None,
+            server_id: None,
+            user: None,
+            detail: String::new(),
+        }
+    }
+
+    /// Attach a detail string.
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.detail = detail.into();
+        self
+    }
+
+    /// Attach a host.
+    pub fn with_host(mut self, host: HostAddr) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Attach a server id.
+    pub fn with_server(mut self, server_id: u32) -> Self {
+        self.server_id = Some(server_id);
+        self
+    }
+
+    /// Attach a user.
+    pub fn with_user(mut self, user: impl Into<String>) -> Self {
+        self.user = Some(user.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps_confidence() {
+        let a = Alert::new(SimTime::ZERO, AttackClass::Ransomware, 1.5, AlertSource::Network);
+        assert_eq!(a.confidence, 1.0);
+        let b = Alert::new(SimTime::ZERO, AttackClass::Ransomware, -0.5, AlertSource::Network);
+        assert_eq!(b.confidence, 0.0);
+    }
+
+    #[test]
+    fn builder_attaches_attribution() {
+        let a = Alert::new(
+            SimTime::ZERO,
+            AttackClass::Cryptomining,
+            0.9,
+            AlertSource::KernelAudit,
+        )
+        .with_detail("xmrig at 97% for 1h")
+        .with_server(3)
+        .with_user("mallory")
+        .with_host(HostAddr::external(1));
+        assert_eq!(a.server_id, Some(3));
+        assert_eq!(a.user.as_deref(), Some("mallory"));
+        assert!(a.detail.contains("xmrig"));
+        assert!(a.host.is_some());
+    }
+}

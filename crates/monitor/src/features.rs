@@ -1,0 +1,213 @@
+//! Per-flow behavioural features — what remains measurable even when the
+//! transport is opaque (the regime the paper worries about).
+
+use crate::reassembly::FlowBuf;
+use ja_netsim::addr::FiveTuple;
+use ja_netsim::time::SimTime;
+
+/// Features of one flow.
+#[derive(Clone, Debug)]
+pub struct FlowFeatures {
+    /// Flow id.
+    pub flow_id: u64,
+    /// Five-tuple.
+    pub tuple: FiveTuple,
+    /// Flow duration (seconds).
+    pub duration_secs: f64,
+    /// Upstream bytes.
+    pub bytes_up: u64,
+    /// Downstream bytes.
+    pub bytes_down: u64,
+    /// Upload asymmetry in [-1, 1].
+    pub asymmetry: f64,
+    /// Upstream payload-segment count.
+    pub sends_up: usize,
+    /// Mean gap between upstream sends (seconds; 0 if < 2 sends).
+    pub mean_gap_secs: f64,
+    /// Coefficient of variation of upstream gaps (low = periodic ⇒
+    /// beaconing / share submissions).
+    pub gap_cv: f64,
+    /// Did the flow end in RST?
+    pub reset: bool,
+    /// Crosses the perimeter?
+    pub crosses_perimeter: bool,
+    /// First activity.
+    pub start: SimTime,
+}
+
+impl FlowFeatures {
+    /// Extract features from a reconstructed flow.
+    pub fn from_flow(flow_id: u64, buf: &FlowBuf) -> Option<FlowFeatures> {
+        let tuple = buf.tuple?;
+        let start = buf
+            .opened
+            .or_else(|| buf.up_times.first().copied())
+            .unwrap_or(SimTime::ZERO);
+        let last = [
+            buf.closed,
+            buf.up_times.last().copied(),
+            buf.down_times.last().copied(),
+        ]
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(start);
+        let bytes_up: u64 = buf.up_sizes.iter().map(|&s| s as u64).sum();
+        let bytes_down: u64 = buf.down_sizes.iter().map(|&s| s as u64).sum();
+        let asymmetry = if bytes_up + bytes_down == 0 {
+            0.0
+        } else {
+            (bytes_up as f64 - bytes_down as f64) / (bytes_up + bytes_down) as f64
+        };
+        // Gap statistics over "bursts": consecutive upstream segments
+        // closer than 1 ms are one application write.
+        let mut burst_times: Vec<f64> = Vec::new();
+        let mut prev_seg: Option<f64> = None;
+        for &t in &buf.up_times {
+            let ts = t.as_secs_f64();
+            // Chain on the gap to the previous *segment*: a multi-MSS
+            // application write is one burst no matter how long it runs.
+            if prev_seg.map(|p| ts - p >= 1e-3).unwrap_or(true) {
+                burst_times.push(ts);
+            }
+            prev_seg = Some(ts);
+        }
+        let gaps: Vec<f64> = burst_times.windows(2).map(|w| w[1] - w[0]).collect();
+        let (mean_gap_secs, gap_cv) = if gaps.is_empty() {
+            (0.0, 0.0)
+        } else {
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            (mean, cv)
+        };
+        Some(FlowFeatures {
+            flow_id,
+            tuple,
+            duration_secs: last.since(start).as_secs_f64(),
+            bytes_up,
+            bytes_down,
+            asymmetry,
+            sends_up: burst_times.len(),
+            mean_gap_secs,
+            gap_cv,
+            reset: buf.reset,
+            crosses_perimeter: tuple.crosses_perimeter(),
+            start,
+        })
+    }
+
+    /// Periodicity heuristic: several sends with low gap variance.
+    pub fn looks_periodic(&self) -> bool {
+        self.sends_up >= 5 && self.mean_gap_secs > 1.0 && self.gap_cv < 0.3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reassembly::Reassembler;
+    use ja_netsim::addr::{HostAddr, HostId};
+    use ja_netsim::network::Network;
+    use ja_netsim::segment::Direction;
+    use ja_netsim::time::{Duration, SimTime};
+
+    fn periodic_flow(interval_secs: u64, n: usize, jitter: &[u64]) -> FlowFeatures {
+        let mut net = Network::new();
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            3333,
+        );
+        let mut t = SimTime::from_secs(1);
+        for i in 0..n {
+            let j = jitter.get(i % jitter.len().max(1)).copied().unwrap_or(0);
+            net.send(t, f, Direction::ToResponder, &[0u8; 180]);
+            t = t + Duration::from_secs(interval_secs) + Duration::from_millis(j);
+        }
+        net.close(t, f, false);
+        let trace = net.into_trace();
+        let mut r = Reassembler::new();
+        r.feed_trace(&trace);
+        FlowFeatures::from_flow(0, &r.flows()[&0]).unwrap()
+    }
+
+    #[test]
+    fn periodic_beacon_detected() {
+        let ff = periodic_flow(60, 10, &[0]);
+        assert!(ff.looks_periodic(), "cv {}", ff.gap_cv);
+        assert!((ff.mean_gap_secs - 60.0).abs() < 0.5);
+        assert_eq!(ff.sends_up, 10);
+        assert!(ff.crosses_perimeter);
+    }
+
+    #[test]
+    fn irregular_traffic_not_periodic() {
+        let ff = periodic_flow(10, 10, &[0, 9000, 23000, 1000, 41000]);
+        assert!(!ff.looks_periodic(), "cv {}", ff.gap_cv);
+    }
+
+    #[test]
+    fn asymmetry_sign() {
+        let mut net = Network::new();
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            443,
+        );
+        net.send(SimTime::from_secs(1), f, Direction::ToResponder, &[0u8; 10_000]);
+        net.send(SimTime::from_secs(2), f, Direction::ToInitiator, &[0u8; 100]);
+        let trace = net.into_trace();
+        let mut r = Reassembler::new();
+        r.feed_trace(&trace);
+        let ff = FlowFeatures::from_flow(0, &r.flows()[&0]).unwrap();
+        assert!(ff.asymmetry > 0.9);
+        assert_eq!(ff.bytes_up, 10_000);
+    }
+
+    #[test]
+    fn empty_flow_features() {
+        let mut net = Network::new();
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            22,
+        );
+        net.close(SimTime::from_millis(1), f, true);
+        let trace = net.into_trace();
+        let mut r = Reassembler::new();
+        r.feed_trace(&trace);
+        let ff = FlowFeatures::from_flow(0, &r.flows()[&0]).unwrap();
+        assert!(ff.reset);
+        assert_eq!(ff.bytes_up, 0);
+        assert_eq!(ff.asymmetry, 0.0);
+        assert!(!ff.looks_periodic());
+    }
+
+    #[test]
+    fn segments_in_one_write_are_one_burst() {
+        let mut net = Network::new().with_mss(100);
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            443,
+        );
+        // 1000 bytes => 10 segments 50 µs apart: one burst.
+        net.send(SimTime::from_secs(1), f, Direction::ToResponder, &[0u8; 1000]);
+        net.send(SimTime::from_secs(31), f, Direction::ToResponder, &[0u8; 1000]);
+        let trace = net.into_trace();
+        let mut r = Reassembler::new();
+        r.feed_trace(&trace);
+        let ff = FlowFeatures::from_flow(0, &r.flows()[&0]).unwrap();
+        assert_eq!(ff.sends_up, 2);
+        assert!((ff.mean_gap_secs - 30.0).abs() < 0.1);
+    }
+}

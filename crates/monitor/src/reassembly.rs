@@ -1,0 +1,268 @@
+//! Streaming per-flow TCP reassembly — the sensor's first stage.
+//!
+//! Unlike `Trace::reassemble` (ground-truth utility), this is the
+//! monitor's own streaming implementation: records arrive in capture
+//! order (possibly reordered/duplicated/dropped), and each direction of
+//! each flow maintains an out-of-order buffer, delivering the contiguous
+//! prefix downstream and accounting gaps.
+
+use ja_netsim::addr::FiveTuple;
+use ja_netsim::segment::{Direction, SegmentRecord};
+use ja_netsim::time::SimTime;
+use std::collections::{BTreeMap, HashMap};
+
+/// One direction of one flow, as reconstructed by the sensor.
+#[derive(Debug)]
+#[derive(Default)]
+pub struct StreamState {
+    /// Delivered contiguous bytes.
+    pub data: Vec<u8>,
+    /// Next expected offset.
+    next: u64,
+    /// Out-of-order segments waiting for the gap to fill.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Duplicate segments seen.
+    pub duplicates: u64,
+    /// Bytes currently stuck behind a gap.
+    pub pending_bytes: u64,
+}
+
+
+impl StreamState {
+    fn insert(&mut self, offset: u64, payload: &[u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let end = offset + payload.len() as u64;
+        if end <= self.next {
+            self.duplicates += 1;
+            return;
+        }
+        // Trim any already-delivered prefix.
+        let (offset, payload) = if offset < self.next {
+            let skip = (self.next - offset) as usize;
+            (self.next, &payload[skip..])
+        } else {
+            (offset, payload)
+        };
+        if offset == self.next {
+            self.data.extend_from_slice(payload);
+            self.next += payload.len() as u64;
+            // Drain pending that is now contiguous.
+            while let Some((&off, _)) = self.pending.first_key_value() {
+                if off > self.next {
+                    break;
+                }
+                let (off, bytes) = self.pending.pop_first().expect("non-empty");
+                self.pending_bytes = self.pending_bytes.saturating_sub(bytes.len() as u64);
+                let end = off + bytes.len() as u64;
+                if end <= self.next {
+                    self.duplicates += 1;
+                    continue;
+                }
+                let skip = (self.next - off) as usize;
+                self.data.extend_from_slice(&bytes[skip..]);
+                self.next = end;
+            }
+        } else {
+            // Out of order: stash (coalescing duplicates by offset).
+            if self.pending.insert(offset, payload.to_vec()).is_none() {
+                self.pending_bytes += payload.len() as u64;
+            } else {
+                self.duplicates += 1;
+            }
+        }
+    }
+
+    /// Is there a sequence gap (undelivered pending data)?
+    pub fn has_gap(&self) -> bool {
+        !self.pending.is_empty()
+    }
+}
+
+/// Reconstructed view of one flow.
+#[derive(Debug, Default)]
+pub struct FlowBuf {
+    /// Five-tuple (set on first record).
+    pub tuple: Option<FiveTuple>,
+    /// Client→server stream.
+    pub up: StreamState,
+    /// Server→client stream.
+    pub down: StreamState,
+    /// Timestamps of payload-bearing upstream segments (rate features).
+    pub up_times: Vec<SimTime>,
+    /// Timestamps of payload-bearing downstream segments.
+    pub down_times: Vec<SimTime>,
+    /// Upstream payload sizes.
+    pub up_sizes: Vec<u32>,
+    /// Downstream payload sizes.
+    pub down_sizes: Vec<u32>,
+    /// SYN seen.
+    pub opened: Option<SimTime>,
+    /// FIN/RST seen.
+    pub closed: Option<SimTime>,
+    /// RST seen.
+    pub reset: bool,
+}
+
+/// Reassembler over an entire capture.
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    flows: HashMap<u64, FlowBuf>,
+    /// Total records consumed.
+    pub records_in: u64,
+}
+
+impl Reassembler {
+    /// Empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one captured record.
+    pub fn feed(&mut self, rec: &SegmentRecord) {
+        self.records_in += 1;
+        let fb = self.flows.entry(rec.flow_id).or_default();
+        fb.tuple.get_or_insert(rec.tuple);
+        if rec.flags.syn {
+            fb.opened.get_or_insert(rec.time);
+        }
+        if rec.flags.fin || rec.flags.rst {
+            fb.closed.get_or_insert(rec.time);
+            fb.reset |= rec.flags.rst;
+        }
+        if rec.wire_len > 0 {
+            match rec.dir {
+                Direction::ToResponder => {
+                    fb.up.insert(rec.stream_offset, &rec.payload);
+                    fb.up_times.push(rec.time);
+                    fb.up_sizes.push(rec.wire_len);
+                }
+                Direction::ToInitiator => {
+                    fb.down.insert(rec.stream_offset, &rec.payload);
+                    fb.down_times.push(rec.time);
+                    fb.down_sizes.push(rec.wire_len);
+                }
+            }
+        }
+    }
+
+    /// Feed an entire trace.
+    pub fn feed_trace(&mut self, trace: &ja_netsim::trace::Trace) {
+        for r in trace.records() {
+            self.feed(r);
+        }
+    }
+
+    /// The reconstructed flows, keyed by flow id.
+    pub fn flows(&self) -> &HashMap<u64, FlowBuf> {
+        &self.flows
+    }
+
+    /// Consume into the flow map.
+    pub fn into_flows(self) -> HashMap<u64, FlowBuf> {
+        self.flows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_netsim::addr::{HostAddr, HostId};
+    use ja_netsim::network::Network;
+    use ja_netsim::rng::SimRng;
+    use ja_netsim::time::Duration;
+
+    fn capture(mss: usize, payload: &[u8]) -> ja_netsim::trace::Trace {
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            2,
+        );
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, payload);
+        net.send(SimTime::from_millis(2), f, Direction::ToInitiator, b"ack");
+        net.close(SimTime::from_millis(3), f, false);
+        net.into_trace()
+    }
+
+    #[test]
+    fn in_order_reassembly() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let trace = capture(100, &data);
+        let mut r = Reassembler::new();
+        r.feed_trace(&trace);
+        let fb = &r.flows()[&0];
+        assert_eq!(fb.up.data, data);
+        assert_eq!(fb.down.data, b"ack");
+        assert!(fb.opened.is_some());
+        assert!(fb.closed.is_some());
+        assert!(!fb.up.has_gap());
+        assert_eq!(fb.up_sizes.len(), 10);
+    }
+
+    #[test]
+    fn reordered_and_duplicated_reassembly() {
+        let data: Vec<u8> = (0u8..200).collect();
+        let trace = capture(16, &data);
+        let mut recs = trace.into_records();
+        let dup = recs
+            .iter()
+            .find(|r| !r.payload.is_empty())
+            .cloned()
+            .unwrap();
+        recs.push(dup);
+        let mut rng = SimRng::new(3);
+        let shuffled =
+            ja_netsim::trace::Trace::new(recs).perturb(&mut rng, 0.0, Duration::from_millis(100));
+        let mut r = Reassembler::new();
+        r.feed_trace(&shuffled);
+        let fb = &r.flows()[&0];
+        assert_eq!(fb.up.data, data);
+        assert!(fb.up.duplicates >= 1 || fb.up.pending_bytes == 0);
+    }
+
+    #[test]
+    fn gap_withholds_suffix() {
+        let data: Vec<u8> = (0u8..100).collect();
+        let trace = capture(10, &data);
+        let recs: Vec<_> = trace
+            .into_records()
+            .into_iter()
+            .filter(|r| r.stream_offset != 30 || r.payload.is_empty())
+            .collect();
+        let mut r = Reassembler::new();
+        for rec in &recs {
+            r.feed(rec);
+        }
+        let fb = &r.flows()[&0];
+        assert_eq!(fb.up.data, (0u8..30).collect::<Vec<_>>());
+        assert!(fb.up.has_gap());
+        assert!(fb.up.pending_bytes > 0);
+    }
+
+    #[test]
+    fn overlap_trimmed() {
+        let mut st = StreamState::default();
+        st.insert(0, &[1, 2, 3, 4]);
+        // Overlapping retransmit covering [2, 6).
+        st.insert(2, &[3, 4, 5, 6]);
+        assert_eq!(st.data, vec![1, 2, 3, 4, 5, 6]);
+        // Fully-covered duplicate.
+        st.insert(0, &[1, 2]);
+        assert_eq!(st.duplicates, 1);
+    }
+
+    #[test]
+    fn pending_coalesces_on_fill() {
+        let mut st = StreamState::default();
+        st.insert(10, &[10, 11]);
+        st.insert(5, &[5, 6, 7, 8, 9]);
+        assert!(st.has_gap() || st.data.is_empty());
+        st.insert(0, &[0, 1, 2, 3, 4]);
+        assert_eq!(st.data, (0u8..12).collect::<Vec<_>>());
+        assert!(!st.has_gap());
+    }
+}

@@ -1,0 +1,207 @@
+//! Signature rules: the "latest signatures of attacks in the wild" the
+//! paper wants honeypots to learn at the edge and push to production
+//! monitors before attackers reach them (§IV.A).
+
+use ja_attackgen::AttackClass;
+
+/// What a rule matches on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Pattern {
+    /// Substring in executed cell code (needs content visibility).
+    CodeSubstring(String),
+    /// Substring in the HTTP upgrade target (token leaks, odd paths).
+    UrlSubstring(String),
+    /// Destination port match (stratum pools, DNS tunnels).
+    DstPort(u16),
+    /// Substring in a process command line (audit-plane rules).
+    CmdlineSubstring(String),
+}
+
+/// One signature rule.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    /// Unique rule id.
+    pub id: String,
+    /// Class the rule indicates.
+    pub class: AttackClass,
+    /// Match pattern.
+    pub pattern: Pattern,
+    /// Confidence contributed by a match.
+    pub confidence: f64,
+}
+
+/// A rule set with match helpers.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The builtin signatures a production sensor ships with. Honeypot
+    /// intel extends this set at runtime.
+    pub fn builtin() -> Self {
+        let mut rs = Self::new();
+        for (id, class, pattern, conf) in [
+            (
+                "sig-miner-cmd",
+                AttackClass::Cryptomining,
+                Pattern::CmdlineSubstring("xmrig".into()),
+                0.95,
+            ),
+            (
+                "sig-stratum-port",
+                AttackClass::Cryptomining,
+                Pattern::DstPort(3333),
+                0.7,
+            ),
+            (
+                "sig-stratum-tls-port",
+                AttackClass::Cryptomining,
+                Pattern::DstPort(14444),
+                0.6,
+            ),
+            (
+                "sig-curl-pipe-sh",
+                AttackClass::Misconfiguration,
+                Pattern::CmdlineSubstring("| sh".into()),
+                0.8,
+            ),
+            (
+                "sig-os-system",
+                AttackClass::Misconfiguration,
+                Pattern::CodeSubstring("os.system".into()),
+                0.5,
+            ),
+            (
+                "sig-ransom-note",
+                AttackClass::Ransomware,
+                Pattern::CodeSubstring("README_RESTORE".into()),
+                0.9,
+            ),
+            (
+                "sig-cred-harvest",
+                AttackClass::AccountTakeover,
+                Pattern::CmdlineSubstring(".ssh/id_rsa".into()),
+                0.85,
+            ),
+            (
+                "sig-token-in-url",
+                AttackClass::Misconfiguration,
+                Pattern::UrlSubstring("token=".into()),
+                0.6,
+            ),
+        ] {
+            rs.add(Rule {
+                id: id.into(),
+                class,
+                pattern,
+                confidence: conf,
+            });
+        }
+        rs
+    }
+
+    /// Add a rule (honeypot intel path).
+    pub fn add(&mut self, rule: Rule) {
+        // Id-dedup: re-learning an existing signature is a no-op.
+        if !self.rules.iter().any(|r| r.id == rule.id) {
+            self.rules.push(rule);
+        }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rules matching executed code.
+    pub fn match_code(&self, code: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(&r.pattern, Pattern::CodeSubstring(s) if code.contains(s.as_str())))
+            .collect()
+    }
+
+    /// Rules matching an upgrade-request target.
+    pub fn match_url(&self, url: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(&r.pattern, Pattern::UrlSubstring(s) if url.contains(s.as_str())))
+            .collect()
+    }
+
+    /// Rules matching a destination port.
+    pub fn match_port(&self, port: u16) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(|r| matches!(&r.pattern, Pattern::DstPort(p) if *p == port))
+            .collect()
+    }
+
+    /// Rules matching a process command line.
+    pub fn match_cmdline(&self, cmdline: &str) -> Vec<&Rule> {
+        self.rules
+            .iter()
+            .filter(
+                |r| matches!(&r.pattern, Pattern::CmdlineSubstring(s) if cmdline.contains(s.as_str())),
+            )
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_rules_match_expected_artifacts() {
+        let rs = RuleSet::builtin();
+        assert!(!rs.is_empty());
+        assert!(!rs.match_cmdline("/tmp/.x -o pool:3333 (xmrig)").is_empty());
+        assert!(!rs.match_port(3333).is_empty());
+        assert!(rs.match_port(443).is_empty());
+        assert!(!rs
+            .match_code("open('README_RESTORE.txt','w').write(note)")
+            .is_empty());
+        assert!(!rs.match_url("/api/kernels/k0/channels?token=abc").is_empty());
+        assert!(rs.match_code("print('hello')").is_empty());
+    }
+
+    #[test]
+    fn add_dedups_by_id() {
+        let mut rs = RuleSet::new();
+        let rule = Rule {
+            id: "x".into(),
+            class: AttackClass::ZeroDay,
+            pattern: Pattern::CodeSubstring("abc".into()),
+            confidence: 0.5,
+        };
+        rs.add(rule.clone());
+        rs.add(rule);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn learned_rule_extends_coverage() {
+        let mut rs = RuleSet::builtin();
+        let before = rs.match_code("comm.send(buffer[:40960])").len();
+        assert_eq!(before, 0);
+        rs.add(Rule {
+            id: "hp-learned-1".into(),
+            class: AttackClass::ZeroDay,
+            pattern: Pattern::CodeSubstring("comm.send(buffer".into()),
+            confidence: 0.8,
+        });
+        assert_eq!(rs.match_code("comm.send(buffer[:40960])").len(), 1);
+    }
+}

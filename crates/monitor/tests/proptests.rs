@@ -1,0 +1,116 @@
+//! Property tests: the sensor's reassembly matches ground truth under
+//! arbitrary traffic and perturbation; detectors never panic on
+//! arbitrary feature inputs.
+
+use ja_monitor::detectors::{self, Thresholds};
+use ja_monitor::features::FlowFeatures;
+use ja_monitor::reassembly::Reassembler;
+use ja_netsim::addr::{FiveTuple, HostAddr, HostId};
+use ja_netsim::network::Network;
+use ja_netsim::rng::SimRng;
+use ja_netsim::segment::Direction;
+use ja_netsim::time::{Duration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    /// The monitor's streaming reassembler recovers exactly the bytes
+    /// the trace-level (ground-truth) reassembler does, under arbitrary
+    /// writes, reordering and duplication.
+    #[test]
+    fn reassembler_matches_ground_truth(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..8),
+        mss in 1usize..64,
+        seed in any::<u64>()) {
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        let mut t = SimTime::from_millis(1);
+        for w in &writes {
+            t = net.send(t, f, Direction::ToResponder, w);
+            t += Duration::from_millis(2);
+        }
+        net.close(t, f, false);
+        let trace = net.into_trace();
+        let mut rng = SimRng::new(seed);
+        let perturbed = trace.perturb(&mut rng, 0.0, Duration::from_millis(1));
+        let want = trace.reassemble(0, Direction::ToResponder);
+        let mut re = Reassembler::new();
+        re.feed_trace(&perturbed);
+        prop_assert_eq!(&re.flows()[&0].up.data, &want);
+    }
+
+    /// Dropping records never makes the reassembler deliver bytes that
+    /// were not sent (prefix property).
+    #[test]
+    fn loss_yields_prefix(data in proptest::collection::vec(any::<u8>(), 1..2000),
+                          drop in 0.0f64..0.9,
+                          seed in any::<u64>()) {
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(32);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, &data);
+        let trace = net.into_trace();
+        let mut rng = SimRng::new(seed);
+        let lossy = trace.perturb(&mut rng, drop, Duration::ZERO);
+        let mut re = Reassembler::new();
+        re.feed_trace(&lossy);
+        let got = &re.flows()[&0].up.data;
+        prop_assert!(got.len() <= data.len());
+        prop_assert_eq!(got.as_slice(), &data[..got.len()]);
+    }
+
+    /// Detectors accept arbitrary (finite) features without panicking,
+    /// and alert confidences stay in [0, 1].
+    #[test]
+    fn detectors_total_over_feature_space(
+        bytes_up in 0u64..u64::MAX / 2,
+        bytes_down in 0u64..u64::MAX / 2,
+        duration in 0.0f64..1e7,
+        sends in 0usize..10_000,
+        gap in 0.0f64..1e5,
+        cv in 0.0f64..10.0,
+        port in 0u16..u16::MAX,
+        reset in any::<bool>()) {
+        let tuple = FiveTuple::new(
+            HostAddr::internal(HostId(1)),
+            40000,
+            HostAddr::external(1),
+            port,
+        );
+        let up = bytes_up as f64;
+        let down = bytes_down as f64;
+        let ff = FlowFeatures {
+            flow_id: 0,
+            tuple,
+            duration_secs: duration,
+            bytes_up,
+            bytes_down,
+            asymmetry: if up + down == 0.0 { 0.0 } else { (up - down) / (up + down) },
+            sends_up: sends,
+            mean_gap_secs: gap,
+            gap_cv: cv,
+            reset,
+            crosses_perimeter: true,
+            start: SimTime::ZERO,
+        };
+        let analysis = ja_monitor::analyzers::FlowAnalysis {
+            handshake: None,
+            kernel_msgs: Vec::new(),
+            opaque_ws_messages: 0,
+            visibility: ja_monitor::analyzers::Visibility::Opaque,
+            up_entropy_bits: 8.0,
+        };
+        let th = Thresholds::default();
+        let rules = ja_monitor::rules::RuleSet::builtin();
+        let alerts = detectors::per_flow(&ff, &analysis, &rules, &th);
+        for a in &alerts {
+            prop_assert!((0.0..=1.0).contains(&a.confidence));
+        }
+        let cross = detectors::cross_flow(&[ff], &th);
+        for a in &cross {
+            prop_assert!((0.0..=1.0).contains(&a.confidence));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Host and flow addressing.
+
+/// Opaque host identifier within a simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostId(pub u32);
+
+/// An IPv4-like address. Hosts get deterministic addresses from their id;
+/// external attackers live in a distinct /8 so detectors can reason about
+/// perimeter crossings.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HostAddr(pub u32);
+
+impl HostAddr {
+    /// Internal (campus/HPC) address for a host id: `10.0.x.y`.
+    pub fn internal(id: HostId) -> Self {
+        HostAddr(0x0A00_0000 | (id.0 & 0x00FF_FFFF))
+    }
+
+    /// External (internet) address for an attacker id: `203.x.y.z`-like.
+    pub fn external(id: u32) -> Self {
+        HostAddr(0xCB00_0000 | (id & 0x00FF_FFFF))
+    }
+
+    /// Is this address inside the protected perimeter?
+    pub fn is_internal(self) -> bool {
+        self.0 >> 24 == 0x0A
+    }
+
+    /// Dotted-quad rendering.
+    pub fn to_string_dotted(self) -> String {
+        format!(
+            "{}.{}.{}.{}",
+            self.0 >> 24,
+            (self.0 >> 16) & 0xff,
+            (self.0 >> 8) & 0xff,
+            self.0 & 0xff
+        )
+    }
+}
+
+impl std::fmt::Display for HostAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_string_dotted())
+    }
+}
+
+/// A five-tuple identifying a flow (protocol is always TCP here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FiveTuple {
+    /// Initiator address.
+    pub src: HostAddr,
+    /// Initiator port.
+    pub src_port: u16,
+    /// Responder address.
+    pub dst: HostAddr,
+    /// Responder port.
+    pub dst_port: u16,
+}
+
+impl FiveTuple {
+    /// Construct a tuple.
+    pub fn new(src: HostAddr, src_port: u16, dst: HostAddr, dst_port: u16) -> Self {
+        FiveTuple {
+            src,
+            src_port,
+            dst,
+            dst_port,
+        }
+    }
+
+    /// Does this flow cross the perimeter (one endpoint internal, one
+    /// external)? Exfiltration/beaconing detectors restrict to these.
+    pub fn crosses_perimeter(&self) -> bool {
+        self.src.is_internal() != self.dst.is_internal()
+    }
+}
+
+impl std::fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{}",
+            self.src, self.src_port, self.dst, self.dst_port
+        )
+    }
+}
+
+/// Well-known ports in the simulated deployments.
+pub mod ports {
+    /// JupyterHub public HTTPS front door.
+    pub const HUB_HTTPS: u16 = 443;
+    /// Jupyter notebook server default (the famous exposed 8888).
+    pub const NOTEBOOK: u16 = 8888;
+    /// SSH (brute-force target).
+    pub const SSH: u16 = 22;
+    /// Typical cryptomining stratum pool port.
+    pub const STRATUM: u16 = 3333;
+    /// Alternative stratum/TLS pool port.
+    pub const STRATUM_TLS: u16 = 14444;
+    /// DNS (tunneling channel).
+    pub const DNS: u16 = 53;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn internal_external_partition() {
+        let a = HostAddr::internal(HostId(5));
+        let b = HostAddr::external(5);
+        assert!(a.is_internal());
+        assert!(!b.is_internal());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn dotted_rendering() {
+        assert_eq!(
+            HostAddr::internal(HostId(0x0102)).to_string_dotted(),
+            "10.0.1.2"
+        );
+        assert_eq!(HostAddr::external(1).to_string_dotted(), "203.0.0.1");
+    }
+
+    #[test]
+    fn perimeter_crossing() {
+        let internal = HostAddr::internal(HostId(1));
+        let internal2 = HostAddr::internal(HostId(2));
+        let external = HostAddr::external(9);
+        assert!(FiveTuple::new(internal, 50000, external, 443).crosses_perimeter());
+        assert!(FiveTuple::new(external, 443, internal, 50000).crosses_perimeter());
+        assert!(!FiveTuple::new(internal, 1, internal2, 2).crosses_perimeter());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let t = FiveTuple::new(HostAddr::internal(HostId(1)), 40000, HostAddr::external(2), 443);
+        assert_eq!(t.to_string(), "10.0.0.1:40000 -> 203.0.0.2:443");
+    }
+
+    #[test]
+    fn host_ids_map_to_distinct_addrs() {
+        let addrs: std::collections::HashSet<_> =
+            (0..1000u32).map(|i| HostAddr::internal(HostId(i))).collect();
+        assert_eq!(addrs.len(), 1000);
+    }
+}

@@ -1,0 +1,144 @@
+//! A generic, stable discrete-event queue.
+//!
+//! Campaign schedulers and the unified pipeline interleave actions from
+//! many actors (users, attackers, honeypots) on one virtual clock; this
+//! queue guarantees deterministic ordering: by time, then by insertion
+//! sequence for ties.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Scheduled<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Scheduled<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<T> Eq for Scheduled<T> {}
+impl<T> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Min-heap event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Reverse<Scheduled<T>>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Empty queue at t=0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Schedule `item` at `time`. Scheduling in the past is clamped to
+    /// "now" (events cannot time-travel).
+    pub fn schedule(&mut self, time: SimTime, item: T) {
+        let time = time.max(self.now);
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.next_seq,
+            item,
+        }));
+        self.next_seq += 1;
+    }
+
+    /// Pop the earliest event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        let Reverse(s) = self.heap.pop()?;
+        self.now = s.time;
+        Some((s.time, s.item))
+    }
+
+    /// Current virtual time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events remaining.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Is the queue exhausted?
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "late");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        q.schedule(SimTime::ZERO, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, vec!["first", "a", "b", "late"]);
+    }
+
+    #[test]
+    fn clock_advances_and_clamps() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 1u32);
+        assert_eq!(q.pop().unwrap().0, SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(5));
+        // Scheduling in the past clamps to now.
+        q.schedule(SimTime::from_secs(1), 2u32);
+        let (t, v) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(SimTime::ZERO, ());
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn interleaved_schedule_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), 1);
+        q.schedule(SimTime::from_secs(3), 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(SimTime::from_secs(2), 2);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+}

@@ -1,0 +1,213 @@
+//! Seeded randomness with the distribution helpers traffic generation
+//! needs. Wraps `rand`'s `StdRng` so every experiment is reproducible
+//! from a single `--seed`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic simulation RNG.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Seeded RNG.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derive an independent child stream (for per-campaign/per-host
+    /// RNGs that must not perturb each other when one draws more).
+    pub fn fork(&mut self, label: u64) -> SimRng {
+        let base: u64 = self.inner.gen();
+        SimRng::new(base ^ label.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[lo, hi)`; `lo == hi` returns `lo`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            return lo;
+        }
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Bernoulli draw.
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Exponential variate with the given mean (inter-arrival times of a
+    /// Poisson process).
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        let u: f64 = self.f64();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Poisson-distributed count with the given rate (Knuth's method;
+    /// fine for the λ ≤ ~100 this workspace uses, with a normal
+    /// approximation above that).
+    pub fn poisson(&mut self, lambda: f64) -> u64 {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda > 100.0 {
+            // Normal approximation for large λ.
+            let g = self.gaussian();
+            return (lambda + lambda.sqrt() * g).round().max(0.0) as u64;
+        }
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= self.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    /// Standard normal variate (Box-Muller).
+    pub fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = self.f64();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Log-normal variate parameterized by the *median* and σ of the
+    /// underlying normal (heavy-tailed file sizes / transfer volumes).
+    pub fn lognormal(&mut self, median: f64, sigma: f64) -> f64 {
+        median * (sigma * self.gaussian()).exp()
+    }
+
+    /// Pick an index by weight. Panics on empty weights; zero total
+    /// weight falls back to index 0.
+    pub fn weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted() needs at least one weight");
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return 0;
+        }
+        let mut draw = self.f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if draw < w {
+                return i;
+            }
+            draw -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Choose one element of a slice uniformly.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose() needs a non-empty slice");
+        let i = self.range(0, items.len() as u64) as usize;
+        &items[i]
+    }
+
+    /// Fill a buffer with random bytes.
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill(buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.range(0, 1000), b.range(0, 1000));
+        }
+        let mut c = SimRng::new(8);
+        let diverged = (0..100).any(|_| a.range(0, 1000) != c.range(0, 1000));
+        assert!(diverged);
+    }
+
+    #[test]
+    fn fork_streams_independent() {
+        let mut root = SimRng::new(1);
+        let mut x = root.fork(1);
+        let mut y = root.fork(2);
+        let xs: Vec<u64> = (0..10).map(|_| x.range(0, 1 << 30)).collect();
+        let ys: Vec<u64> = (0..10).map(|_| y.range(0, 1 << 30)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn exp_mean_close() {
+        let mut rng = SimRng::new(42);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.exp(3.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_mean_close() {
+        let mut rng = SimRng::new(43);
+        for lambda in [0.5f64, 5.0, 50.0, 500.0] {
+            let n = 5_000;
+            let sum: u64 = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = sum as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda} mean={mean}"
+            );
+        }
+        assert_eq!(rng.poisson(0.0), 0);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = SimRng::new(44);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn weighted_respects_weights() {
+        let mut rng = SimRng::new(45);
+        let n = 30_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[rng.weighted(&[1.0, 2.0, 7.0])] += 1;
+        }
+        let f2 = counts[2] as f64 / n as f64;
+        assert!((f2 - 0.7).abs() < 0.03, "f2 {f2}");
+        // Degenerate weights fall back to 0.
+        assert_eq!(rng.weighted(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn range_degenerate() {
+        let mut rng = SimRng::new(46);
+        assert_eq!(rng.range(5, 5), 5);
+        assert_eq!(rng.range(7, 3), 7);
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let mut rng = SimRng::new(47);
+        let n = 20_001;
+        let mut xs: Vec<f64> = (0..n).map(|_| rng.lognormal(100.0, 1.0)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        assert!((median / 100.0 - 1.0).abs() < 0.1, "median {median}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Timestamped segment records — the unit of capture.
+
+use crate::addr::FiveTuple;
+use crate::time::SimTime;
+
+/// Direction of a segment relative to the flow initiator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Initiator → responder (client → server).
+    ToResponder,
+    /// Responder → initiator (server → client).
+    ToInitiator,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn flip(self) -> Direction {
+        match self {
+            Direction::ToResponder => Direction::ToInitiator,
+            Direction::ToInitiator => Direction::ToResponder,
+        }
+    }
+}
+
+/// TCP-ish control flags carried by a record.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegFlags {
+    /// Connection open (first segment of a flow).
+    pub syn: bool,
+    /// Connection close.
+    pub fin: bool,
+    /// Abortive close.
+    pub rst: bool,
+}
+
+/// One captured segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SegmentRecord {
+    /// Capture timestamp.
+    pub time: SimTime,
+    /// Flow five-tuple (canonical: initiator as src).
+    pub tuple: FiveTuple,
+    /// Flow id assigned by the network (monotonic).
+    pub flow_id: u64,
+    /// Direction relative to the initiator.
+    pub dir: Direction,
+    /// Byte offset of this payload within its direction's stream.
+    pub stream_offset: u64,
+    /// Captured payload bytes (possibly truncated by the snap length,
+    /// like a pcap snaplen capture; possibly encrypted by the transport
+    /// model).
+    pub payload: Vec<u8>,
+    /// True on-the-wire byte count for this segment (≥ `payload.len()`;
+    /// the difference is bytes the capture truncated).
+    pub wire_len: u32,
+    /// Control flags.
+    pub flags: SegFlags,
+}
+
+impl SegmentRecord {
+    /// Captured payload length.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when there is no payload (pure control segment).
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::{HostAddr, HostId};
+
+    #[test]
+    fn direction_flip() {
+        assert_eq!(Direction::ToResponder.flip(), Direction::ToInitiator);
+        assert_eq!(Direction::ToInitiator.flip(), Direction::ToResponder);
+    }
+
+    #[test]
+    fn record_len() {
+        let r = SegmentRecord {
+            time: SimTime::ZERO,
+            tuple: FiveTuple::new(HostAddr::internal(HostId(1)), 1, HostAddr::external(2), 2),
+            flow_id: 0,
+            dir: Direction::ToResponder,
+            stream_offset: 0,
+            payload: vec![1, 2, 3],
+            wire_len: 3,
+            flags: SegFlags::default(),
+        };
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+}

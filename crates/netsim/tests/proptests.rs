@@ -1,0 +1,81 @@
+//! Property tests: flow reassembly equals the sent byte stream under
+//! arbitrary writes, MSS values, reordering and duplication; event queue
+//! ordering is total.
+
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::events::EventQueue;
+use ja_netsim::network::Network;
+use ja_netsim::rng::SimRng;
+use ja_netsim::segment::Direction;
+use ja_netsim::time::{Duration, SimTime};
+use ja_netsim::trace::Trace;
+use proptest::prelude::*;
+
+proptest! {
+    /// Whatever is written, in whatever chunks, with whatever MSS, the
+    /// reassembled stream equals the concatenation of the writes.
+    #[test]
+    fn reassembly_identity(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..300), 1..10),
+        mss in 1usize..200) {
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        let mut t = SimTime::from_millis(1);
+        let mut expect = Vec::new();
+        for w in &writes {
+            t = net.send(t, f, Direction::ToResponder, w);
+            expect.extend_from_slice(w);
+        }
+        net.close(t, f, false);
+        let trace = net.into_trace();
+        prop_assert_eq!(trace.reassemble(0, Direction::ToResponder), expect);
+    }
+
+    /// Reassembly is invariant under record shuffling and duplication
+    /// (the TCP reassembler's whole job).
+    #[test]
+    fn reassembly_shuffle_invariant(
+        data in proptest::collection::vec(any::<u8>(), 1..2000),
+        mss in 1usize..100,
+        seed in any::<u64>()) {
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, &data);
+        let trace = net.into_trace();
+        let mut recs = trace.into_records();
+        // Duplicate a few and reorder by jittered time.
+        let mut rng = SimRng::new(seed);
+        let n = recs.len();
+        for _ in 0..3 {
+            let i = rng.range(0, n as u64) as usize;
+            recs.push(recs[i].clone());
+        }
+        let perturbed = Trace::new(recs);
+        let mut rng2 = SimRng::new(seed ^ 1);
+        let shuffled = perturbed.perturb(&mut rng2, 0.0, Duration::from_millis(50));
+        prop_assert_eq!(shuffled.reassemble(0, Direction::ToResponder), data);
+    }
+
+    /// Popping the event queue yields non-decreasing times, and all items
+    /// come back out.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1_000_000, 0..64)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(SimTime(t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        let mut last = 0u64;
+        while let Some((t, i)) = q.pop() {
+            prop_assert!(t.as_micros() >= last);
+            last = t.as_micros();
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,121 @@
+//! Close status codes (RFC 6455 §7.4) and their validity on the wire.
+//!
+//! Abnormal close-code distributions are one of the monitor's weak
+//! signals: scanners and exploit kits disconnect with 1002/1006-class
+//! patterns far more often than interactive notebook users do.
+
+/// Well-known close codes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CloseCode {
+    /// 1000 — normal closure.
+    Normal,
+    /// 1001 — going away (tab closed, server shutdown).
+    GoingAway,
+    /// 1002 — protocol error.
+    ProtocolError,
+    /// 1003 — unacceptable data type.
+    UnsupportedData,
+    /// 1007 — invalid payload data (bad UTF-8).
+    InvalidPayload,
+    /// 1008 — policy violation (Jupyter uses this for auth failures).
+    PolicyViolation,
+    /// 1009 — message too big.
+    MessageTooBig,
+    /// 1011 — unexpected server error.
+    InternalError,
+    /// 3000-4999 and other registered/private codes.
+    Other(u16),
+}
+
+impl CloseCode {
+    /// Numeric value.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            CloseCode::Normal => 1000,
+            CloseCode::GoingAway => 1001,
+            CloseCode::ProtocolError => 1002,
+            CloseCode::UnsupportedData => 1003,
+            CloseCode::InvalidPayload => 1007,
+            CloseCode::PolicyViolation => 1008,
+            CloseCode::MessageTooBig => 1009,
+            CloseCode::InternalError => 1011,
+            CloseCode::Other(c) => c,
+        }
+    }
+
+    /// Parse a numeric value.
+    pub fn from_u16(code: u16) -> CloseCode {
+        match code {
+            1000 => CloseCode::Normal,
+            1001 => CloseCode::GoingAway,
+            1002 => CloseCode::ProtocolError,
+            1003 => CloseCode::UnsupportedData,
+            1007 => CloseCode::InvalidPayload,
+            1008 => CloseCode::PolicyViolation,
+            1009 => CloseCode::MessageTooBig,
+            1011 => CloseCode::InternalError,
+            c => CloseCode::Other(c),
+        }
+    }
+
+    /// May this code appear in a close frame on the wire? (RFC 6455
+    /// §7.4.2: 1005/1006/1015 are reserved for local reporting only;
+    /// 0-999 are never valid.)
+    pub fn valid_on_wire(code: u16) -> bool {
+        match code {
+            0..=999 => false,
+            1004 | 1005 | 1006 | 1015 => false,
+            1000..=2999 => true, // protocol/registered range (incl. reserved-but-sendable)
+            3000..=4999 => true, // registered + private use
+            _ => false,
+        }
+    }
+
+    /// Does this code indicate an abnormal/suspicious termination for the
+    /// monitor's close-pattern feature?
+    pub fn is_abnormal(self) -> bool {
+        matches!(
+            self,
+            CloseCode::ProtocolError
+                | CloseCode::UnsupportedData
+                | CloseCode::InvalidPayload
+                | CloseCode::PolicyViolation
+                | CloseCode::MessageTooBig
+                | CloseCode::InternalError
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_known_codes() {
+        for code in [1000u16, 1001, 1002, 1003, 1007, 1008, 1009, 1011, 3000, 4999] {
+            assert_eq!(CloseCode::from_u16(code).to_u16(), code);
+        }
+    }
+
+    #[test]
+    fn wire_validity() {
+        assert!(CloseCode::valid_on_wire(1000));
+        assert!(CloseCode::valid_on_wire(1008));
+        assert!(CloseCode::valid_on_wire(3000));
+        assert!(CloseCode::valid_on_wire(4999));
+        assert!(!CloseCode::valid_on_wire(999));
+        assert!(!CloseCode::valid_on_wire(1005));
+        assert!(!CloseCode::valid_on_wire(1006));
+        assert!(!CloseCode::valid_on_wire(1015));
+        assert!(!CloseCode::valid_on_wire(5000));
+    }
+
+    #[test]
+    fn abnormality_classification() {
+        assert!(!CloseCode::Normal.is_abnormal());
+        assert!(!CloseCode::GoingAway.is_abnormal());
+        assert!(CloseCode::ProtocolError.is_abnormal());
+        assert!(CloseCode::PolicyViolation.is_abnormal());
+        assert!(!CloseCode::Other(4000).is_abnormal());
+    }
+}

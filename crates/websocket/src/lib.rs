@@ -1,0 +1,33 @@
+//! # ja-websocket — RFC 6455 WebSocket framing for `jupyter-audit`
+//!
+//! Jupyter transports every kernel-protocol message between the browser
+//! and the notebook server over WebSocket; the paper's central
+//! observability claim is that "encrypted datagrams of rapidly evolving
+//! WebSocket protocols challenge even the most state-of-the-art network
+//! observability tools, such as Zeek". To measure that claim (experiment
+//! E7) we need a real framing layer on both sides:
+//!
+//! - the *simulated deployment* uses [`frame`] + [`codec`] to put kernel
+//!   messages on the wire (client→server frames masked, per the RFC), and
+//! - the *network monitor* uses the same streaming decoder in the role of
+//!   a Zeek analyzer, reconstructing frames from raw, arbitrarily
+//!   segmented TCP payload bytes.
+//!
+//! Modules:
+//! - [`frame`] — frame model, opcodes, encode/decode of a single frame.
+//! - [`codec`] — incremental decoder over a byte stream plus a message
+//!   assembler that handles fragmentation and interleaved control frames.
+//! - [`handshake`] — HTTP/1.1 upgrade request/response including the
+//!   `Sec-WebSocket-Accept` computation.
+//! - [`close`] — close-status codes and their validity rules.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod close;
+pub mod codec;
+pub mod frame;
+pub mod handshake;
+
+pub use codec::{FrameDecoder, Message, MessageAssembler};
+pub use frame::{Frame, Opcode};

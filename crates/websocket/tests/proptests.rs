@@ -1,0 +1,78 @@
+//! Property-based tests: frame and stream round-trips under arbitrary
+//! payloads, masks and segmentation — the invariant a passive analyzer
+//! depends on.
+
+use ja_websocket::codec::{fragment, FrameDecoder, Message, MessageAssembler};
+use ja_websocket::frame::{Frame, Opcode};
+use proptest::prelude::*;
+
+fn arb_opcode() -> impl Strategy<Value = Opcode> {
+    prop_oneof![Just(Opcode::Text), Just(Opcode::Binary)]
+}
+
+proptest! {
+    /// encode → decode is the identity for any data frame.
+    #[test]
+    fn frame_round_trip(opcode in arb_opcode(),
+                        payload in proptest::collection::vec(any::<u8>(), 0..70_000),
+                        mask in proptest::option::of(any::<[u8; 4]>()),
+                        fin in any::<bool>()) {
+        let f = Frame { fin, opcode, mask, payload };
+        let bytes = f.encode();
+        let (got, used) = Frame::decode(&bytes, 1 << 20).unwrap().unwrap();
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(got, f);
+    }
+
+    /// A frame stream split at arbitrary points reassembles identically.
+    #[test]
+    fn stream_reassembly_invariant(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..512), 1..8),
+        chunk in 1usize..97) {
+        let frames: Vec<Frame> = payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| Frame {
+                fin: true,
+                opcode: if i % 2 == 0 { Opcode::Binary } else { Opcode::Text },
+                mask: (i % 3 == 0).then_some([1, 2, 3, 4]),
+                payload: p.clone(),
+            })
+            .collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for c in wire.chunks(chunk) {
+            got.extend(dec.feed(c).unwrap());
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Fragmentation at any granularity reassembles to the original
+    /// message, masked or not.
+    #[test]
+    fn fragmentation_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..4096),
+                                nfrag in 1usize..12,
+                                mask in any::<bool>()) {
+        let frames = fragment(Opcode::Binary, &payload, nfrag, mask);
+        let mut wire = Vec::new();
+        for f in &frames {
+            wire.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut asm = MessageAssembler::new();
+        let mut out = None;
+        for f in dec.feed(&wire).unwrap() {
+            if let Some(m) = asm.push(f).unwrap() {
+                prop_assert!(out.is_none(), "more than one message assembled");
+                out = Some(m);
+            }
+        }
+        prop_assert_eq!(out.unwrap(), Message::Binary(payload));
+    }
+}

@@ -1,0 +1,80 @@
+//! Edge honeypots: the paper's defense for staying "ahead of attackers"
+//! — decoys capture a mass-mining wave's payload, the extracted
+//! signature propagates to production monitors, and later victims are
+//! protected. This example sweeps fleet size and attacker
+//! sophistication.
+//!
+//! ```sh
+//! cargo run --release --example honeypot_intel
+//! ```
+
+use jupyter_audit::honeypot::{simulate_wave, WaveParams};
+use jupyter_audit::netsim::rng::SimRng;
+
+fn mean_protection(decoys: usize, sophistication: f64, realism: f64, trials: u64) -> f64 {
+    let mut total = 0.0;
+    for seed in 0..trials {
+        let params = WaveParams {
+            decoys,
+            sophistication,
+            realism,
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(1000 + seed);
+        total += simulate_wave(&params, &mut rng).protection_rate();
+    }
+    total / trials as f64
+}
+
+fn main() {
+    println!("=== honeypot fleet: protection vs size and attacker sophistication ===\n");
+    println!("wave: 50 production targets, 120 s between visits, 10 min intel propagation\n");
+
+    println!(
+        "{:<8} {:>22} {:>22} {:>22}",
+        "decoys", "naive attacker", "moderate (s=0.5)", "fingerprinting (s=1.0)"
+    );
+    for decoys in [0usize, 1, 2, 4, 8, 16, 32] {
+        let naive = mean_protection(decoys, 0.0, 0.9, 40);
+        let moderate = mean_protection(decoys, 0.5, 0.9, 40);
+        let expert = mean_protection(decoys, 1.0, 0.9, 40);
+        println!(
+            "{:<8} {:>21.1}% {:>21.1}% {:>21.1}%",
+            decoys,
+            naive * 100.0,
+            moderate * 100.0,
+            expert * 100.0
+        );
+    }
+
+    println!("\nrealism matters against fingerprinting attackers (8 decoys, s=1.0):");
+    for realism in [0.0, 0.5, 0.9, 1.0] {
+        let p = mean_protection(8, 1.0, realism, 40);
+        println!("  realism {realism:.1} -> protection {:.1}%", p * 100.0);
+    }
+
+    // Show one concrete wave end to end.
+    let params = WaveParams {
+        decoys: 8,
+        ..Default::default()
+    };
+    let mut rng = SimRng::new(7);
+    let out = simulate_wave(&params, &mut rng);
+    println!("\none concrete wave (8 decoys):");
+    println!("  first decoy capture: {:?}", out.first_capture);
+    println!("  signature available: {:?}", out.signature_available);
+    println!(
+        "  victims hit {} / protected {} (protection {:.0}%)",
+        out.victims_hit,
+        out.victims_protected,
+        out.protection_rate() * 100.0
+    );
+    let rules = out.intel.ruleset_at(
+        jupyter_audit::netsim::time::SimTime(u64::MAX),
+        &jupyter_audit::monitor::rules::RuleSet::new(),
+    );
+    println!(
+        "  learned rules match the payload: {}",
+        !rules.match_code(&params.payload_code).is_empty()
+    );
+}

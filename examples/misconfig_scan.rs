@@ -1,0 +1,79 @@
+//! Fleet hygiene audit: scan a campus deployment for the
+//! misconfiguration classes the paper's taxonomy names (exposed
+//! interfaces, missing auth, unsigned messages, tokens in URLs, stale
+//! CVEs, …), then show what a mass scan-and-exploit campaign actually
+//! achieves against that fleet before and after remediation.
+//!
+//! ```sh
+//! cargo run --release --example misconfig_scan
+//! ```
+
+use jupyter_audit::attackgen::campaign::execute;
+use jupyter_audit::attackgen::misconfig::{campaign, ScanParams};
+use jupyter_audit::kernelsim::config::{MisconfigClass, ServerConfig};
+use jupyter_audit::kernelsim::deployment::{Deployment, DeploymentSpec};
+use jupyter_audit::netsim::time::SimTime;
+use std::collections::BTreeMap;
+
+fn scan_fleet(d: &Deployment) -> BTreeMap<MisconfigClass, usize> {
+    let mut counts: BTreeMap<MisconfigClass, usize> = BTreeMap::new();
+    for srv in &d.servers {
+        for m in srv.config.misconfigurations() {
+            *counts.entry(m).or_default() += 1;
+        }
+    }
+    counts
+}
+
+fn main() {
+    let spec = DeploymentSpec {
+        servers: 32,
+        misconfig_rate: 0.2,
+        ..DeploymentSpec::campus(99)
+    };
+    let mut d = Deployment::build(&spec);
+
+    println!("=== misconfiguration scan: 32-server campus fleet ===\n");
+    println!("{:<30} servers affected", "misconfiguration class");
+    println!("{}", "-".repeat(50));
+    for (class, count) in scan_fleet(&d) {
+        println!("{:<30} {count}", class.label());
+    }
+    let exploitable = d
+        .servers
+        .iter()
+        .filter(|s| s.config.trivially_exploitable())
+        .count();
+    println!("\ntrivially exploitable servers: {exploitable}/32");
+
+    // What a mass scanner does to this fleet.
+    let c = campaign(&d, &ScanParams::default());
+    let out = execute(&mut d, &[(SimTime::ZERO, c)], 99);
+    let compromised: usize = d
+        .servers
+        .iter()
+        .filter(|s| s.procs.all().iter().any(|p| p.cmdline.contains("curl http://203.0.0.99/p")))
+        .count();
+    println!(
+        "scan-and-exploit campaign: {} probe flows, {} servers compromised",
+        out.trace
+            .flow_summaries()
+            .iter()
+            .filter(|f| f.reset)
+            .count(),
+        compromised
+    );
+
+    // Remediate and rescan.
+    let mut d2 = Deployment::build(&spec);
+    for srv in &mut d2.servers {
+        srv.config = ServerConfig::hardened();
+    }
+    let c2 = campaign(&d2, &ScanParams::default());
+    let cells = c2
+        .steps
+        .iter()
+        .filter(|s| matches!(s, jupyter_audit::attackgen::campaign::CampaignStep::Cell { .. }))
+        .count();
+    println!("after remediation: trivially exploitable = 0, exploit payloads deliverable = {cells}");
+}

@@ -1,0 +1,72 @@
+//! Determinism: identical seeds reproduce identical scenarios, traces
+//! and detection outcomes — the property EXPERIMENTS.md's published
+//! numbers rely on.
+
+use jupyter_audit::attackgen::mixer::{run_scenario, ScenarioSpec};
+use jupyter_audit::attackgen::AttackClass;
+use jupyter_audit::core::pipeline::{CampaignPlan, Pipeline, PipelineConfig};
+use jupyter_audit::kernelsim::deployment::{Deployment, DeploymentSpec};
+
+#[test]
+fn scenario_bitwise_reproducible() {
+    let spec = ScenarioSpec {
+        benign_sessions_per_server: 2,
+        attacks: vec![AttackClass::Ransomware, AttackClass::Cryptomining],
+        horizon_secs: 3600,
+        seed: 2024,
+    };
+    let run = || {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(2024));
+        let out = run_scenario(&mut d, &spec);
+        (
+            out.trace.summary(),
+            out.sys_events.len(),
+            out.auth_log.len(),
+            out.trace
+                .records()
+                .iter()
+                .map(|r| (r.time.as_micros(), r.flow_id, r.wire_len))
+                .collect::<Vec<_>>(),
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3, "record-level trace divergence");
+}
+
+#[test]
+fn pipeline_outcomes_reproducible() {
+    let run = || {
+        let mut p = Pipeline::new(PipelineConfig::small_lab(77));
+        let out = p.run(&CampaignPlan::full_mix(77));
+        let board = out.report.scoreboard.unwrap();
+        (
+            out.report.alerts.len(),
+            board.macro_recall(),
+            board.total_fp(),
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let summary = |seed: u64| {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(seed));
+        run_scenario(
+            &mut d,
+            &ScenarioSpec {
+                benign_sessions_per_server: 2,
+                attacks: vec![],
+                horizon_secs: 3600,
+                seed,
+            },
+        )
+        .trace
+        .summary()
+    };
+    assert_ne!(summary(1), summary(2));
+}
