@@ -286,10 +286,7 @@ mod tests {
         let c = tiny_campaign(None, 0, &user);
         let out = execute(&mut d, &[(SimTime::from_secs(5), c)], 1);
         assert!(out.trace.summary().segments > 0);
-        assert!(out
-            .sys_events
-            .iter()
-            .any(|e| e.class() == "cell_execute"));
+        assert!(out.sys_events.iter().any(|e| e.class() == "cell_execute"));
         assert_eq!(out.ground_truth.len(), 1);
         assert_eq!(out.ground_truth[0].servers, vec![0]);
         assert_eq!(out.ground_truth[0].start, SimTime::from_secs(5));

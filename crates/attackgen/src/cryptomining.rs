@@ -136,7 +136,11 @@ mod tests {
             .find(|p| p.name == "xmrig")
             .expect("miner spawned");
         // 60 epochs × 60 s × 0.97 ≈ 3492 CPU-seconds.
-        assert!((miner.cpu_secs - 3492.0).abs() < 5.0, "cpu {}", miner.cpu_secs);
+        assert!(
+            (miner.cpu_secs - 3492.0).abs() < 5.0,
+            "cpu {}",
+            miner.cpu_secs
+        );
     }
 
     #[test]
@@ -150,7 +154,11 @@ mod tests {
             .collect();
         assert_eq!(pool_flows.len(), 1);
         let f = &pool_flows[0];
-        assert!(f.duration().as_secs_f64() > 3000.0, "dur {}", f.duration().as_secs_f64());
+        assert!(
+            f.duration().as_secs_f64() > 3000.0,
+            "dur {}",
+            f.duration().as_secs_f64()
+        );
         assert!(f.bytes_up < 100_000, "bytes {}", f.bytes_up);
     }
 

@@ -143,7 +143,11 @@ mod tests {
         let mut attacker = RuleInferenceAttacker::new(1 << 30);
         let safe = attacker.infer(|v| v >= threshold, 64);
         assert_eq!(safe, threshold - 1);
-        assert!(attacker.probes_used <= 31, "probes {}", attacker.probes_used);
+        assert!(
+            attacker.probes_used <= 31,
+            "probes {}",
+            attacker.probes_used
+        );
     }
 
     #[test]

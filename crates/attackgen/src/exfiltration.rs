@@ -188,7 +188,9 @@ mod tests {
             .trace
             .flow_summaries()
             .into_iter()
-            .filter(|f| f.tuple.crosses_perimeter() && f.tuple.dst_port == 443 && !f.tuple.dst.is_internal())
+            .filter(|f| {
+                f.tuple.crosses_perimeter() && f.tuple.dst_port == 443 && !f.tuple.dst.is_internal()
+            })
             .collect();
         assert_eq!(ext.len(), 1);
         assert!(ext[0].asymmetry() > 0.99, "asym {}", ext[0].asymmetry());

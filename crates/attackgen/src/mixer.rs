@@ -4,9 +4,7 @@
 
 use crate::benign::{self, BenignProfile};
 use crate::campaign::{execute, Campaign, ScenarioOutput};
-use crate::{
-    cryptomining, exfiltration, misconfig, ransomware, takeover, zeroday, AttackClass,
-};
+use crate::{cryptomining, exfiltration, misconfig, ransomware, takeover, zeroday, AttackClass};
 use ja_kernelsim::deployment::Deployment;
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
@@ -96,7 +94,9 @@ pub fn build_attack(
         AttackClass::Misconfiguration => {
             misconfig::campaign(deployment, &misconfig::ScanParams::default())
         }
-        AttackClass::ZeroDay => zeroday::campaign(server, &user, &zeroday::ZeroDayParams::default()),
+        AttackClass::ZeroDay => {
+            zeroday::campaign(server, &user, &zeroday::ZeroDayParams::default())
+        }
     }
 }
 
@@ -139,13 +139,14 @@ mod tests {
             ..Default::default()
         };
         let out = run_scenario(&mut d, &spec);
-        let classes: std::collections::HashSet<_> = out
+        let classes: std::collections::HashSet<_> =
+            out.ground_truth.iter().filter_map(|g| g.class).collect();
+        assert_eq!(classes.len(), AttackClass::ALL.len());
+        let benign = out
             .ground_truth
             .iter()
-            .filter_map(|g| g.class)
-            .collect();
-        assert_eq!(classes.len(), AttackClass::ALL.len());
-        let benign = out.ground_truth.iter().filter(|g| g.class.is_none()).count();
+            .filter(|g| g.class.is_none())
+            .count();
         assert_eq!(benign, 4);
         assert!(out.trace.summary().segments > 100);
         assert!(!out.auth_log.is_empty());

@@ -138,7 +138,12 @@ mod tests {
         let _out = execute(&mut d, &[(SimTime::from_secs(60), c)], 1);
         // Same file count plus the note; all renamed with .locked.
         assert_eq!(d.servers[0].vfs.len(), before_files + 1);
-        let locked = d.servers[0].vfs.list("/home/").iter().filter(|p| p.ends_with(".locked")).count();
+        let locked = d.servers[0]
+            .vfs
+            .list("/home/")
+            .iter()
+            .filter(|p| p.ends_with(".locked"))
+            .count();
         assert_eq!(locked, before_files);
         let after_entropy = d.servers[0].home_entropy_profile(&user).shannon_bits();
         assert!(
@@ -176,11 +181,7 @@ mod tests {
         let c2 = params.c2;
         let c = campaign(0, &user, &d.servers[0], &params);
         let out = execute(&mut d, &[(SimTime::ZERO, c)], 1);
-        assert!(out
-            .trace
-            .flow_summaries()
-            .iter()
-            .any(|f| f.tuple.dst == c2));
+        assert!(out.trace.flow_summaries().iter().any(|f| f.tuple.dst == c2));
     }
 
     #[test]

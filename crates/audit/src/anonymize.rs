@@ -198,7 +198,9 @@ mod tests {
                 entropy_bits: 7.9,
             },
         };
-        let events: Vec<SysEvent> = (0..15).map(|i| mk(i, format!("/home/v/f{i}.csv"))).collect();
+        let events: Vec<SysEvent> = (0..15)
+            .map(|i| mk(i, format!("/home/v/f{i}.csv")))
+            .collect();
         let a = anon();
         let anon_events = a.anon_stream(&events);
         let alerts = AuditDetector::new().analyze(&anon_events);

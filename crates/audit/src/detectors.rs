@@ -102,18 +102,24 @@ impl AuditDetector {
             w.push((t, true));
             let horizon = t - self.thresholds.ransomware_window_secs as f64;
             w.retain(|&(wt, _)| wt >= horizon);
-            if w.len() >= self.thresholds.ransomware_burst && !fired.get(&key).copied().unwrap_or(false)
+            if w.len() >= self.thresholds.ransomware_burst
+                && !fired.get(&key).copied().unwrap_or(false)
             {
                 fired.insert(key.clone(), true);
                 alerts.push(
-                    Alert::new(e.time, AttackClass::Ransomware, 0.95, AlertSource::KernelAudit)
-                        .with_server(e.server_id)
-                        .with_user(&*e.user)
-                        .with_detail(format!(
-                            "{} ciphertext-grade writes/renames within {}s",
-                            w.len(),
-                            self.thresholds.ransomware_window_secs
-                        )),
+                    Alert::new(
+                        e.time,
+                        AttackClass::Ransomware,
+                        0.95,
+                        AlertSource::KernelAudit,
+                    )
+                    .with_server(e.server_id)
+                    .with_user(&*e.user)
+                    .with_detail(format!(
+                        "{} ciphertext-grade writes/renames within {}s",
+                        w.len(),
+                        self.thresholds.ransomware_window_secs
+                    )),
                 );
             }
         }
@@ -130,9 +136,9 @@ impl AuditDetector {
                 utilization,
             } = &e.kind
             {
-                let entry = cpu
-                    .entry((e.server_id, pid.0))
-                    .or_insert((0.0, 0.0, 0, e.user.clone()));
+                let entry =
+                    cpu.entry((e.server_id, pid.0))
+                        .or_insert((0.0, 0.0, 0, e.user.clone()));
                 entry.0 += cpu_secs;
                 entry.1 += utilization;
                 entry.2 += 1;
@@ -143,15 +149,20 @@ impl AuditDetector {
                 {
                     fired.insert((e.server_id, pid.0), true);
                     alerts.push(
-                        Alert::new(e.time, AttackClass::Cryptomining, 0.8, AlertSource::KernelAudit)
-                            .with_server(e.server_id)
-                            .with_user(entry.3.clone())
-                            .with_detail(format!(
-                                "pid {} burned {:.0} CPU-s at {:.0}% mean utilization",
-                                pid.0,
-                                entry.0,
-                                mean_util * 100.0
-                            )),
+                        Alert::new(
+                            e.time,
+                            AttackClass::Cryptomining,
+                            0.8,
+                            AlertSource::KernelAudit,
+                        )
+                        .with_server(e.server_id)
+                        .with_user(entry.3.clone())
+                        .with_detail(format!(
+                            "pid {} burned {:.0} CPU-s at {:.0}% mean utilization",
+                            pid.0,
+                            entry.0,
+                            mean_util * 100.0
+                        )),
                     );
                 }
             }
@@ -164,7 +175,9 @@ impl AuditDetector {
         let mut fired: HashMap<(u32, String), bool> = HashMap::new();
         for e in events {
             if let SysEventKind::NetSend {
-                dst, dst_port, bytes,
+                dst,
+                dst_port,
+                bytes,
             } = &e.kind
             {
                 let key = (e.server_id, format!("{dst}:{dst_port}"));
@@ -195,20 +208,30 @@ impl AuditDetector {
                 SysEventKind::ProcExec { cmdline, .. } => {
                     for rule in self.rules.match_cmdline(cmdline) {
                         alerts.push(
-                            Alert::new(e.time, rule.class, rule.confidence, AlertSource::KernelAudit)
-                                .with_server(e.server_id)
-                                .with_user(&*e.user)
-                                .with_detail(format!("rule {} on cmdline", rule.id)),
+                            Alert::new(
+                                e.time,
+                                rule.class,
+                                rule.confidence,
+                                AlertSource::KernelAudit,
+                            )
+                            .with_server(e.server_id)
+                            .with_user(&*e.user)
+                            .with_detail(format!("rule {} on cmdline", rule.id)),
                         );
                     }
                 }
                 SysEventKind::CellExecute { code, .. } => {
                     for rule in self.rules.match_code(code) {
                         alerts.push(
-                            Alert::new(e.time, rule.class, rule.confidence, AlertSource::KernelAudit)
-                                .with_server(e.server_id)
-                                .with_user(&*e.user)
-                                .with_detail(format!("rule {} in audited cell code", rule.id)),
+                            Alert::new(
+                                e.time,
+                                rule.class,
+                                rule.confidence,
+                                AlertSource::KernelAudit,
+                            )
+                            .with_server(e.server_id)
+                            .with_user(&*e.user)
+                            .with_detail(format!("rule {} in audited cell code", rule.id)),
                         );
                     }
                 }
@@ -244,11 +267,9 @@ mod tests {
                     ..Default::default()
                 },
             ),
-            AttackClass::DataExfiltration => exfiltration::campaign(
-                0,
-                &user,
-                &exfiltration::ExfilParams::default(),
-            ),
+            AttackClass::DataExfiltration => {
+                exfiltration::campaign(0, &user, &exfiltration::ExfilParams::default())
+            }
             _ => unreachable!(),
         };
         execute(&mut d, &[(SimTime::from_secs(100), c)], seed).sys_events
@@ -301,11 +322,13 @@ mod tests {
             "{alerts:?}"
         );
         // Training bursts are below the sustained-CPU bar per process.
-        assert!(alerts
-            .iter()
-            .filter(|a| a.class == AttackClass::Cryptomining && a.confidence > 0.7)
-            .count()
-            <= 1);
+        assert!(
+            alerts
+                .iter()
+                .filter(|a| a.class == AttackClass::Cryptomining && a.confidence > 0.7)
+                .count()
+                <= 1
+        );
     }
 
     #[test]

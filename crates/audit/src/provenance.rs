@@ -219,31 +219,46 @@ mod tests {
             kind,
         };
         vec![
-            mk(1, SysEventKind::FileRead {
-                path: "/home/alice/models/ckpt_0.bin".into(),
-                bytes: 1000,
-            }),
-            mk(2, SysEventKind::FileWrite {
-                path: "/tmp/.m.tar.gz".into(),
-                bytes: 1000,
-                entropy_bits: 7.9,
-            }),
-            mk(3, SysEventKind::NetConnect {
-                dst: HostAddr::external(21),
-                dst_port: 443,
-            }),
-            mk(4, SysEventKind::NetSend {
-                dst: HostAddr::external(21),
-                dst_port: 443,
-                bytes: 1000,
-            }),
+            mk(
+                1,
+                SysEventKind::FileRead {
+                    path: "/home/alice/models/ckpt_0.bin".into(),
+                    bytes: 1000,
+                },
+            ),
+            mk(
+                2,
+                SysEventKind::FileWrite {
+                    path: "/tmp/.m.tar.gz".into(),
+                    bytes: 1000,
+                    entropy_bits: 7.9,
+                },
+            ),
+            mk(
+                3,
+                SysEventKind::NetConnect {
+                    dst: HostAddr::external(21),
+                    dst_port: 443,
+                },
+            ),
+            mk(
+                4,
+                SysEventKind::NetSend {
+                    dst: HostAddr::external(21),
+                    dst_port: 443,
+                    bytes: 1000,
+                },
+            ),
             // Unrelated later read: must NOT appear in remote ancestry
             // via time-respecting paths... (read at t=9 feeds user after
             // the send at t=4).
-            mk(9, SysEventKind::FileRead {
-                path: "/home/alice/unrelated.csv".into(),
-                bytes: 10,
-            }),
+            mk(
+                9,
+                SysEventKind::FileRead {
+                    path: "/home/alice/unrelated.csv".into(),
+                    bytes: 10,
+                },
+            ),
         ]
     }
 

@@ -11,7 +11,10 @@ fn main() {
     println!("=== A1: honeypot fleet ablation (seed {seed}, {trials} trials/cell) ===\n");
 
     println!("time-to-signature (minutes, mean over trials where a capture happened):");
-    println!("{:<8} {:>12} {:>12} {:>12}", "decoys", "prop 1min", "prop 10min", "prop 60min");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12}",
+        "decoys", "prop 1min", "prop 10min", "prop 60min"
+    );
     for decoys in [1usize, 2, 4, 8, 16, 32] {
         print!("{:<8}", decoys);
         for prop_secs in [60u64, 600, 3600] {
@@ -35,7 +38,10 @@ fn main() {
     }
 
     println!("\nvictims hit (of 50) vs decoys and attacker sophistication:");
-    println!("{:<8} {:>10} {:>10} {:>10}", "decoys", "s=0.0", "s=0.5", "s=1.0");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "decoys", "s=0.0", "s=0.5", "s=1.0"
+    );
     for decoys in [0usize, 1, 2, 4, 8, 16, 32] {
         print!("{:<8}", decoys);
         for soph in [0.0f64, 0.5, 1.0] {
@@ -53,5 +59,7 @@ fn main() {
         }
         println!();
     }
-    println!("\n(diminishing returns past ~8 decoys; sophistication only matters when realism < 1.)");
+    println!(
+        "\n(diminishing returns past ~8 decoys; sophistication only matters when realism < 1.)"
+    );
 }

@@ -55,12 +55,7 @@ fn main() {
             campaigns.push((start, build_attack(class, p.deployment(), server, &mut rng)));
         }
         let out = p.run_campaigns(campaigns, seed);
-        let horizon_hours = out
-            .scenario
-            .end
-            .as_secs_f64()
-            .max(3600.0)
-            / 3600.0;
+        let horizon_hours = out.scenario.end.as_secs_f64().max(3600.0) / 3600.0;
         let alerts_per_hour = out.report.alerts_total() as f64 / horizon_hours;
         let backlog = (alerts_per_hour - TRIAGE_PER_HOUR).max(0.0);
         println!(
@@ -74,6 +69,8 @@ fn main() {
         );
     }
     println!("\n(triage backlog = alerts/hour beyond one analyst's {TRIAGE_PER_HOUR}/hour budget. Alert volume");
-    println!(" scales with attack volume while analysis stays cheap — the bottleneck the paper predicts");
+    println!(
+        " scales with attack volume while analysis stays cheap — the bottleneck the paper predicts"
+    );
     println!(" is the human triage stage, which is what incident *grouping* mitigates.)");
 }

@@ -11,7 +11,9 @@ fn main() {
     println!("nodes: {}", taxonomy.node_count());
     println!("attack-class leaves: {}", taxonomy.leaves().len());
     match taxonomy.verify_coverage() {
-        Ok(()) => println!("coverage check: PASS (every class has a campaign generator and a detector plane)"),
+        Ok(()) => println!(
+            "coverage check: PASS (every class has a campaign generator and a detector plane)"
+        ),
         Err(e) => {
             println!("coverage check: FAIL — {e}");
             std::process::exit(1);

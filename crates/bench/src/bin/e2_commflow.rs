@@ -48,8 +48,14 @@ fn main() {
     let fb = &re.flows()[&0];
     let analysis = analyze_flow(FlowId(0), fb, None);
 
-    println!("capture: {} segments on the WebSocket flow", trace.summary().segments);
-    println!("handshake target: {}\n", analysis.handshake.as_ref().unwrap().target);
+    println!(
+        "capture: {} segments on the WebSocket flow",
+        trace.summary().segments
+    );
+    println!(
+        "handshake target: {}\n",
+        analysis.handshake.as_ref().unwrap().target
+    );
     println!("reconstructed message sequence (monitor's view):");
     for (i, m) in analysis.kernel_msgs.iter().enumerate() {
         println!(
@@ -82,7 +88,9 @@ fn main() {
         })
         .collect();
     match validate_execute_sequence(&trace_types) {
-        None => println!("\nFig. 2 conformance: PASS (busy -> execute_input -> stream -> idle -> execute_reply)"),
+        None => println!(
+            "\nFig. 2 conformance: PASS (busy -> execute_input -> stream -> idle -> execute_reply)"
+        ),
         Some(v) => {
             println!("\nFig. 2 conformance: FAIL — {v}");
             std::process::exit(1);

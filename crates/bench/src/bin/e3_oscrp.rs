@@ -21,11 +21,7 @@ fn main() {
             horizon_secs: 3600,
             seed,
         });
-        let incident = out
-            .report
-            .incidents
-            .iter()
-            .find(|i| i.class == class);
+        let incident = out.report.incidents.iter().find(|i| i.class == class);
         match incident {
             Some(i) => println!(
                 "{:<20} -> incident with concerns {:?}",

@@ -9,7 +9,10 @@ use ja_monitor::engine::{Monitor, MonitorConfig};
 fn main() {
     let seed = ja_bench::seed_from_args();
     println!("=== E5: monitor overhead vs offered traffic (seed {seed}) ===\n");
-    println!("rayon threads available: {}\n", rayon::current_num_threads());
+    println!(
+        "rayon threads available: {}\n",
+        rayon::current_num_threads()
+    );
     println!(
         "{:<24} {:>10} {:>10} {:>12} {:>12} {:>9}",
         "workload", "segments", "MB", "seq (seg/s)", "par (seg/s)", "speedup"
@@ -40,6 +43,8 @@ fn main() {
             par_tput.max(1.0) / seq_tput.max(1.0)
         );
     }
-    println!("\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. The crossover");
+    println!(
+        "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. The crossover"
+    );
     println!(" shows where flow-level parallelism starts paying for its coordination overhead.)");
 }

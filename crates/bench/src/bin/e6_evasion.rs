@@ -23,7 +23,9 @@ fn main() {
     );
     for factor in [1.0f64, 3.0, 10.0, 30.0, 100.0] {
         let mut p = Pipeline::new(PipelineConfig::small_lab(seed));
-        let targets: Vec<String> = (0..4).map(|i| p.deployment().owner_of(i).to_string()).collect();
+        let targets: Vec<String> = (0..4)
+            .map(|i| p.deployment().owner_of(i).to_string())
+            .collect();
         let base = takeover_campaign(&TakeoverParams {
             targets,
             guesses_per_account: 30,
@@ -79,7 +81,10 @@ fn main() {
 
     // (c) Honeypot time-to-signature.
     println!("\n(c) honeypot fleet: victim exposure during a mining wave (50 production targets)");
-    println!("{:<8} {:>14} {:>16} {:>16}", "decoys", "victims hit", "protected", "protection");
+    println!(
+        "{:<8} {:>14} {:>16} {:>16}",
+        "decoys", "victims hit", "protected", "protection"
+    );
     for decoys in [0usize, 2, 4, 8, 16] {
         let mut hit = 0usize;
         let mut prot = 0usize;

@@ -64,7 +64,10 @@ fn run(mode: TransportMode, seed: u64) -> (usize, usize, Visibility, bool) {
 fn main() {
     let seed = ja_bench::seed_from_args();
     println!("=== E7: WebSocket visibility under transport regimes (seed {seed}) ===\n");
-    println!("session: {CELLS} executed cells = {} kernel messages on the wire\n", CELLS * 6);
+    println!(
+        "session: {CELLS} executed cells = {} kernel messages on the wire\n",
+        CELLS * 6
+    );
     println!(
         "{:<18} {:>18} {:>22} {:>16} {:>18}",
         "transport", "passive msgs", "with-TLS-keys msgs", "passive vis.", "code readable*"
@@ -86,7 +89,11 @@ fn main() {
             if code { "yes" } else { "no" }
         );
     }
-    println!("\n(*with TLS inspection keys. PlainWs: full reconstruction even passively; TLS: nothing");
-    println!(" without keys — the regime the paper says defeats Zeek; E2E message encryption keeps");
+    println!(
+        "\n(*with TLS inspection keys. PlainWs: full reconstruction even passively; TLS: nothing"
+    );
+    println!(
+        " without keys — the regime the paper says defeats Zeek; E2E message encryption keeps"
+    );
     println!(" cell code opaque even from an inspection-enabled sensor.)");
 }

@@ -79,6 +79,10 @@ fn main() {
         print!(" {:>8}", c);
     }
     println!();
-    println!("\n(compromise requires an exposed interface plus either no-auth or an RCE-grade CVE —");
-    println!(" the conjunction explains why compromises grow faster than any single finding class.)");
+    println!(
+        "\n(compromise requires an exposed interface plus either no-auth or an RCE-grade CVE —"
+    );
+    println!(
+        " the conjunction explains why compromises grow faster than any single finding class.)"
+    );
 }

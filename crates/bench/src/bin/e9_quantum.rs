@@ -2,9 +2,7 @@
 //! of recorded Jupyter traffic under different PQC adoption curves and
 //! CRQC arrival dates, plus the signature-spoofing matrix.
 
-use ja_crypto::pqc::{
-    spoofing_matrix, AdoptionCurve, HarvestAdversary, RecordedSession,
-};
+use ja_crypto::pqc::{spoofing_matrix, AdoptionCurve, HarvestAdversary, RecordedSession};
 
 /// Simulate `days` of traffic: `sessions_per_day` sessions, each with a
 /// volume and a sensitivity lifetime, recorded by the adversary.
@@ -28,7 +26,9 @@ fn harvest(curve: &AdoptionCurve, days: u32, sessions_per_day: u64) -> HarvestAd
 
 fn main() {
     println!("=== E9: harvest-now-decrypt-later exposure ===\n");
-    println!("traffic model: 200 sessions/day x 50 MB, sensitivity window 5 years, 10-year capture\n");
+    println!(
+        "traffic model: 200 sessions/day x 50 MB, sensitivity window 5 years, 10-year capture\n"
+    );
     let days = 10 * 365u32;
     let curves = [
         ("no-migration", AdoptionCurve::none()),
@@ -48,7 +48,9 @@ fn main() {
         }
         println!();
     }
-    println!("\n(exposure = fraction of all recorded bytes readable when the CRQC arrives: sessions");
+    println!(
+        "\n(exposure = fraction of all recorded bytes readable when the CRQC arrives: sessions"
+    );
     println!(" that used classical key exchange and are still inside their sensitivity window.)");
 
     println!("\nadoption fractions over time:");
@@ -79,6 +81,8 @@ fn main() {
         );
     }
     println!("\n(Jupyter's HMAC-SHA256 message signing survives a CRQC; its TLS transport and any");
-    println!(" classical public-key signatures in the SSO chain do not — matching the paper's call");
+    println!(
+        " classical public-key signatures in the SSO chain do not — matching the paper's call"
+    );
     println!(" to adapt the cryptographic design.)");
 }

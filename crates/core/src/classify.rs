@@ -99,9 +99,19 @@ mod tests {
     #[test]
     fn nearby_same_class_alerts_merge() {
         let alerts = vec![
-            alert(AttackClass::Ransomware, 100, Some(1), AlertSource::KernelAudit),
+            alert(
+                AttackClass::Ransomware,
+                100,
+                Some(1),
+                AlertSource::KernelAudit,
+            ),
             alert(AttackClass::Ransomware, 160, Some(1), AlertSource::Network),
-            alert(AttackClass::Ransomware, 220, Some(1), AlertSource::KernelAudit),
+            alert(
+                AttackClass::Ransomware,
+                220,
+                Some(1),
+                AlertSource::KernelAudit,
+            ),
         ];
         let inc = incidents(&alerts, Duration::from_secs(300));
         assert_eq!(inc.len(), 1);
@@ -115,8 +125,18 @@ mod tests {
     #[test]
     fn different_servers_stay_separate() {
         let alerts = vec![
-            alert(AttackClass::Cryptomining, 100, Some(1), AlertSource::Network),
-            alert(AttackClass::Cryptomining, 110, Some(2), AlertSource::Network),
+            alert(
+                AttackClass::Cryptomining,
+                100,
+                Some(1),
+                AlertSource::Network,
+            ),
+            alert(
+                AttackClass::Cryptomining,
+                110,
+                Some(2),
+                AlertSource::Network,
+            ),
         ];
         let inc = incidents(&alerts, Duration::from_secs(300));
         assert_eq!(inc.len(), 2);
@@ -125,8 +145,18 @@ mod tests {
     #[test]
     fn distant_alerts_stay_separate() {
         let alerts = vec![
-            alert(AttackClass::DataExfiltration, 100, Some(1), AlertSource::Network),
-            alert(AttackClass::DataExfiltration, 10_000, Some(1), AlertSource::Network),
+            alert(
+                AttackClass::DataExfiltration,
+                100,
+                Some(1),
+                AlertSource::Network,
+            ),
+            alert(
+                AttackClass::DataExfiltration,
+                10_000,
+                Some(1),
+                AlertSource::Network,
+            ),
         ];
         let inc = incidents(&alerts, Duration::from_secs(300));
         assert_eq!(inc.len(), 2);
@@ -136,8 +166,18 @@ mod tests {
     #[test]
     fn different_classes_stay_separate() {
         let alerts = vec![
-            alert(AttackClass::Ransomware, 100, Some(1), AlertSource::KernelAudit),
-            alert(AttackClass::DataExfiltration, 110, Some(1), AlertSource::Network),
+            alert(
+                AttackClass::Ransomware,
+                100,
+                Some(1),
+                AlertSource::KernelAudit,
+            ),
+            alert(
+                AttackClass::DataExfiltration,
+                110,
+                Some(1),
+                AlertSource::Network,
+            ),
         ];
         let inc = incidents(&alerts, Duration::from_secs(300));
         assert_eq!(inc.len(), 2);
@@ -146,7 +186,12 @@ mod tests {
     #[test]
     fn unattributed_alert_joins_incident() {
         let alerts = vec![
-            alert(AttackClass::Cryptomining, 100, Some(1), AlertSource::KernelAudit),
+            alert(
+                AttackClass::Cryptomining,
+                100,
+                Some(1),
+                AlertSource::KernelAudit,
+            ),
             alert(AttackClass::Cryptomining, 120, None, AlertSource::Network),
         ];
         let inc = incidents(&alerts, Duration::from_secs(300));

@@ -166,11 +166,7 @@ impl Pipeline {
     }
 
     /// Run explicit campaigns end to end.
-    pub fn run_campaigns(
-        &mut self,
-        campaigns: Vec<(SimTime, Campaign)>,
-        seed: u64,
-    ) -> RunOutcome {
+    pub fn run_campaigns(&mut self, campaigns: Vec<(SimTime, Campaign)>, seed: u64) -> RunOutcome {
         let scenario = execute(&mut self.deployment, &campaigns, seed ^ 0xA0D17);
         // 2. Wire the monitor with fleet knowledge.
         let mut mcfg = self.config.monitor.clone();

@@ -34,7 +34,10 @@ pub fn rank(mut incidents: Vec<Incident>) -> Vec<(f64, Incident)> {
             .partial_cmp(&incident_risk(a))
             .expect("risk is finite")
     });
-    incidents.into_iter().map(|i| (incident_risk(&i), i)).collect()
+    incidents
+        .into_iter()
+        .map(|i| (incident_risk(&i), i))
+        .collect()
 }
 
 #[cfg(test)]

@@ -148,13 +148,19 @@ impl Taxonomy {
                     "Observability gaps",
                     vec![
                         TaxonomyNode::inner("Encrypted WebSocket datagrams defeat Zeek", vec![]),
-                        TaxonomyNode::inner("Application logs track usability, not security", vec![]),
+                        TaxonomyNode::inner(
+                            "Application logs track usability, not security",
+                            vec![],
+                        ),
                     ],
                 ),
                 TaxonomyNode::inner(
                     "Cryptographic design",
                     vec![
-                        TaxonomyNode::inner("HMAC-SHA256 message signing (key in connection file)", vec![]),
+                        TaxonomyNode::inner(
+                            "HMAC-SHA256 message signing (key in connection file)",
+                            vec![],
+                        ),
                         TaxonomyNode::inner("Harvest-now-decrypt-later quantum exposure", vec![]),
                         TaxonomyNode::inner("Signature spoofing under a CRQC", vec![]),
                     ],

@@ -23,13 +23,17 @@ fn arb_class() -> impl Strategy<Value = AttackClass> {
 }
 
 fn arb_alert() -> impl Strategy<Value = Alert> {
-    (arb_class(), 0u64..10_000, 0.0f64..1.0, proptest::option::of(0u32..8)).prop_map(
-        |(class, t, conf, server)| {
+    (
+        arb_class(),
+        0u64..10_000,
+        0.0f64..1.0,
+        proptest::option::of(0u32..8),
+    )
+        .prop_map(|(class, t, conf, server)| {
             let mut a = Alert::new(SimTime::from_secs(t), class, conf, AlertSource::Network);
             a.server_id = server;
             a
-        },
-    )
+        })
 }
 
 proptest! {

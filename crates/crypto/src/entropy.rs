@@ -158,8 +158,8 @@ mod tests {
 
     #[test]
     fn text_vs_ciphertext_separation() {
-        let text = b"import numpy as np\nfor i in range(100):\n    print(i, np.sin(i))\n"
-            .repeat(50);
+        let text =
+            b"import numpy as np\nfor i in range(100):\n    print(i, np.sin(i))\n".repeat(50);
         let mut cipher = crate::chacha::ChaCha20::from_seed(b"sep");
         let ct = cipher.encrypt(&text);
         let st = ByteStats::from_bytes(&text);

@@ -85,7 +85,7 @@ impl HarvestAdversary {
 /// exchange as a function of the day.
 ///
 /// Modeled on the measurement methodology of the PQC network instrument
-/// paper the taxonomy cites ([17]): adoption starts near `floor`, ramps
+/// paper the taxonomy cites (\[17\]): adoption starts near `floor`, ramps
 /// around `midpoint_day` with steepness `rate`, and saturates near
 /// `ceiling`.
 #[derive(Clone, Copy, Debug)]
@@ -148,8 +148,7 @@ impl AdoptionCurve {
         seed.extend_from_slice(&day.to_le_bytes());
         seed.extend_from_slice(&seq.to_le_bytes());
         let h = crate::sha256::sha256(&seed);
-        let draw = u64::from_le_bytes(h[..8].try_into().expect("8 bytes")) as f64
-            / u64::MAX as f64;
+        let draw = u64::from_le_bytes(h[..8].try_into().expect("8 bytes")) as f64 / u64::MAX as f64;
         if draw < self.fraction(day) {
             KexAlgorithm::HybridPqc
         } else {

@@ -137,8 +137,12 @@ pub fn simulate_wave(params: &WaveParams, rng: &mut SimRng) -> WaveOutcome {
                 );
                 if outcome_first_capture.is_none() {
                     outcome_first_capture = Some(t);
-                    let rule =
-                        rule_from_capture(d.id, d.captures.len(), params.class, &params.payload_code);
+                    let rule = rule_from_capture(
+                        d.id,
+                        d.captures.len(),
+                        params.class,
+                        &params.payload_code,
+                    );
                     intel.publish(t, rule);
                 }
             }

@@ -9,9 +9,30 @@ use ja_monitor::rules::{Pattern, Rule};
 
 /// Tokens too common in benign scientific code to be signatures.
 const BENIGN_VOCAB: &[&str] = &[
-    "import", "numpy", "pandas", "print", "range", "model", "train", "data", "read_csv",
-    "describe", "install", "python", "matplotlib", "torch", "return", "lambda", "append",
-    "figure", "plot", "shape", "array", "float", "update", "values",
+    "import",
+    "numpy",
+    "pandas",
+    "print",
+    "range",
+    "model",
+    "train",
+    "data",
+    "read_csv",
+    "describe",
+    "install",
+    "python",
+    "matplotlib",
+    "torch",
+    "return",
+    "lambda",
+    "append",
+    "figure",
+    "plot",
+    "shape",
+    "array",
+    "float",
+    "update",
+    "values",
 ];
 
 /// Extract the most distinctive token from hostile code: the longest

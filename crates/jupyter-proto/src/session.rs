@@ -508,10 +508,12 @@ mod tests {
         use MsgType::*;
         assert!(validate_execute_sequence(&[]).is_some());
         // Missing leading busy status.
-        assert!(
-            validate_execute_sequence(&[(IoPub, Stream), (IoPub, Status), (Shell, ExecuteReply)])
-                .is_some()
-        );
+        assert!(validate_execute_sequence(&[
+            (IoPub, Stream),
+            (IoPub, Status),
+            (Shell, ExecuteReply)
+        ])
+        .is_some());
         // Reply on wrong channel.
         assert!(validate_execute_sequence(&[
             (IoPub, Status),

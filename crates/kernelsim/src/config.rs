@@ -123,11 +123,9 @@ impl ServerConfig {
     pub fn sample(rng: &mut SimRng, misconfig_rate: f64) -> Self {
         let mut c = Self::hardened();
         if rng.chance(misconfig_rate) {
-            c.auth = if rng.chance(0.5) {
-                AuthMode::None
-            } else {
-                AuthMode::Password
-            };
+            // The one auth state the E8 scanner counts as a finding, so a
+            // fired axis always contributes exactly one misconfiguration.
+            c.auth = AuthMode::None;
         }
         if rng.chance(misconfig_rate) {
             c.transport = TransportMode::PlainWs;
@@ -278,7 +276,10 @@ mod tests {
     fn sample_rate_zero_is_hardened() {
         let mut rng = SimRng::new(1);
         for _ in 0..10 {
-            assert_eq!(ServerConfig::sample(&mut rng, 0.0), ServerConfig::hardened());
+            assert_eq!(
+                ServerConfig::sample(&mut rng, 0.0),
+                ServerConfig::hardened()
+            );
         }
     }
 
@@ -293,7 +294,11 @@ mod tests {
     fn sample_rate_mid_produces_mix() {
         let mut rng = SimRng::new(3);
         let counts: Vec<usize> = (0..200)
-            .map(|_| ServerConfig::sample(&mut rng, 0.3).misconfigurations().len())
+            .map(|_| {
+                ServerConfig::sample(&mut rng, 0.3)
+                    .misconfigurations()
+                    .len()
+            })
             .collect();
         let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
         // 9 axes at 0.3 ⇒ ~2.7 expected.

@@ -65,7 +65,12 @@ impl Hub {
 
     /// A legitimate login by the account owner (always knows the
     /// password, passes MFA).
-    pub fn login_legitimate(&mut self, time: SimTime, username: &str, src: HostAddr) -> AuthOutcome {
+    pub fn login_legitimate(
+        &mut self,
+        time: SimTime,
+        username: &str,
+        src: HostAddr,
+    ) -> AuthOutcome {
         let outcome = if self.user(username).is_some() {
             AuthOutcome::Success
         } else {

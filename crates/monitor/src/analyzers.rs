@@ -60,11 +60,7 @@ pub struct FlowAnalysis {
 /// Analyze one reconstructed flow. `inspect_secret` is the per-server
 /// transport secret when the sensor is authorized for TLS inspection
 /// (None = purely passive).
-pub fn analyze_flow(
-    flow_id: FlowId,
-    buf: &FlowBuf,
-    inspect_secret: Option<&[u8]>,
-) -> FlowAnalysis {
+pub fn analyze_flow(flow_id: FlowId, buf: &FlowBuf, inspect_secret: Option<&[u8]>) -> FlowAnalysis {
     let up_raw = &buf.up.data;
     let down_raw = &buf.down.data;
     // Try plaintext first; fall back to TLS inspection when keyed.
@@ -171,9 +167,7 @@ fn parse_ws_side(bytes: &[u8], out: &mut Vec<ParsedKernelMsg>, opaque: &mut usiz
 
 /// Find the end of an HTTP header block (index just past CRLFCRLF).
 fn find_double_crlf(buf: &[u8]) -> Option<usize> {
-    buf.windows(4)
-        .position(|w| w == b"\r\n\r\n")
-        .map(|i| i + 4)
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
 #[cfg(test)]

@@ -70,7 +70,9 @@ pub fn per_flow(
     let ext_dst = features.crosses_perimeter && !features.tuple.dst.is_internal();
     // Bulk exfiltration: large, strongly asymmetric upload leaving the
     // perimeter.
-    if ext_dst && features.bytes_up >= th.exfil_bulk_bytes && features.asymmetry >= th.exfil_asymmetry
+    if ext_dst
+        && features.bytes_up >= th.exfil_bulk_bytes
+        && features.asymmetry >= th.exfil_asymmetry
     {
         alerts.push(
             Alert::new(
@@ -127,7 +129,10 @@ pub fn per_flow(
             .with_host(features.tuple.src)
             .with_detail(format!(
                 "long-lived low-volume flow to {}:{} ({:.0}s, {} bytes)",
-                features.tuple.dst, features.tuple.dst_port, features.duration_secs, features.bytes_up
+                features.tuple.dst,
+                features.tuple.dst_port,
+                features.duration_secs,
+                features.bytes_up
             )),
         );
     }
@@ -135,9 +140,14 @@ pub fn per_flow(
     if let Some(hs) = &analysis.handshake {
         for rule in rules.match_url(&hs.target) {
             alerts.push(
-                Alert::new(features.start, rule.class, rule.confidence, AlertSource::Network)
-                    .with_host(features.tuple.src)
-                    .with_detail(format!("rule {} on URL {}", rule.id, hs.target)),
+                Alert::new(
+                    features.start,
+                    rule.class,
+                    rule.confidence,
+                    AlertSource::Network,
+                )
+                .with_host(features.tuple.src)
+                .with_detail(format!("rule {} on URL {}", rule.id, hs.target)),
             );
         }
     }
@@ -145,9 +155,14 @@ pub fn per_flow(
         if let Some(code) = &msg.code {
             for rule in rules.match_code(code) {
                 alerts.push(
-                    Alert::new(features.start, rule.class, rule.confidence, AlertSource::Network)
-                        .with_host(features.tuple.src)
-                        .with_detail(format!("rule {} in cell code", rule.id)),
+                    Alert::new(
+                        features.start,
+                        rule.class,
+                        rule.confidence,
+                        AlertSource::Network,
+                    )
+                    .with_host(features.tuple.src)
+                    .with_detail(format!("rule {} in cell code", rule.id)),
                 );
             }
         }
@@ -189,9 +204,14 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
                 .min()
                 .expect("counted above");
             alerts.push(
-                Alert::new(first, AttackClass::DataExfiltration, 0.8, AlertSource::Network)
-                    .with_host(src)
-                    .with_detail(format!("DNS tunnel: {count} flows to port 53")),
+                Alert::new(
+                    first,
+                    AttackClass::DataExfiltration,
+                    0.8,
+                    AlertSource::Network,
+                )
+                .with_host(src)
+                .with_detail(format!("DNS tunnel: {count} flows to port 53")),
             );
         }
     }
@@ -215,9 +235,14 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
                 .min()
                 .expect("counted above");
             alerts.push(
-                Alert::new(first, AttackClass::Misconfiguration, 0.85, AlertSource::Network)
-                    .with_host(src)
-                    .with_detail(format!("port scan: {} targets probed", targets.len())),
+                Alert::new(
+                    first,
+                    AttackClass::Misconfiguration,
+                    0.85,
+                    AlertSource::Network,
+                )
+                .with_host(src)
+                .with_detail(format!("port scan: {} targets probed", targets.len())),
             );
         }
     }
@@ -276,20 +301,30 @@ pub fn auth_log(events: &[AuthEvent], th: &Thresholds) -> Vec<Alert> {
             fails.iter().map(|e| e.username.as_str()).collect();
         if worst >= th.auth_fail_threshold {
             alerts.push(
-                Alert::new(fails[0].time, AttackClass::AccountTakeover, 0.85, AlertSource::Network)
-                    .with_host(src)
-                    .with_detail(format!(
-                        "brute force: {worst} failures in {window:.0}s window"
-                    )),
+                Alert::new(
+                    fails[0].time,
+                    AttackClass::AccountTakeover,
+                    0.85,
+                    AlertSource::Network,
+                )
+                .with_host(src)
+                .with_detail(format!(
+                    "brute force: {worst} failures in {window:.0}s window"
+                )),
             );
         } else if usernames.len() >= th.spray_usernames && fails.len() >= th.spray_usernames * 2 {
             alerts.push(
-                Alert::new(fails[0].time, AttackClass::AccountTakeover, 0.7, AlertSource::Network)
-                    .with_host(src)
-                    .with_detail(format!(
-                        "password spraying: {} accounts targeted",
-                        usernames.len()
-                    )),
+                Alert::new(
+                    fails[0].time,
+                    AttackClass::AccountTakeover,
+                    0.7,
+                    AlertSource::Network,
+                )
+                .with_host(src)
+                .with_detail(format!(
+                    "password spraying: {} accounts targeted",
+                    usernames.len()
+                )),
             );
         }
     }
@@ -375,7 +410,18 @@ mod tests {
 
     #[test]
     fn bulk_exfil_detected() {
-        let f = feat(internal(), HostAddr::external(1), 443, 500_000_000, 1000, 60.0, 8, 0.1, 0.1, false);
+        let f = feat(
+            internal(),
+            HostAddr::external(1),
+            443,
+            500_000_000,
+            1000,
+            60.0,
+            8,
+            0.1,
+            0.1,
+            false,
+        );
         let th = Thresholds::default();
         let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &th);
         assert!(alerts
@@ -386,15 +432,47 @@ mod tests {
     #[test]
     fn download_not_flagged() {
         // pip install: large download, upload tiny (asymmetry negative).
-        let f = feat(internal(), HostAddr::external(40), 443, 2000, 20_000_000, 60.0, 2, 1.0, 0.5, false);
-        let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &Thresholds::default());
+        let f = feat(
+            internal(),
+            HostAddr::external(40),
+            443,
+            2000,
+            20_000_000,
+            60.0,
+            2,
+            1.0,
+            0.5,
+            false,
+        );
+        let alerts = per_flow(
+            &f,
+            &empty_analysis(),
+            &RuleSet::builtin(),
+            &Thresholds::default(),
+        );
         assert!(alerts.is_empty(), "{alerts:?}");
     }
 
     #[test]
     fn beacon_detected() {
-        let f = feat(internal(), HostAddr::external(21), 443, 640_000, 0, 300.0, 10, 30.0, 0.05, false);
-        let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &Thresholds::default());
+        let f = feat(
+            internal(),
+            HostAddr::external(21),
+            443,
+            640_000,
+            0,
+            300.0,
+            10,
+            30.0,
+            0.05,
+            false,
+        );
+        let alerts = per_flow(
+            &f,
+            &empty_analysis(),
+            &RuleSet::builtin(),
+            &Thresholds::default(),
+        );
         assert!(alerts
             .iter()
             .any(|a| a.class == AttackClass::DataExfiltration));
@@ -402,8 +480,24 @@ mod tests {
 
     #[test]
     fn mining_flow_detected_by_port_and_shape() {
-        let f = feat(internal(), HostAddr::external(33), 3333, 12_000, 5_000, 3600.0, 60, 60.0, 0.02, false);
-        let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &Thresholds::default());
+        let f = feat(
+            internal(),
+            HostAddr::external(33),
+            3333,
+            12_000,
+            5_000,
+            3600.0,
+            60,
+            60.0,
+            0.02,
+            false,
+        );
+        let alerts = per_flow(
+            &f,
+            &empty_analysis(),
+            &RuleSet::builtin(),
+            &Thresholds::default(),
+        );
         assert!(alerts
             .iter()
             .any(|a| a.class == AttackClass::Cryptomining && a.confidence > 0.8));
@@ -411,8 +505,24 @@ mod tests {
 
     #[test]
     fn mining_on_https_port_still_caught_by_shape() {
-        let f = feat(internal(), HostAddr::external(33), 443, 12_000, 5_000, 3600.0, 60, 60.0, 0.02, false);
-        let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &Thresholds::default());
+        let f = feat(
+            internal(),
+            HostAddr::external(33),
+            443,
+            12_000,
+            5_000,
+            3600.0,
+            60,
+            60.0,
+            0.02,
+            false,
+        );
+        let alerts = per_flow(
+            &f,
+            &empty_analysis(),
+            &RuleSet::builtin(),
+            &Thresholds::default(),
+        );
         let mining: Vec<_> = alerts
             .iter()
             .filter(|a| a.class == AttackClass::Cryptomining)
@@ -425,12 +535,25 @@ mod tests {
     fn dns_fanout_detected() {
         let th = Thresholds::default();
         let feats: Vec<FlowFeatures> = (0..25)
-            .map(|_| feat(internal(), HostAddr::external(5), 53, 180, 60, 1.0, 1, 0.0, 0.0, false))
+            .map(|_| {
+                feat(
+                    internal(),
+                    HostAddr::external(5),
+                    53,
+                    180,
+                    60,
+                    1.0,
+                    1,
+                    0.0,
+                    0.0,
+                    false,
+                )
+            })
             .collect();
         let alerts = cross_flow(&feats, &th);
-        assert!(alerts.iter().any(
-            |a| a.class == AttackClass::DataExfiltration && a.detail.contains("DNS tunnel")
-        ));
+        assert!(alerts
+            .iter()
+            .any(|a| a.class == AttackClass::DataExfiltration && a.detail.contains("DNS tunnel")));
     }
 
     #[test]
@@ -476,7 +599,18 @@ mod tests {
         )];
         // Popular mirror contacted many times: not rare.
         for _ in 0..5 {
-            feats.push(feat(internal(), HostAddr::external(40), 443, 5000, 2_000_000, 5.0, 1, 0.0, 0.0, false));
+            feats.push(feat(
+                internal(),
+                HostAddr::external(40),
+                443,
+                5000,
+                2_000_000,
+                5.0,
+                1,
+                0.0,
+                0.0,
+                false,
+            ));
         }
         let alerts = cross_flow(&feats, &th);
         let zd: Vec<_> = alerts

@@ -143,10 +143,15 @@ impl Monitor {
         (alerts, stats)
     }
 
-    fn flow_work(&self, id: u64, buf: &FlowBuf) -> Option<(FlowFeatures, FlowAnalysis, Vec<Alert>)> {
+    fn flow_work(
+        &self,
+        id: u64,
+        buf: &FlowBuf,
+    ) -> Option<(FlowFeatures, FlowAnalysis, Vec<Alert>)> {
         let ff = FlowFeatures::from_flow(id, buf)?;
         let analysis = analyze_flow(FlowId(id), buf, self.secret_for(buf));
-        let alerts = detectors::per_flow(&ff, &analysis, &self.config.rules, &self.config.thresholds);
+        let alerts =
+            detectors::per_flow(&ff, &analysis, &self.config.rules, &self.config.thresholds);
         Some((ff, analysis, alerts))
     }
 

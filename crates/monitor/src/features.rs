@@ -159,8 +159,18 @@ mod tests {
             HostAddr::external(1),
             443,
         );
-        net.send(SimTime::from_secs(1), f, Direction::ToResponder, &[0u8; 10_000]);
-        net.send(SimTime::from_secs(2), f, Direction::ToInitiator, &[0u8; 100]);
+        net.send(
+            SimTime::from_secs(1),
+            f,
+            Direction::ToResponder,
+            &[0u8; 10_000],
+        );
+        net.send(
+            SimTime::from_secs(2),
+            f,
+            Direction::ToInitiator,
+            &[0u8; 100],
+        );
         let trace = net.into_trace();
         let mut r = Reassembler::new();
         r.feed_trace(&trace);
@@ -201,8 +211,18 @@ mod tests {
             443,
         );
         // 1000 bytes => 10 segments 50 µs apart: one burst.
-        net.send(SimTime::from_secs(1), f, Direction::ToResponder, &[0u8; 1000]);
-        net.send(SimTime::from_secs(31), f, Direction::ToResponder, &[0u8; 1000]);
+        net.send(
+            SimTime::from_secs(1),
+            f,
+            Direction::ToResponder,
+            &[0u8; 1000],
+        );
+        net.send(
+            SimTime::from_secs(31),
+            f,
+            Direction::ToResponder,
+            &[0u8; 1000],
+        );
         let trace = net.into_trace();
         let mut r = Reassembler::new();
         r.feed_trace(&trace);

@@ -12,8 +12,7 @@ use ja_netsim::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
 /// One direction of one flow, as reconstructed by the sensor.
-#[derive(Debug)]
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct StreamState {
     /// Delivered contiguous bytes.
     pub data: Vec<u8>,
@@ -26,7 +25,6 @@ pub struct StreamState {
     /// Bytes currently stuck behind a gap.
     pub pending_bytes: u64,
 }
-
 
 impl StreamState {
     fn insert(&mut self, offset: u64, payload: &[u8]) {

@@ -128,7 +128,9 @@ impl RuleSet {
     pub fn match_code(&self, code: &str) -> Vec<&Rule> {
         self.rules
             .iter()
-            .filter(|r| matches!(&r.pattern, Pattern::CodeSubstring(s) if code.contains(s.as_str())))
+            .filter(
+                |r| matches!(&r.pattern, Pattern::CodeSubstring(s) if code.contains(s.as_str())),
+            )
             .collect()
     }
 
@@ -173,7 +175,9 @@ mod tests {
         assert!(!rs
             .match_code("open('README_RESTORE.txt','w').write(note)")
             .is_empty());
-        assert!(!rs.match_url("/api/kernels/k0/channels?token=abc").is_empty());
+        assert!(!rs
+            .match_url("/api/kernels/k0/channels?token=abc")
+            .is_empty());
         assert!(rs.match_code("print('hello')").is_empty());
     }
 

@@ -135,14 +135,20 @@ mod tests {
 
     #[test]
     fn display_is_readable() {
-        let t = FiveTuple::new(HostAddr::internal(HostId(1)), 40000, HostAddr::external(2), 443);
+        let t = FiveTuple::new(
+            HostAddr::internal(HostId(1)),
+            40000,
+            HostAddr::external(2),
+            443,
+        );
         assert_eq!(t.to_string(), "10.0.0.1:40000 -> 203.0.0.2:443");
     }
 
     #[test]
     fn host_ids_map_to_distinct_addrs() {
-        let addrs: std::collections::HashSet<_> =
-            (0..1000u32).map(|i| HostAddr::internal(HostId(i))).collect();
+        let addrs: std::collections::HashSet<_> = (0..1000u32)
+            .map(|i| HostAddr::internal(HostId(i)))
+            .collect();
         assert_eq!(addrs.len(), 1000);
     }
 }

@@ -78,7 +78,12 @@ mod tests {
     use crate::addr::{HostAddr, HostId};
 
     fn tuple() -> FiveTuple {
-        FiveTuple::new(HostAddr::internal(HostId(1)), 40000, HostAddr::external(1), 443)
+        FiveTuple::new(
+            HostAddr::internal(HostId(1)),
+            40000,
+            HostAddr::external(1),
+            443,
+        )
     }
 
     #[test]

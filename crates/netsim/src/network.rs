@@ -254,8 +254,18 @@ mod tests {
         let (a, b) = hosts();
         let mut net = Network::new();
         let f = net.open(SimTime::ZERO, a, 40000, b, ports::HUB_HTTPS);
-        net.send(SimTime::from_millis(1), f, Direction::ToResponder, b"GET /hub HTTP/1.1");
-        net.send(SimTime::from_millis(2), f, Direction::ToInitiator, b"HTTP/1.1 200 OK");
+        net.send(
+            SimTime::from_millis(1),
+            f,
+            Direction::ToResponder,
+            b"GET /hub HTTP/1.1",
+        );
+        net.send(
+            SimTime::from_millis(2),
+            f,
+            Direction::ToInitiator,
+            b"HTTP/1.1 200 OK",
+        );
         net.close(SimTime::from_millis(3), f, false);
         let st = net.flow(f);
         assert_eq!(st.bytes_to_responder, 17);

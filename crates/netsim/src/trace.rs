@@ -218,7 +218,12 @@ mod tests {
         let b = HostAddr::external(2);
         let mut net = Network::new().with_mss(4);
         let f = net.open(SimTime::ZERO, a, 1000, b, 443);
-        net.send(SimTime::from_millis(1), f, Direction::ToResponder, b"abcdefghij");
+        net.send(
+            SimTime::from_millis(1),
+            f,
+            Direction::ToResponder,
+            b"abcdefghij",
+        );
         net.send(SimTime::from_millis(5), f, Direction::ToInitiator, b"0123");
         net.close(SimTime::from_millis(9), f, false);
         let g = net.open(SimTime::from_millis(2), a, 1001, b, 8888);
@@ -252,7 +257,10 @@ mod tests {
     #[test]
     fn reassembly_matches_sent_bytes() {
         let t = build_trace();
-        assert_eq!(t.reassemble(0, Direction::ToResponder), b"abcdefghij".to_vec());
+        assert_eq!(
+            t.reassemble(0, Direction::ToResponder),
+            b"abcdefghij".to_vec()
+        );
         assert_eq!(t.reassemble(0, Direction::ToInitiator), b"0123".to_vec());
         assert_eq!(t.reassemble(1, Direction::ToResponder), b"xy".to_vec());
     }
@@ -270,7 +278,10 @@ mod tests {
         recs.push(dup);
         recs.reverse();
         let t2 = Trace::new(recs);
-        assert_eq!(t2.reassemble(0, Direction::ToResponder), b"abcdefghij".to_vec());
+        assert_eq!(
+            t2.reassemble(0, Direction::ToResponder),
+            b"abcdefghij".to_vec()
+        );
     }
 
     #[test]

@@ -92,7 +92,9 @@ mod tests {
 
     #[test]
     fn round_trip_known_codes() {
-        for code in [1000u16, 1001, 1002, 1003, 1007, 1008, 1009, 1011, 3000, 4999] {
+        for code in [
+            1000u16, 1001, 1002, 1003, 1007, 1008, 1009, 1011, 3000, 4999,
+        ] {
             assert_eq!(CloseCode::from_u16(code).to_u16(), code);
         }
     }

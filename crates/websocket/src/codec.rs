@@ -335,7 +335,10 @@ mod tests {
         for f in frames {
             out = asm.push(f).unwrap();
         }
-        assert_eq!(out.unwrap(), Message::Text(String::from_utf8(payload).unwrap()));
+        assert_eq!(
+            out.unwrap(),
+            Message::Text(String::from_utf8(payload).unwrap())
+        );
     }
 
     #[test]

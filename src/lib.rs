@@ -45,6 +45,7 @@
 //! let outcome = pipeline.run(&plan);
 //! assert!(outcome.report.alerts_total() > 0);
 //! ```
+#![warn(missing_docs)]
 
 pub use ja_attackgen as attackgen;
 pub use ja_audit as audit;

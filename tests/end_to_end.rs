@@ -20,7 +20,8 @@ fn every_attack_class_is_detected_in_isolation_except_zeroday() {
             continue;
         }
         assert_eq!(
-            s.detected, s.campaigns,
+            s.detected,
+            s.campaigns,
             "class {} not fully detected:\n{}",
             class.label(),
             board.render()
@@ -37,12 +38,14 @@ fn zeroday_surfaces_at_lower_confidence_threshold() {
         min_confidence: 0.3,
         ..Default::default()
     };
-    let board = jupyter_audit::core::metrics::score(
-        &out.report.alerts,
-        &out.scenario.ground_truth,
-        &cfg,
+    let board =
+        jupyter_audit::core::metrics::score(&out.report.alerts, &out.scenario.ground_truth, &cfg);
+    assert_eq!(
+        board.class(AttackClass::ZeroDay).detected,
+        1,
+        "{}",
+        board.render()
     );
-    assert_eq!(board.class(AttackClass::ZeroDay).detected, 1, "{}", board.render());
     out.report.scoreboard = Some(board);
 }
 

@@ -16,7 +16,11 @@ use jupyter_audit::netsim::network::Network;
 use jupyter_audit::netsim::rng::SimRng;
 use jupyter_audit::netsim::time::{Duration, SimTime};
 
-fn run_cells(mode: TransportMode, cells: usize, seed: u64) -> (jupyter_audit::netsim::trace::Trace, Vec<u8>, Vec<u8>) {
+fn run_cells(
+    mode: TransportMode,
+    cells: usize,
+    seed: u64,
+) -> (jupyter_audit::netsim::trace::Trace, Vec<u8>, Vec<u8>) {
     let mut cfg = ServerConfig::hardened();
     cfg.transport = mode;
     let mut srv = NotebookServer::new(9, cfg, seed);
@@ -78,12 +82,16 @@ fn sensor_survives_segment_loss_and_reordering() {
     let full = {
         let mut re = Reassembler::new();
         re.feed_trace(&trace);
-        analyze_flow(FlowId(0), &re.flows()[&0], None).kernel_msgs.len()
+        analyze_flow(FlowId(0), &re.flows()[&0], None)
+            .kernel_msgs
+            .len()
     };
     let perturbed = trace.perturb(&mut rng, 0.02, Duration::from_millis(5));
     let mut re = Reassembler::new();
     re.feed_trace(&perturbed);
-    let got = analyze_flow(FlowId(0), &re.flows()[&0], None).kernel_msgs.len();
+    let got = analyze_flow(FlowId(0), &re.flows()[&0], None)
+        .kernel_msgs
+        .len();
     assert!(got <= full);
 }
 
@@ -119,7 +127,10 @@ fn transport_encryption_hides_content_from_ct_inspection() {
     let mut re = Reassembler::new();
     re.feed_trace(&trace);
     let fb = &re.flows()[&0];
-    assert_eq!(analyze_flow(FlowId(0), fb, None).visibility, Visibility::Opaque);
+    assert_eq!(
+        analyze_flow(FlowId(0), fb, None).visibility,
+        Visibility::Opaque
+    );
     assert_eq!(
         analyze_flow(FlowId(0), fb, Some(&secret)).visibility,
         Visibility::FullContent

@@ -1,0 +1,206 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the `criterion_group!` / `criterion_main!` macros and the
+//! `Criterion` / `BenchmarkGroup` / `Bencher` API surface the workspace's
+//! benches use. Measurement is a simple calibrated loop (warm-up, then
+//! enough iterations to fill a ~100 ms window) reporting ns/iter and
+//! throughput — adequate for relative comparisons, with none of real
+//! criterion's statistics.
+#![warn(missing_docs)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Id carrying just a parameter value, e.g. a size.
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+
+    /// Id with a function name and a parameter.
+    pub fn new(name: impl Into<String>, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), param))
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` in a calibrated loop, recording elapsed time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find an iteration count that fills the
+        // measurement window.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(100) || n >= 1 << 30 {
+                self.total = elapsed;
+                self.iters = n;
+                return;
+            }
+            n = if elapsed.is_zero() {
+                n * 16
+            } else {
+                let target = Duration::from_millis(120).as_nanos();
+                ((n as u128 * target / elapsed.as_nanos().max(1)) as u64).clamp(n + 1, n * 32)
+            };
+        }
+    }
+}
+
+fn report(group: &str, id: &str, b: &Bencher, throughput: Option<Throughput>) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no measurement");
+        return;
+    }
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let mut line = format!("{group}/{id}: {ns_per_iter:.1} ns/iter");
+    let secs = b.total.as_secs_f64();
+    if let Some(t) = throughput {
+        match t {
+            Throughput::Bytes(bytes) => {
+                let rate = bytes as f64 * b.iters as f64 / secs / 1e6;
+                line += &format!(" ({rate:.1} MB/s)");
+            }
+            Throughput::Elements(n) => {
+                let rate = n as f64 * b.iters as f64 / secs / 1e6;
+                line += &format!(" ({rate:.2} Melem/s)");
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Set the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the stub harness autocalibrates.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&self.name, &id.0, &b, self.throughput);
+        self
+    }
+
+    /// Run one benchmark against a prepared input.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&self.name, &id.0, &b, self.throughput);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry object.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        report("bench", name, &b, None);
+        self
+    }
+}
+
+/// Define a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

@@ -1,0 +1,211 @@
+//! Minimal, offline stand-in for the `rayon` crate: parallel iteration
+//! over slices with `map` / `filter` / `filter_map` / `collect`, executed
+//! on `std::thread::scope` with one chunk per available core. Order is
+//! preserved, matching rayon's indexed collect semantics.
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel stage will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// `.par_iter()` — borrow a collection as a parallel iterator.
+pub trait IntoParallelRefIterator<'data> {
+    /// Item yielded by the iterator.
+    type Item: Send + 'data;
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<'data, T>;
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A parallel pipeline stage. Implementors describe how to produce the
+/// items for one index subrange; `collect` fans subranges out to threads.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced by this stage.
+    type Item: Send;
+
+    /// Total number of underlying indices.
+    fn len(&self) -> usize;
+
+    /// True if there is no work.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the items for `range`, in order, into `out`.
+    fn produce(&self, range: Range<usize>, out: &mut Vec<Self::Item>);
+
+    /// Transform each item.
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Keep items passing the predicate.
+    fn filter<F: Fn(&Self::Item) -> bool + Sync>(self, f: F) -> Filter<Self, F> {
+        Filter { base: self, f }
+    }
+
+    /// Transform and filter in one pass.
+    fn filter_map<O: Send, F: Fn(Self::Item) -> Option<O> + Sync>(
+        self,
+        f: F,
+    ) -> FilterMap<Self, F> {
+        FilterMap { base: self, f }
+    }
+
+    /// Run the pipeline across threads and gather ordered results.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        let n = self.len();
+        let workers = current_num_threads().min(n.max(1));
+        if workers <= 1 {
+            let mut out = Vec::with_capacity(n);
+            self.produce(0..n, &mut out);
+            return out.into_iter().collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut parts: Vec<Vec<Self::Item>> = Vec::new();
+        std::thread::scope(|scope| {
+            let this = &self;
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(n);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        if lo < hi {
+                            this.produce(lo..hi, &mut out);
+                        }
+                        out
+                    })
+                })
+                .collect();
+            parts = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+        parts.into_iter().flatten().collect()
+    }
+
+    /// Number of items surviving the pipeline.
+    fn count(self) -> usize {
+        self.collect::<Vec<_>>().len()
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn produce(&self, range: Range<usize>, out: &mut Vec<Self::Item>) {
+        out.extend(self.slice[range].iter());
+    }
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, O: Send, F: Fn(B::Item) -> O + Sync> ParallelIterator for Map<B, F> {
+    type Item = O;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, range: Range<usize>, out: &mut Vec<O>) {
+        let mut items = Vec::new();
+        self.base.produce(range, &mut items);
+        out.extend(items.into_iter().map(&self.f));
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, F: Fn(&B::Item) -> bool + Sync> ParallelIterator for Filter<B, F> {
+    type Item = B::Item;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, range: Range<usize>, out: &mut Vec<B::Item>) {
+        let mut items = Vec::new();
+        self.base.produce(range, &mut items);
+        out.extend(items.into_iter().filter(&self.f));
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B: ParallelIterator, O: Send, F: Fn(B::Item) -> Option<O> + Sync> ParallelIterator
+    for FilterMap<B, F>
+{
+    type Item = O;
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+    fn produce(&self, range: Range<usize>, out: &mut Vec<O>) {
+        let mut items = Vec::new();
+        self.base.produce(range, &mut items);
+        out.extend(items.into_iter().filter_map(&self.f));
+    }
+}
+
+/// The traits, glob-importable like `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn preserves_order_and_filters() {
+        let data: Vec<u64> = (0..10_000).collect();
+        let out: Vec<u64> = data
+            .par_iter()
+            .filter_map(|&x| if x % 3 == 0 { Some(x * 2) } else { None })
+            .collect();
+        let expect: Vec<u64> = (0..10_000).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn empty_input() {
+        let data: Vec<u32> = vec![];
+        let out: Vec<u32> = data.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

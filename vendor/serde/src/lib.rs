@@ -1,0 +1,201 @@
+//! Minimal, offline stand-in for the `serde` crate.
+//!
+//! The real `serde` cannot be vendored into this air-gapped workspace, so
+//! this crate provides the small surface the workspace actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits (modelled directly on a JSON
+//! [`Value`] tree rather than serde's zero-copy visitor machinery), the
+//! derive macros re-exported from `serde_derive`, and the [`Value`] /
+//! [`Number`] document model that `serde_json` re-exports.
+//!
+//! Supported derive attributes (the subset the workspace uses):
+//! `#[serde(rename_all = "lowercase" | "snake_case")]`,
+//! `#[serde(tag = "...")]` (internally tagged enums), `#[serde(default)]`,
+//! and `#[serde(default, skip_serializing_if = "path")]`.
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+pub use value::{Number, Value};
+
+/// Deserialization error: a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from any displayable message.
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A value that can be turned into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Convert `self` into a JSON value.
+    fn to_value(&self) -> Value;
+}
+
+/// A value that can be reconstructed from a JSON [`Value`] tree.
+///
+/// Missing object fields are presented to field types as [`Value::Null`],
+/// which is how `Option` fields default to `None` without an explicit
+/// `#[serde(default)]`.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a JSON value.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError::custom("expected boolean"))
+    }
+}
+
+macro_rules! int_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::Int(*self as i128))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Number(Number::Int(i)) => <$t>::try_from(*i)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::Number(Number::Float(f)) if f.fract() == 0.0 => {
+                        Ok(*f as $t)
+                    }
+                    _ => Err(DeError::custom(concat!(
+                        "expected integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+int_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Number(Number::Float(f)) => Ok(*f),
+            Value::Number(Number::Int(i)) => Ok(*i as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::Float(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}

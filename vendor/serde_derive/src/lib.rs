@@ -1,0 +1,450 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the vendored
+//! `serde` stand-in. Parses the item's token stream directly (no `syn` /
+//! `quote` available offline) and emits impls of the JSON-value-based
+//! `serde::Serialize` / `serde::Deserialize` traits.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! - structs with named fields
+//! - enums with unit variants (serialized as strings)
+//! - internally tagged enums (`#[serde(tag = "...")]`) with struct or
+//!   unit variants
+//!
+//! Supported attributes: container `rename_all = "lowercase" |
+//! "snake_case"`, container `tag = "..."`, field `default`, field
+//! `skip_serializing_if = "path"`.
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (attrs, item) = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => ser_struct(name, fields),
+        Item::Enum { name, variants } => ser_enum(name, variants, &attrs),
+    };
+    code.parse().expect("serde_derive produced invalid Rust")
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (attrs, item) = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => de_struct(name, fields),
+        Item::Enum { name, variants } => de_enum(name, variants, &attrs),
+    };
+    code.parse().expect("serde_derive produced invalid Rust")
+}
+
+#[derive(Default)]
+struct ContainerAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+}
+
+#[derive(Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Items inside `#[serde(...)]`: bare flags and `key = "value"` pairs.
+fn parse_serde_args(group: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    let mut iter = group.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        let key = match tt {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(ref p) if p.as_char() == ',' => continue,
+            other => panic!("unexpected token in #[serde(...)]: {other}"),
+        };
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '=' {
+                iter.next();
+                match iter.next() {
+                    Some(TokenTree::Literal(lit)) => {
+                        let s = lit.to_string();
+                        value = Some(s.trim_matches('"').to_string());
+                    }
+                    other => panic!("expected string after `{key} =`, got {other:?}"),
+                }
+            }
+        }
+        out.push((key, value));
+    }
+    out
+}
+
+/// If `tt` starts an attribute (`#`), consume it; returns the serde args
+/// if it was a `#[serde(...)]` attribute, `Some(vec![])` for any other
+/// attribute, `None` if `tt` is not an attribute at all.
+fn try_attr(
+    tt: &TokenTree,
+    iter: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Option<Vec<(String, Option<String>)>> {
+    match tt {
+        TokenTree::Punct(p) if p.as_char() == '#' => {
+            let Some(TokenTree::Group(g)) = iter.next() else {
+                panic!("expected [...] after #");
+            };
+            let mut inner = g.stream().into_iter();
+            match (inner.next(), inner.next()) {
+                (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+                    if name.to_string() == "serde" =>
+                {
+                    Some(parse_serde_args(args.stream()))
+                }
+                _ => Some(Vec::new()),
+            }
+        }
+        _ => None,
+    }
+}
+
+fn parse_item(input: TokenStream) -> (ContainerAttrs, Item) {
+    let mut attrs = ContainerAttrs::default();
+    let mut iter = input.into_iter().peekable();
+    let mut kind = None;
+    while let Some(tt) = iter.next() {
+        if let Some(args) = try_attr(&tt, &mut iter) {
+            for (k, v) in args {
+                match k.as_str() {
+                    "rename_all" => attrs.rename_all = v,
+                    "tag" => attrs.tag = v,
+                    other => panic!("unsupported container serde attr `{other}`"),
+                }
+            }
+            continue;
+        }
+        if let TokenTree::Ident(i) = &tt {
+            match i.to_string().as_str() {
+                "pub" => {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                "struct" | "enum" => {
+                    kind = Some(i.to_string());
+                    break;
+                }
+                other => panic!("unexpected keyword before struct/enum: {other}"),
+            }
+        }
+    }
+    let kind = kind.expect("no struct/enum found");
+    let name = match iter.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("expected {{...}} body for {name} (generics unsupported), got {other:?}"),
+    };
+    let item = if kind == "struct" {
+        Item::Struct {
+            name,
+            fields: parse_fields(body),
+        }
+    } else {
+        Item::Enum {
+            name,
+            variants: parse_variants(body),
+        }
+    };
+    (attrs, item)
+}
+
+/// Named fields of a struct or struct variant body.
+fn parse_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut fattrs = FieldAttrs::default();
+        // Attributes and visibility before the field name.
+        let name = loop {
+            let Some(tt) = iter.next() else {
+                return fields;
+            };
+            if let Some(args) = try_attr(&tt, &mut iter) {
+                for (k, v) in args {
+                    match k.as_str() {
+                        "default" => fattrs.default = true,
+                        "skip_serializing_if" => fattrs.skip_serializing_if = v,
+                        other => panic!("unsupported field serde attr `{other}`"),
+                    }
+                }
+                continue;
+            }
+            if let TokenTree::Ident(i) = &tt {
+                let s = i.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                    continue;
+                }
+                break s;
+            }
+            panic!("unexpected token in field list: {tt}");
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        for tt in iter.by_ref() {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field {
+            name,
+            attrs: fattrs,
+        });
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        if try_attr(&tt, &mut iter).is_some() {
+            continue;
+        }
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            TokenTree::Ident(i) => {
+                let name = i.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        iter.next();
+                        Some(parse_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        panic!("tuple variants are unsupported ({name})")
+                    }
+                    _ => None,
+                };
+                variants.push(Variant { name, fields });
+            }
+            other => panic!("unexpected token in enum body: {other}"),
+        }
+    }
+    variants
+}
+
+/// Apply a `rename_all` rule to a variant name.
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, ch) in name.chars().enumerate() {
+                if ch.is_ascii_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.push(ch.to_ascii_lowercase());
+                } else {
+                    out.push(ch);
+                }
+            }
+            out
+        }
+        Some(other) => panic!("unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
+    }
+}
+
+fn ser_struct(name: &str, fields: &[Field]) -> String {
+    let mut body = String::from("let mut obj: Vec<(String, serde::Value)> = Vec::new();\n");
+    for f in fields {
+        let push = format!(
+            "obj.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));",
+            n = f.name
+        );
+        match &f.attrs.skip_serializing_if {
+            Some(path) => {
+                body += &format!("if !{path}(&self.{n}) {{ {push} }}\n", n = f.name);
+            }
+            None => {
+                body += &push;
+                body.push('\n');
+            }
+        }
+    }
+    body += "serde::Value::Object(obj)";
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// The expression that reconstructs one field from `value.get("name")`.
+fn de_field_expr(container: &str, f: &Field) -> String {
+    let missing = if f.attrs.default {
+        "std::default::Default::default()".to_string()
+    } else {
+        format!(
+            "serde::Deserialize::from_value(&serde::Value::Null).map_err(|_| \
+             serde::DeError::custom(\"missing field `{n}` in {container}\"))?",
+            n = f.name
+        )
+    };
+    format!(
+        "match value.get(\"{n}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => {missing} }}",
+        n = f.name
+    )
+}
+
+fn de_struct(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits += &format!("{n}: {e},\n", n = f.name, e = de_field_expr(name, f));
+    }
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+         if value.as_object().is_none() {{\n\
+             return Err(serde::DeError::custom(\"expected object for {name}\"));\n\
+         }}\n\
+         Ok({name} {{\n{inits}}})\n}}\n}}\n"
+    )
+}
+
+fn ser_enum(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let rule = attrs.rename_all.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let wire = rename(&v.name, rule);
+        match (&attrs.tag, &v.fields) {
+            (None, None) => {
+                arms += &format!(
+                    "{name}::{v} => serde::Value::String(\"{wire}\".to_string()),\n",
+                    v = v.name
+                );
+            }
+            (None, Some(_)) => {
+                panic!(
+                    "struct variants require #[serde(tag = \"...\")] ({name}::{})",
+                    v.name
+                )
+            }
+            (Some(tag), fields) => {
+                let field_names: Vec<&str> = fields
+                    .as_ref()
+                    .map(|fs| fs.iter().map(|f| f.name.as_str()).collect())
+                    .unwrap_or_default();
+                let pattern = if fields.is_some() {
+                    format!(
+                        "{name}::{v} {{ {bind} }}",
+                        v = v.name,
+                        bind = field_names.join(", ")
+                    )
+                } else {
+                    format!("{name}::{v}", v = v.name)
+                };
+                let mut body =
+                    String::from("let mut obj: Vec<(String, serde::Value)> = Vec::new();\n");
+                body += &format!(
+                    "obj.push((\"{tag}\".to_string(), serde::Value::String(\"{wire}\".to_string())));\n"
+                );
+                for f in &field_names {
+                    body += &format!(
+                        "obj.push((\"{f}\".to_string(), serde::Serialize::to_value({f})));\n"
+                    );
+                }
+                body += "serde::Value::Object(obj)";
+                arms += &format!("{pattern} => {{\n{body}\n}}\n");
+            }
+        }
+    }
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{\nmatch self {{\n{arms}}}\n}}\n}}\n"
+    )
+}
+
+fn de_enum(name: &str, variants: &[Variant], attrs: &ContainerAttrs) -> String {
+    let rule = attrs.rename_all.as_deref();
+    match &attrs.tag {
+        None => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename(&v.name, rule);
+                arms += &format!("Some(\"{wire}\") => Ok({name}::{v}),\n", v = v.name);
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 match value.as_str() {{\n{arms}\
+                 Some(other) => Err(serde::DeError::custom(format!(\"unknown {name} variant: {{}}\", other))),\n\
+                 None => Err(serde::DeError::custom(\"expected string for {name}\")),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+        Some(tag) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = rename(&v.name, rule);
+                match &v.fields {
+                    None => {
+                        arms += &format!("\"{wire}\" => Ok({name}::{v}),\n", v = v.name);
+                    }
+                    Some(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits +=
+                                &format!("{n}: {e},\n", n = f.name, e = de_field_expr(name, f));
+                        }
+                        arms +=
+                            &format!("\"{wire}\" => Ok({name}::{v} {{\n{inits}}}),\n", v = v.name);
+                    }
+                }
+            }
+            format!(
+                "impl serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{\n\
+                 let tag = value.get(\"{tag}\").and_then(|t| t.as_str()).ok_or_else(|| \
+                     serde::DeError::custom(\"missing `{tag}` tag for {name}\"))?;\n\
+                 match tag {{\n{arms}\
+                 other => Err(serde::DeError::custom(format!(\"unknown {name} variant: {{}}\", other))),\n\
+                 }}\n}}\n}}\n"
+            )
+        }
+    }
+}
