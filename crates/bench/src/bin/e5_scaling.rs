@@ -1,50 +1,89 @@
 //! E5 — the paper's scalability lesson: "network traffic will keep
 //! increasing, and a security auditor may add unsustainable performance
 //! overhead … one must harness the power of supercomputers". We sweep
-//! offered load and compare the sequential analyzer pipeline against
-//! the rayon-parallel one.
+//! offered load and compare four monitor configurations: the sequential
+//! batch path, the rayon flow-sharded path, a fixed-width sharded run,
+//! and the online streaming engine (bounded memory, per-close
+//! eviction).
+//!
+//! `--tiny` restricts the sweep to the smallest workload (CI smoke).
 
 use ja_monitor::engine::{Monitor, MonitorConfig};
+use ja_monitor::streaming::{StreamingConfig, StreamingMonitor};
 
 fn main() {
     let seed = ja_bench::seed_from_args();
+    let tiny = ja_bench::flag_from_args("--tiny");
+    let reps = if tiny { 1 } else { 3 };
     println!("=== E5: monitor overhead vs offered traffic (seed {seed}) ===\n");
     println!(
         "rayon threads available: {}\n",
         rayon::current_num_threads()
     );
     println!(
-        "{:<24} {:>10} {:>10} {:>12} {:>12} {:>9}",
-        "workload", "segments", "MB", "seq (seg/s)", "par (seg/s)", "speedup"
+        "{:<16} {:>9} {:>8} {:>11} {:>11} {:>11} {:>11} {:>8} {:>10}",
+        "workload",
+        "segments",
+        "MB",
+        "seq (sg/s)",
+        "par (sg/s)",
+        "shrd (sg/s)",
+        "strm (sg/s)",
+        "speedup",
+        "peak-live"
     );
-    for (servers, sessions) in [(2usize, 1usize), (4, 2), (8, 3), (16, 4), (24, 6)] {
+    let workloads: &[(usize, usize)] = if tiny {
+        &[(2, 1)]
+    } else {
+        &[(2, 1), (4, 2), (8, 3), (16, 4), (24, 6)]
+    };
+    for &(servers, sessions) in workloads {
         let trace = ja_bench::scaled_trace(servers, sessions, seed);
         let s = trace.summary();
         let monitor = Monitor::new(MonitorConfig::default());
-        // Warm + best-of-3 to keep numbers stable in a shared VM.
-        let best = |f: &dyn Fn() -> f64| (0..3).map(|_| f()).fold(f64::MAX, f64::min);
-        let seq_secs = best(&|| {
-            let (_, st) = monitor.analyze(&trace);
+        // Warm + best-of-N to keep numbers stable in a shared VM.
+        let seq_secs = ja_bench::best_of(reps, || monitor.analyze(&trace).1.elapsed_secs);
+        let par_secs = ja_bench::best_of(reps, || monitor.analyze_parallel(&trace).1.elapsed_secs);
+        let shards = rayon::current_num_threads().max(2) / 2;
+        let sharded_secs = ja_bench::best_of(reps, || {
+            monitor.analyze_sharded(&trace, shards).1.elapsed_secs
+        });
+        let mut peak_live = 0u64;
+        let stream_secs = ja_bench::best_of(reps, || {
+            let mut sm = StreamingMonitor::new(&monitor, StreamingConfig::online());
+            for r in trace.records() {
+                sm.push(r);
+            }
+            let (_, st) = sm.finish();
+            peak_live = st.peak_live_flows;
             st.elapsed_secs
         });
-        let par_secs = best(&|| {
-            let (_, st) = monitor.analyze_parallel(&trace);
-            st.elapsed_secs
-        });
-        let seq_tput = s.segments as f64 / seq_secs;
-        let par_tput = s.segments as f64 / par_secs;
+        let tput = |secs: f64| s.segments as f64 / secs;
+        // Speedup guards only against a zero denominator — sub-1 seg/s
+        // throughputs must not be silently clamped.
+        let speedup = if seq_secs > 0.0 && par_secs > 0.0 {
+            tput(par_secs) / tput(seq_secs)
+        } else {
+            f64::NAN
+        };
         println!(
-            "{:<24} {:>10} {:>10.1} {:>12.0} {:>12.0} {:>8.2}x",
-            format!("{servers} srv x {sessions} sess"),
+            "{:<16} {:>9} {:>8.1} {:>11.0} {:>11.0} {:>11.0} {:>11.0} {:>7.2}x {:>10}",
+            format!("{servers} srv x {sessions}"),
             s.segments,
             s.bytes as f64 / 1e6,
-            seq_tput,
-            par_tput,
-            par_tput.max(1.0) / seq_tput.max(1.0)
+            tput(seq_secs),
+            tput(par_secs),
+            tput(sharded_secs),
+            tput(stream_secs),
+            speedup,
+            peak_live,
         );
     }
     println!(
-        "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. The crossover"
+        "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. shrd = fixed"
     );
-    println!(" shows where flow-level parallelism starts paying for its coordination overhead.)");
+    println!(
+        " half-pool sharding; strm = online streaming engine whose peak-live column shows the"
+    );
+    println!(" bounded flow-table high-water mark the batch paths don't have.)");
 }

@@ -24,6 +24,18 @@ pub fn seed_from_args() -> u64 {
         .unwrap_or(42)
 }
 
+/// Is a bare flag (e.g. `--tiny`) present in argv? CI smoke runs use
+/// this to shrink a sweep to one small workload.
+pub fn flag_from_args(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Best (minimum) of `n` timed runs — benches use this to keep numbers
+/// stable on shared VMs.
+pub fn best_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+    (0..n.max(1)).map(|_| f()).fold(f64::MAX, f64::min)
+}
+
 /// Build a mixed-scenario trace of roughly increasing size by scaling
 /// benign sessions (the E5/E10 load generator).
 pub fn scaled_trace(servers: usize, sessions_per_server: usize, seed: u64) -> Trace {
@@ -67,5 +79,16 @@ mod tests {
     #[test]
     fn default_seed() {
         assert_eq!(seed_from_args(), 42);
+    }
+
+    #[test]
+    fn absent_flag_is_false() {
+        assert!(!flag_from_args("--tiny"));
+    }
+
+    #[test]
+    fn best_of_picks_minimum() {
+        let mut runs = [3.0, 1.0, 2.0].into_iter();
+        assert_eq!(best_of(3, || runs.next().unwrap()), 1.0);
     }
 }

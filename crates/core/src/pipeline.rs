@@ -20,6 +20,7 @@ use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
 use ja_monitor::engine::{Monitor, MonitorConfig, MonitorStats};
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
+use rayon::prelude::*;
 
 /// Pipeline configuration.
 #[derive(Clone, Debug)]
@@ -35,6 +36,9 @@ pub struct PipelineConfig {
     pub tracer_capacity: usize,
     /// Use the rayon-parallel analysis path?
     pub parallel: bool,
+    /// Shard the monitor across exactly this many workers (overrides
+    /// `parallel`, which uses the rayon pool width).
+    pub shards: Option<usize>,
     /// Incident merge window.
     pub merge_window: Duration,
     /// Scoring config.
@@ -50,6 +54,7 @@ impl PipelineConfig {
             tls_inspection: true,
             tracer_capacity: 1 << 16,
             parallel: false,
+            shards: None,
             merge_window: Duration::from_secs(1800),
             scoring: ScoringConfig::default(),
         }
@@ -178,10 +183,10 @@ impl Pipeline {
             }
         }
         let monitor = Monitor::new(mcfg);
-        let (mut alerts, monitor_stats) = if self.config.parallel {
-            monitor.analyze_parallel(&scenario.trace)
-        } else {
-            monitor.analyze(&scenario.trace)
+        let (mut alerts, monitor_stats) = match (self.config.shards, self.config.parallel) {
+            (Some(n), _) => monitor.analyze_sharded(&scenario.trace, n),
+            (None, true) => monitor.analyze_parallel(&scenario.trace),
+            (None, false) => monitor.analyze(&scenario.trace),
         };
         alerts.extend(monitor.analyze_auth(&scenario.auth_log));
         // 3. Kernel audit through the bounded tracer.
@@ -218,6 +223,172 @@ impl Pipeline {
             audit_completeness,
             report,
         }
+    }
+}
+
+/// One deployment + plan to execute as part of a fleet.
+#[derive(Clone, Debug)]
+pub struct FleetJob {
+    /// Human-readable deployment name (report key).
+    pub label: String,
+    /// Pipeline configuration for this deployment.
+    pub config: PipelineConfig,
+    /// The campaign plan to run against it.
+    pub plan: CampaignPlan,
+}
+
+impl FleetJob {
+    /// A labelled job.
+    pub fn new(label: impl Into<String>, config: PipelineConfig, plan: CampaignPlan) -> Self {
+        FleetJob {
+            label: label.into(),
+            config,
+            plan,
+        }
+    }
+}
+
+/// The outcome of one fleet member's run.
+pub struct FleetRun {
+    /// The job's label.
+    pub label: String,
+    /// Everything its pipeline produced.
+    pub outcome: RunOutcome,
+}
+
+/// Aggregated results across a fleet of deployments.
+pub struct FleetOutcome {
+    /// Per-deployment runs, in job order.
+    pub runs: Vec<FleetRun>,
+}
+
+impl FleetOutcome {
+    /// Total alerts raised across the fleet.
+    pub fn total_alerts(&self) -> usize {
+        self.runs
+            .iter()
+            .map(|r| r.outcome.report.alerts_total())
+            .sum()
+    }
+
+    /// Total segments the fleet's monitors consumed.
+    pub fn total_segments(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|r| r.outcome.monitor_stats.segments)
+            .sum()
+    }
+
+    /// Campaigns detected / campaigns injected, fleet-wide (scored
+    /// classes only).
+    pub fn detection_totals(&self) -> (usize, usize) {
+        let mut detected = 0;
+        let mut campaigns = 0;
+        for r in &self.runs {
+            if let Some(board) = &r.outcome.report.scoreboard {
+                for (_, s) in &board.classes {
+                    detected += s.detected;
+                    campaigns += s.campaigns;
+                }
+            }
+        }
+        (detected, campaigns)
+    }
+
+    /// Mean macro-recall across scored runs.
+    pub fn mean_macro_recall(&self) -> f64 {
+        let scored: Vec<f64> = self
+            .runs
+            .iter()
+            .filter_map(|r| r.outcome.report.scoreboard.as_ref())
+            .map(|b| b.macro_recall())
+            .collect();
+        if scored.is_empty() {
+            0.0
+        } else {
+            scored.iter().sum::<f64>() / scored.len() as f64
+        }
+    }
+
+    /// One summary line per deployment plus fleet totals.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>10} {:>8} {:>10} {:>14}\n",
+            "deployment", "segments", "alerts", "incidents", "macro-recall"
+        ));
+        for r in &self.runs {
+            let recall = r
+                .outcome
+                .report
+                .scoreboard
+                .as_ref()
+                .map(|b| format!("{:.2}", b.macro_recall()))
+                .unwrap_or_else(|| "-".into());
+            out.push_str(&format!(
+                "{:<18} {:>10} {:>8} {:>10} {:>14}\n",
+                r.label,
+                r.outcome.monitor_stats.segments,
+                r.outcome.report.alerts_total(),
+                r.outcome.report.incidents_total(),
+                recall
+            ));
+        }
+        let (det, camp) = self.detection_totals();
+        out.push_str(&format!(
+            "fleet: {} deployments, {} segments, {} alerts, {det}/{camp} campaigns detected\n",
+            self.runs.len(),
+            self.total_segments(),
+            self.total_alerts(),
+        ));
+        out
+    }
+}
+
+/// Executes many deployments/plans in parallel — the multi-deployment
+/// regime an NCSA-scale operator actually runs, where each cluster or
+/// lab has its own JupyterHub and the SOC aggregates across all of
+/// them. Each job builds its own [`Pipeline`] on a rayon worker; run
+/// order in the output matches job order regardless of scheduling.
+#[derive(Clone, Debug, Default)]
+pub struct FleetRunner {
+    /// The jobs to execute.
+    pub jobs: Vec<FleetJob>,
+}
+
+impl FleetRunner {
+    /// An empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a job (builder style).
+    pub fn with_job(mut self, job: FleetJob) -> Self {
+        self.jobs.push(job);
+        self
+    }
+
+    /// Execute every job across the rayon pool.
+    pub fn run(&self) -> FleetOutcome {
+        let runs = self
+            .jobs
+            .par_iter()
+            .map(|job| {
+                let mut p = Pipeline::new(job.config.clone());
+                FleetRun {
+                    label: job.label.clone(),
+                    outcome: p.run(&job.plan),
+                }
+            })
+            .collect();
+        FleetOutcome { runs }
+    }
+}
+
+impl Pipeline {
+    /// Run a whole fleet of deployments in parallel and aggregate.
+    pub fn run_fleet(jobs: Vec<FleetJob>) -> FleetOutcome {
+        FleetRunner { jobs }.run()
     }
 }
 
@@ -271,6 +442,66 @@ mod tests {
         let mut p2 = Pipeline::new(cfg2);
         let o2 = p2.run(&CampaignPlan::single(AttackClass::Cryptomining));
         assert_eq!(o1.report.alerts_total(), o2.report.alerts_total());
+    }
+
+    #[test]
+    fn sharded_config_matches_sequential() {
+        let mut p1 = Pipeline::new(PipelineConfig::small_lab(11));
+        let o1 = p1.run(&CampaignPlan::single(AttackClass::DataExfiltration));
+        let mut cfg = PipelineConfig::small_lab(11);
+        cfg.shards = Some(3);
+        let mut p2 = Pipeline::new(cfg);
+        let o2 = p2.run(&CampaignPlan::single(AttackClass::DataExfiltration));
+        assert_eq!(o1.report.alerts_total(), o2.report.alerts_total());
+        assert_eq!(o1.monitor_stats.flows, o2.monitor_stats.flows);
+    }
+
+    #[test]
+    fn fleet_matches_individual_runs_and_aggregates() {
+        let jobs = vec![
+            FleetJob::new(
+                "lab-a",
+                PipelineConfig::small_lab(21),
+                CampaignPlan::single(AttackClass::Ransomware),
+            ),
+            FleetJob::new(
+                "lab-b",
+                PipelineConfig::small_lab(22),
+                CampaignPlan::single(AttackClass::Cryptomining),
+            ),
+            FleetJob::new(
+                "lab-c",
+                PipelineConfig::small_lab(23),
+                CampaignPlan::single(AttackClass::DataExfiltration),
+            ),
+        ];
+        let fleet = Pipeline::run_fleet(jobs.clone());
+        assert_eq!(fleet.runs.len(), 3);
+        // Output order matches job order, and each run reproduces what
+        // a standalone pipeline produces for the same config/plan.
+        for (job, run) in jobs.iter().zip(&fleet.runs) {
+            assert_eq!(job.label, run.label);
+            let mut solo = Pipeline::new(job.config.clone());
+            let solo_out = solo.run(&job.plan);
+            assert_eq!(
+                solo_out.report.alerts_total(),
+                run.outcome.report.alerts_total(),
+                "{}",
+                job.label
+            );
+        }
+        let (detected, campaigns) = fleet.detection_totals();
+        assert_eq!(campaigns, 3);
+        assert_eq!(detected, 3, "\n{}", fleet.render());
+        assert_eq!(
+            fleet.total_alerts(),
+            fleet
+                .runs
+                .iter()
+                .map(|r| r.outcome.report.alerts_total())
+                .sum::<usize>()
+        );
+        assert!(fleet.render().contains("lab-b"));
     }
 
     #[test]

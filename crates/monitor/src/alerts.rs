@@ -5,7 +5,7 @@ use ja_netsim::addr::HostAddr;
 use ja_netsim::time::SimTime;
 
 /// Which subsystem raised the alert.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AlertSource {
     /// Network monitor (this crate).
     Network,

@@ -13,7 +13,7 @@ use ja_attackgen::AttackClass;
 use ja_kernelsim::config::MisconfigClass;
 use ja_kernelsim::hub::{AuthEvent, AuthOutcome};
 use ja_netsim::addr::HostAddr;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Detector thresholds (the attack surface of E6's rule inference).
 #[derive(Clone, Debug)]
@@ -185,11 +185,13 @@ pub fn per_flow(
 }
 
 /// Cross-flow detectors: DNS-tunnel fan-out, scanner fan-out, rare
-/// external destinations (zero-day anomaly proxy).
+/// external destinations (zero-day anomaly proxy). Grouping maps are
+/// ordered so alert order is independent of how the feature set was
+/// produced (sequential, streaming, or sharded).
 pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
     let mut alerts = Vec::new();
     // DNS tunnel: many small flows to port 53 from one internal host.
-    let mut dns_by_src: HashMap<HostAddr, usize> = HashMap::new();
+    let mut dns_by_src: BTreeMap<HostAddr, usize> = BTreeMap::new();
     for f in features {
         if f.tuple.dst_port == 53 && f.crosses_perimeter {
             *dns_by_src.entry(f.tuple.src).or_default() += 1;
@@ -199,7 +201,7 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
         if count >= th.dns_flows_per_host {
             let first = features
                 .iter()
-                .filter(|f| f.tuple.src == src && f.tuple.dst_port == 53)
+                .filter(|f| f.tuple.src == src && f.tuple.dst_port == 53 && f.crosses_perimeter)
                 .map(|f| f.start)
                 .min()
                 .expect("counted above");
@@ -216,8 +218,7 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
         }
     }
     // Scanner: one external source RST-probing many (dst, port) pairs.
-    let mut probes_by_src: HashMap<HostAddr, std::collections::HashSet<(HostAddr, u16)>> =
-        HashMap::new();
+    let mut probes_by_src: BTreeMap<HostAddr, BTreeSet<(HostAddr, u16)>> = BTreeMap::new();
     for f in features {
         if f.reset && !f.tuple.src.is_internal() && f.bytes_up == 0 {
             probes_by_src
@@ -230,7 +231,7 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
         if targets.len() >= th.scan_fanout {
             let first = features
                 .iter()
-                .filter(|f| f.tuple.src == src && f.reset)
+                .filter(|f| f.tuple.src == src && f.reset && f.bytes_up == 0)
                 .map(|f| f.start)
                 .min()
                 .expect("counted above");
@@ -248,7 +249,7 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
     }
     // Rare external destination receiving an upload: the anomaly feature
     // standing in for "unknown unknown" detection.
-    let mut dst_counts: HashMap<HostAddr, usize> = HashMap::new();
+    let mut dst_counts: BTreeMap<HostAddr, usize> = BTreeMap::new();
     for f in features {
         if f.crosses_perimeter && !f.tuple.dst.is_internal() {
             *dst_counts.entry(f.tuple.dst).or_default() += 1;
@@ -278,8 +279,8 @@ pub fn cross_flow(features: &[FlowFeatures], th: &Thresholds) -> Vec<Alert> {
 /// Auth-log detectors: brute force and password spraying.
 pub fn auth_log(events: &[AuthEvent], th: &Thresholds) -> Vec<Alert> {
     let mut alerts = Vec::new();
-    // Group failures by source.
-    let mut by_src: HashMap<HostAddr, Vec<&AuthEvent>> = HashMap::new();
+    // Group failures by source (ordered, for deterministic output).
+    let mut by_src: BTreeMap<HostAddr, Vec<&AuthEvent>> = BTreeMap::new();
     for e in events {
         if e.outcome != AuthOutcome::Success {
             by_src.entry(e.src).or_default().push(e);

@@ -1,15 +1,25 @@
-//! The monitor engine: capture in, alerts out — with a sequential and a
-//! rayon-parallel path so E5 can measure the paper's scalability lesson.
+//! The monitor engine: capture in, alerts out.
+//!
+//! All batch entry points are wrappers over the streaming core in
+//! [`crate::streaming`]: `analyze` pushes the capture through one
+//! [`StreamingMonitor`]; `analyze_sharded` partitions records across N
+//! per-shard streaming engines by flow id (rayon) — reassembly *and*
+//! per-flow analysis run shard-parallel with no global sort and no
+//! barrier between the stages — and merges their summaries for the
+//! cross-flow detectors; `analyze_parallel` is `analyze_sharded` at the
+//! rayon pool width (E5's "harness the supercomputer" configuration).
 
 use crate::alerts::Alert;
-use crate::analyzers::{analyze_flow, FlowAnalysis, Visibility};
+use crate::analyzers::{analyze_flow, FlowAnalysis};
 use crate::detectors::{self, Thresholds};
 use crate::features::FlowFeatures;
-use crate::reassembly::{FlowBuf, Reassembler};
+use crate::reassembly::FlowBuf;
 use crate::rules::RuleSet;
+use crate::streaming::{StreamingConfig, StreamingMonitor};
 use ja_kernelsim::hub::AuthEvent;
 use ja_netsim::addr::HostAddr;
 use ja_netsim::flow::FlowId;
+use ja_netsim::segment::SegmentRecord;
 use ja_netsim::trace::Trace;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -64,6 +74,11 @@ pub struct MonitorStats {
     pub opaque_flows: u64,
     /// Kernel messages recovered.
     pub kernel_msgs: u64,
+    /// High-water mark of concurrently retained (live) flows. For the
+    /// batch wrappers this equals `flows`; a streaming engine with
+    /// eviction keeps it bounded by concurrency, not capture size. For
+    /// the sharded path it is the sum of per-shard peaks.
+    pub peak_live_flows: u64,
     /// Wall-clock seconds spent in analysis.
     pub elapsed_secs: f64,
 }
@@ -92,7 +107,7 @@ impl Monitor {
         Monitor { config }
     }
 
-    fn secret_for(&self, buf: &FlowBuf) -> Option<&[u8]> {
+    pub(crate) fn secret_for(&self, buf: &FlowBuf) -> Option<&[u8]> {
         let tuple = buf.tuple?;
         self.config
             .inspect_secrets
@@ -101,7 +116,7 @@ impl Monitor {
             .map(|v| v.as_slice())
     }
 
-    fn attribute(&self, mut alert: Alert) -> Alert {
+    pub(crate) fn attribute(&self, mut alert: Alert) -> Alert {
         if alert.server_id.is_none() {
             if let Some(host) = alert.host {
                 if let Some(&id) = self.config.server_ids.get(&host) {
@@ -112,38 +127,7 @@ impl Monitor {
         alert
     }
 
-    fn finish(
-        &self,
-        per_flow: Vec<(FlowFeatures, FlowAnalysis, Vec<Alert>)>,
-        segments: u64,
-        started: std::time::Instant,
-    ) -> (Vec<Alert>, MonitorStats) {
-        let mut stats = MonitorStats {
-            segments,
-            flows: per_flow.len() as u64,
-            ..Default::default()
-        };
-        let mut alerts = Vec::new();
-        let mut features = Vec::with_capacity(per_flow.len());
-        for (ff, analysis, flow_alerts) in per_flow {
-            stats.bytes += ff.bytes_up + ff.bytes_down;
-            stats.kernel_msgs += analysis.kernel_msgs.len() as u64;
-            match analysis.visibility {
-                Visibility::FullContent => stats.full_content_flows += 1,
-                Visibility::FramingOnly => stats.framing_only_flows += 1,
-                Visibility::Opaque => stats.opaque_flows += 1,
-            }
-            alerts.extend(flow_alerts);
-            features.push(ff);
-        }
-        alerts.extend(detectors::cross_flow(&features, &self.config.thresholds));
-        let mut alerts: Vec<Alert> = alerts.into_iter().map(|a| self.attribute(a)).collect();
-        alerts.sort_by_key(|a| a.time);
-        stats.elapsed_secs = started.elapsed().as_secs_f64();
-        (alerts, stats)
-    }
-
-    fn flow_work(
+    pub(crate) fn flow_work(
         &self,
         id: u64,
         buf: &FlowBuf,
@@ -155,35 +139,46 @@ impl Monitor {
         Some((ff, analysis, alerts))
     }
 
-    /// Analyze a capture sequentially.
+    /// Analyze a capture sequentially: the streaming core in batch
+    /// (no-early-eviction) mode, one engine, one pass.
     pub fn analyze(&self, trace: &Trace) -> (Vec<Alert>, MonitorStats) {
-        let started = std::time::Instant::now();
-        let mut re = Reassembler::new();
-        re.feed_trace(trace);
-        let segments = re.records_in;
-        let mut entries: Vec<(u64, FlowBuf)> = re.into_flows().into_iter().collect();
-        entries.sort_by_key(|(id, _)| *id);
-        let per_flow: Vec<_> = entries
-            .iter()
-            .filter_map(|(id, buf)| self.flow_work(*id, buf))
-            .collect();
-        self.finish(per_flow, segments, started)
+        let mut sm = StreamingMonitor::new(self, StreamingConfig::batch());
+        for r in trace.records() {
+            sm.push(r);
+        }
+        sm.finish()
     }
 
-    /// Analyze a capture with the per-flow stage parallelized over the
-    /// rayon pool (the "harness the supercomputer" configuration).
+    /// Analyze a capture with flows partitioned by id across the rayon
+    /// pool (the "harness the supercomputer" configuration).
     pub fn analyze_parallel(&self, trace: &Trace) -> (Vec<Alert>, MonitorStats) {
+        self.analyze_sharded(trace, rayon::current_num_threads())
+    }
+
+    /// Analyze a capture sharded across `shards` workers: records are
+    /// partitioned by flow id, each shard runs its own streaming engine
+    /// (reassembly + per-flow analysis, no cross-shard barrier until
+    /// the final merge), and the cross-flow detectors run once over the
+    /// merged flow summaries. Alert output is identical to
+    /// [`Monitor::analyze`] for every shard count.
+    pub fn analyze_sharded(&self, trace: &Trace, shards: usize) -> (Vec<Alert>, MonitorStats) {
         let started = std::time::Instant::now();
-        let mut re = Reassembler::new();
-        re.feed_trace(trace);
-        let segments = re.records_in;
-        let mut entries: Vec<(u64, FlowBuf)> = re.into_flows().into_iter().collect();
-        entries.sort_by_key(|(id, _)| *id);
-        let per_flow: Vec<_> = entries
+        let n = shards.max(1);
+        let mut buckets: Vec<Vec<&SegmentRecord>> = (0..n).map(|_| Vec::new()).collect();
+        for r in trace.records() {
+            buckets[(r.flow_id % n as u64) as usize].push(r);
+        }
+        let parts = buckets
             .par_iter()
-            .filter_map(|(id, buf)| self.flow_work(*id, buf))
+            .map(|bucket| {
+                let mut sm = StreamingMonitor::new(self, StreamingConfig::batch());
+                for r in bucket {
+                    sm.push(r);
+                }
+                sm.into_summary()
+            })
             .collect();
-        self.finish(per_flow, segments, started)
+        self.finish_summaries(parts, started)
     }
 
     /// Analyze the hub auth log.
@@ -226,6 +221,24 @@ mod tests {
         k1.sort();
         k2.sort();
         assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn sharded_agrees_for_any_shard_count() {
+        let (trace, _) = exfil_scenario();
+        let m = Monitor::default();
+        let (a_seq, s_seq) = m.analyze(&trace);
+        // Alert ordering is canonical, so the output sequences must be
+        // *identical*, not merely set-equal.
+        let key = |a: &Alert| (a.time, a.class, a.detail.clone(), a.host, a.server_id);
+        let k1: Vec<_> = a_seq.iter().map(key).collect();
+        for shards in [1, 2, 3, 7, 64] {
+            let (a_sh, s_sh) = m.analyze_sharded(&trace, shards);
+            let k2: Vec<_> = a_sh.iter().map(key).collect();
+            assert_eq!(k1, k2, "shards={shards}");
+            assert_eq!(s_seq.flows, s_sh.flows, "shards={shards}");
+            assert_eq!(s_seq.segments, s_sh.segments, "shards={shards}");
+        }
     }
 
     #[test]

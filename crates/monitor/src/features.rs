@@ -201,6 +201,49 @@ mod tests {
     }
 
     #[test]
+    fn retransmissions_do_not_change_features() {
+        // A periodic beacon whose every segment is retransmitted once:
+        // volume, burst count, and periodicity must be unaffected, or
+        // retransmission noise would push flows across detector
+        // thresholds.
+        let mut net = Network::new();
+        let f = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            1,
+            HostAddr::external(1),
+            443,
+        );
+        let mut t = SimTime::from_secs(1);
+        for _ in 0..8 {
+            net.send(t, f, Direction::ToResponder, &[0u8; 180]);
+            t = t + Duration::from_secs(30);
+        }
+        net.close(t, f, false);
+        let trace = net.into_trace();
+        let mut recs = trace.records().to_vec();
+        let dups: Vec<_> = recs
+            .iter()
+            .filter(|r| !r.payload.is_empty())
+            .cloned()
+            .collect();
+        recs.extend(dups);
+        let mut noisy_trace = ja_netsim::trace::Trace::new(recs);
+        noisy_trace.sort();
+        let mut clean = Reassembler::new();
+        clean.feed_trace(&trace);
+        let mut noisy = Reassembler::new();
+        noisy.feed_trace(&noisy_trace);
+        let cf = FlowFeatures::from_flow(0, &clean.flows()[&0]).unwrap();
+        let nf = FlowFeatures::from_flow(0, &noisy.flows()[&0]).unwrap();
+        assert_eq!(cf.bytes_up, nf.bytes_up);
+        assert_eq!(cf.sends_up, nf.sends_up);
+        assert_eq!(cf.mean_gap_secs, nf.mean_gap_secs);
+        assert_eq!(cf.gap_cv, nf.gap_cv);
+        assert!(nf.looks_periodic());
+    }
+
+    #[test]
     fn segments_in_one_write_are_one_burst() {
         let mut net = Network::new().with_mss(100);
         let f = net.open(

@@ -16,9 +16,12 @@
 //!   transport allows — plaintext WS yields cell source code; TLS yields
 //!   only flow shapes; TLS-with-inspection yields framing but not E2E
 //!   message bodies.
-//! - **Scalability** (E5): [`engine::Monitor::analyze_parallel`] is a
-//!   rayon data-parallel map over flows, the paper's "harness the power
-//!   of supercomputers" mitigation.
+//! - **Scalability** (E5): every batch entry point is a wrapper over
+//!   the [`streaming`] core. [`streaming::StreamingMonitor`] consumes
+//!   records incrementally and evicts flows as they close, bounding
+//!   memory by *live* flows; [`engine::Monitor::analyze_sharded`]
+//!   partitions flows across rayon workers by flow id — the paper's
+//!   "harness the power of supercomputers" mitigation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,7 +33,9 @@ pub mod engine;
 pub mod features;
 pub mod reassembly;
 pub mod rules;
+pub mod streaming;
 
 pub use alerts::{Alert, AlertSource};
 pub use engine::{Monitor, MonitorConfig, MonitorStats};
 pub use features::FlowFeatures;
+pub use streaming::{StreamingConfig, StreamingMonitor};

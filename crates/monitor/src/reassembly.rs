@@ -11,6 +11,19 @@ use ja_netsim::segment::{Direction, SegmentRecord};
 use ja_netsim::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
 
+/// How the reassembler classified a payload segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentDisposition {
+    /// The segment contributed stream bytes the sensor had not seen
+    /// before (delivered in order, or stashed behind a gap). Truncated
+    /// captures (empty payload) also land here: they cannot be
+    /// classified, so they keep counting toward volume/rate features.
+    New,
+    /// A retransmission: every byte was already delivered or already
+    /// pending.
+    Duplicate,
+}
+
 /// One direction of one flow, as reconstructed by the sensor.
 #[derive(Debug, Default)]
 pub struct StreamState {
@@ -27,14 +40,14 @@ pub struct StreamState {
 }
 
 impl StreamState {
-    fn insert(&mut self, offset: u64, payload: &[u8]) {
+    fn insert(&mut self, offset: u64, payload: &[u8]) -> SegmentDisposition {
         if payload.is_empty() {
-            return;
+            return SegmentDisposition::New;
         }
         let end = offset + payload.len() as u64;
         if end <= self.next {
             self.duplicates += 1;
-            return;
+            return SegmentDisposition::Duplicate;
         }
         // Trim any already-delivered prefix.
         let (offset, payload) = if offset < self.next {
@@ -62,14 +75,48 @@ impl StreamState {
                 self.data.extend_from_slice(&bytes[skip..]);
                 self.next = end;
             }
+            SegmentDisposition::New
         } else {
-            // Out of order: stash (coalescing duplicates by offset).
-            if self.pending.insert(offset, payload.to_vec()).is_none() {
-                self.pending_bytes += payload.len() as u64;
-            } else {
+            // Out of order. A retransmission may be repacketized at a
+            // shifted offset or a different length, but the byte at a
+            // given stream offset is consistent, so stash only the
+            // sub-ranges not already pending. Keeping `pending` disjoint
+            // keeps `pending_bytes` an exact gauge of bytes stuck behind
+            // the gap at every instant, not just after it drains.
+            let fresh = self.uncovered_ranges(offset, end);
+            if fresh.is_empty() {
                 self.duplicates += 1;
+                return SegmentDisposition::Duplicate;
+            }
+            for &(a, b) in &fresh {
+                let lo = (a - offset) as usize;
+                let hi = (b - offset) as usize;
+                self.pending.insert(a, payload[lo..hi].to_vec());
+                self.pending_bytes += b - a;
+            }
+            SegmentDisposition::New
+        }
+    }
+
+    /// The sub-ranges of `[start, end)` not covered by any stashed
+    /// pending segment, in offset order.
+    fn uncovered_ranges(&self, mut start: u64, end: u64) -> Vec<(u64, u64)> {
+        let mut fresh = Vec::new();
+        for (&off, bytes) in self.pending.range(..end) {
+            let seg_end = off + bytes.len() as u64;
+            if seg_end <= start {
+                continue;
+            }
+            if off > start {
+                fresh.push((start, off));
+            }
+            start = start.max(seg_end);
+            if start >= end {
+                return fresh;
             }
         }
+        fresh.push((start, end));
+        fresh
     }
 
     /// Is there a sequence gap (undelivered pending data)?
@@ -103,6 +150,42 @@ pub struct FlowBuf {
     pub reset: bool,
 }
 
+impl FlowBuf {
+    /// Absorb one captured record into this flow's reconstruction.
+    ///
+    /// Rate/volume features (`*_times`, `*_sizes`) only count segments
+    /// that carry bytes the sensor has not seen before — retransmitted
+    /// duplicates update `duplicates` but do not inflate the features
+    /// the volumetric detectors read.
+    pub fn absorb(&mut self, rec: &SegmentRecord) {
+        self.tuple.get_or_insert(rec.tuple);
+        if rec.flags.syn {
+            self.opened.get_or_insert(rec.time);
+        }
+        if rec.flags.fin || rec.flags.rst {
+            self.closed.get_or_insert(rec.time);
+            self.reset |= rec.flags.rst;
+        }
+        if rec.wire_len > 0 {
+            match rec.dir {
+                Direction::ToResponder => {
+                    if self.up.insert(rec.stream_offset, &rec.payload) == SegmentDisposition::New {
+                        self.up_times.push(rec.time);
+                        self.up_sizes.push(rec.wire_len);
+                    }
+                }
+                Direction::ToInitiator => {
+                    if self.down.insert(rec.stream_offset, &rec.payload) == SegmentDisposition::New
+                    {
+                        self.down_times.push(rec.time);
+                        self.down_sizes.push(rec.wire_len);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Reassembler over an entire capture.
 #[derive(Debug, Default)]
 pub struct Reassembler {
@@ -120,29 +203,7 @@ impl Reassembler {
     /// Feed one captured record.
     pub fn feed(&mut self, rec: &SegmentRecord) {
         self.records_in += 1;
-        let fb = self.flows.entry(rec.flow_id).or_default();
-        fb.tuple.get_or_insert(rec.tuple);
-        if rec.flags.syn {
-            fb.opened.get_or_insert(rec.time);
-        }
-        if rec.flags.fin || rec.flags.rst {
-            fb.closed.get_or_insert(rec.time);
-            fb.reset |= rec.flags.rst;
-        }
-        if rec.wire_len > 0 {
-            match rec.dir {
-                Direction::ToResponder => {
-                    fb.up.insert(rec.stream_offset, &rec.payload);
-                    fb.up_times.push(rec.time);
-                    fb.up_sizes.push(rec.wire_len);
-                }
-                Direction::ToInitiator => {
-                    fb.down.insert(rec.stream_offset, &rec.payload);
-                    fb.down_times.push(rec.time);
-                    fb.down_sizes.push(rec.wire_len);
-                }
-            }
-        }
+        self.flows.entry(rec.flow_id).or_default().absorb(rec);
     }
 
     /// Feed an entire trace.
@@ -251,6 +312,103 @@ mod tests {
         // Fully-covered duplicate.
         st.insert(0, &[1, 2]);
         assert_eq!(st.duplicates, 1);
+    }
+
+    #[test]
+    fn pending_replacement_adjusts_gap_accounting() {
+        let mut st = StreamState::default();
+        // Repacketized retransmissions at an already-pending offset:
+        // the longer payload wins and `pending_bytes` tracks the delta.
+        st.insert(10, &[10, 11]);
+        assert_eq!(st.pending_bytes, 2);
+        st.insert(10, &[10, 11, 12, 13, 14]);
+        assert_eq!(st.pending_bytes, 5);
+        // A shorter retransmission must never truncate captured bytes.
+        st.insert(10, &[10, 11, 12]);
+        assert_eq!(st.pending_bytes, 5);
+        assert_eq!(st.duplicates, 1);
+        // Fill the gap: every stashed byte drains, none goes stale or
+        // is lost.
+        st.insert(0, &(0u8..10).collect::<Vec<_>>());
+        assert_eq!(st.data, (0u8..15).collect::<Vec<_>>());
+        assert_eq!(st.pending_bytes, 0);
+        assert!(!st.has_gap());
+    }
+
+    #[test]
+    fn partial_overlap_counts_unique_pending_bytes() {
+        let mut st = StreamState::default();
+        // While the gap is open, `pending_bytes` must gauge *unique*
+        // stashed bytes even when stashes partially overlap.
+        st.insert(10, &(10u8..20).collect::<Vec<_>>());
+        assert_eq!(st.pending_bytes, 10);
+        // [15, 25) overlaps [10, 20): only [20, 25) is new.
+        assert_eq!(
+            st.insert(15, &(15u8..25).collect::<Vec<_>>()),
+            SegmentDisposition::New
+        );
+        assert_eq!(st.pending_bytes, 15);
+        // [5, 30) straddles everything stashed: [5, 10) and [25, 30).
+        assert_eq!(
+            st.insert(5, &(5u8..30).collect::<Vec<_>>()),
+            SegmentDisposition::New
+        );
+        assert_eq!(st.pending_bytes, 25);
+        st.insert(0, &(0u8..5).collect::<Vec<_>>());
+        assert_eq!(st.data, (0u8..30).collect::<Vec<_>>());
+        assert_eq!(st.pending_bytes, 0);
+        assert!(!st.has_gap());
+    }
+
+    #[test]
+    fn shifted_retransmission_within_pending_is_duplicate() {
+        let mut st = StreamState::default();
+        // Stash [10, 20) behind a gap, then retransmit subsets at
+        // shifted offsets: no new bytes, so both are duplicates.
+        st.insert(10, &(10u8..20).collect::<Vec<_>>());
+        assert_eq!(st.insert(12, &[12, 13, 14]), SegmentDisposition::Duplicate);
+        assert_eq!(
+            st.insert(15, &(15u8..20).collect::<Vec<_>>()),
+            SegmentDisposition::Duplicate
+        );
+        assert_eq!(st.duplicates, 2);
+        assert_eq!(st.pending_bytes, 10);
+        // A shifted segment reaching past the stash carries new bytes.
+        assert_eq!(
+            st.insert(15, &(15u8..25).collect::<Vec<_>>()),
+            SegmentDisposition::New
+        );
+        st.insert(0, &(0u8..10).collect::<Vec<_>>());
+        assert_eq!(st.data, (0u8..25).collect::<Vec<_>>());
+        assert_eq!(st.pending_bytes, 0);
+        assert!(!st.has_gap());
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate_rate_features() {
+        let data: Vec<u8> = (0u8..200).collect();
+        let trace = capture(20, &data);
+        let mut clean = Reassembler::new();
+        clean.feed_trace(&trace);
+        // Retransmit every upstream payload segment once.
+        let mut recs = trace.records().to_vec();
+        let dups: Vec<_> = recs
+            .iter()
+            .filter(|r| !r.payload.is_empty() && r.dir == Direction::ToResponder)
+            .cloned()
+            .collect();
+        assert!(!dups.is_empty());
+        recs.extend(dups);
+        let mut noisy = Reassembler::new();
+        for r in &recs {
+            noisy.feed(r);
+        }
+        let (c, n) = (&clean.flows()[&0], &noisy.flows()[&0]);
+        assert_eq!(n.up.data, data);
+        assert!(n.up.duplicates >= 10);
+        // The volumetric/rate features must match the clean capture.
+        assert_eq!(n.up_sizes, c.up_sizes);
+        assert_eq!(n.up_times, c.up_times);
     }
 
     #[test]

@@ -1,0 +1,476 @@
+//! Streaming monitor core — flows in, alerts out, memory bounded by
+//! *live* flows.
+//!
+//! [`StreamingMonitor`] consumes [`SegmentRecord`]s one at a time and
+//! evicts a flow — runs the analyzers and per-flow detectors, keeps only
+//! its compact [`FlowFeatures`] summary — as soon as the flow closes
+//! (FIN/RST plus a short reorder linger) or goes idle. Reassembly
+//! memory (payload buffers, pending segments, timing vectors) is
+//! therefore proportional to concurrently-*live* flows, not to capture
+//! size; what grows with the capture is only the small per-flow feature
+//! summary the cross-flow detectors need at [`StreamingMonitor::finish`]
+//! (plus per-flow alerts until they are drained). That is what lets the
+//! sensor run online against unbounded traffic (the paper's E5
+//! "unsustainable overhead" lesson).
+//!
+//! The batch entry points ([`Monitor::analyze`],
+//! [`Monitor::analyze_parallel`], [`Monitor::analyze_sharded`]) are thin
+//! wrappers over this core: they push the whole capture through one or
+//! more streaming engines (one per flow-hash shard) and merge the
+//! results, so every path shares one implementation and produces one
+//! alert set.
+
+use crate::alerts::Alert;
+use crate::analyzers::Visibility;
+use crate::detectors;
+use crate::engine::{Monitor, MonitorStats};
+use crate::features::FlowFeatures;
+use crate::reassembly::FlowBuf;
+use ja_netsim::segment::SegmentRecord;
+use ja_netsim::time::{Duration, SimTime};
+use std::collections::HashMap;
+
+/// Eviction policy for the streaming engine.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingConfig {
+    /// Evict a flow with no activity for this long (None = only evict
+    /// on close / finish). A flow that resumes after an idle eviction
+    /// is reconstructed as a fresh flow view.
+    pub idle_timeout: Option<Duration>,
+    /// After FIN/RST, keep the flow live this long so reordered
+    /// segments captured "after" the close still land in it.
+    pub close_linger: Duration,
+    /// Run the eviction sweep every this many records (amortizes the
+    /// live-table scan).
+    pub sweep_interval: u64,
+}
+
+impl StreamingConfig {
+    /// Online defaults: close-evict after a 2 s linger, idle-evict
+    /// after 10 min, sweep every 256 records.
+    pub fn online() -> Self {
+        StreamingConfig {
+            idle_timeout: Some(Duration::from_secs(600)),
+            close_linger: Duration::from_secs(2),
+            sweep_interval: 256,
+        }
+    }
+
+    /// Batch mode: never evict early. Every flow is retained until
+    /// [`StreamingMonitor::finish`], which makes the result identical
+    /// to offline analysis on arbitrarily reordered captures — this is
+    /// what the `Monitor::analyze*` wrappers use.
+    pub fn batch() -> Self {
+        StreamingConfig {
+            idle_timeout: None,
+            close_linger: Duration(u64::MAX),
+            sweep_interval: u64::MAX,
+        }
+    }
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig::online()
+    }
+}
+
+/// A flow still being reassembled.
+#[derive(Debug)]
+struct LiveFlow {
+    buf: FlowBuf,
+    /// Capture time of the newest record on this flow.
+    last_seen: SimTime,
+}
+
+/// Everything a streaming engine accumulated from its evicted flows:
+/// compact feature summaries (the cross-flow detectors' input),
+/// attributed per-flow alerts, and partial stats. This is also the
+/// unit the sharded path merges.
+#[derive(Debug, Default)]
+pub(crate) struct StreamSummary {
+    pub(crate) features: Vec<FlowFeatures>,
+    pub(crate) alerts: Vec<Alert>,
+    pub(crate) stats: MonitorStats,
+}
+
+/// The incremental monitor engine.
+#[derive(Debug)]
+pub struct StreamingMonitor<'m> {
+    monitor: &'m Monitor,
+    cfg: StreamingConfig,
+    live: HashMap<u64, LiveFlow>,
+    summary: StreamSummary,
+    /// Newest capture timestamp seen on any flow (eviction clock).
+    watermark: SimTime,
+    since_sweep: u64,
+    started: std::time::Instant,
+}
+
+impl<'m> StreamingMonitor<'m> {
+    /// A streaming engine over `monitor`'s rules and thresholds.
+    pub fn new(monitor: &'m Monitor, cfg: StreamingConfig) -> Self {
+        StreamingMonitor {
+            monitor,
+            cfg,
+            live: HashMap::new(),
+            summary: StreamSummary::default(),
+            watermark: SimTime::ZERO,
+            since_sweep: 0,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Consume one captured record.
+    pub fn push(&mut self, rec: &SegmentRecord) {
+        self.summary.stats.segments += 1;
+        self.watermark = self.watermark.max(rec.time);
+        let lf = self.live.entry(rec.flow_id).or_insert_with(|| LiveFlow {
+            buf: FlowBuf::default(),
+            last_seen: rec.time,
+        });
+        lf.last_seen = lf.last_seen.max(rec.time);
+        lf.buf.absorb(rec);
+        self.summary.stats.peak_live_flows = self
+            .summary
+            .stats
+            .peak_live_flows
+            .max(self.live.len() as u64);
+        self.since_sweep += 1;
+        if self.since_sweep >= self.cfg.sweep_interval {
+            self.sweep();
+        }
+    }
+
+    /// Number of flows currently held in memory.
+    pub fn live_flows(&self) -> usize {
+        self.live.len()
+    }
+
+    /// High-water mark of concurrently live flows.
+    pub fn peak_live_flows(&self) -> u64 {
+        self.summary.stats.peak_live_flows
+    }
+
+    /// Take the per-flow alerts emitted since the last drain
+    /// (attributed, in eviction order), releasing their memory from the
+    /// engine. Cross-flow alerts only appear at
+    /// [`StreamingMonitor::finish`].
+    pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.summary.alerts)
+    }
+
+    /// Evict closed/idle flows according to the watermark.
+    fn sweep(&mut self) {
+        self.since_sweep = 0;
+        let wm = self.watermark.as_micros();
+        let mut evict: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, lf)| {
+                let closed = lf
+                    .buf
+                    .closed
+                    .map(|t| t.as_micros().saturating_add(self.cfg.close_linger.0) <= wm)
+                    .unwrap_or(false);
+                let idle = self
+                    .cfg
+                    .idle_timeout
+                    .map(|d| lf.last_seen.as_micros().saturating_add(d.0) <= wm)
+                    .unwrap_or(false);
+                closed || idle
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        evict.sort_unstable();
+        for id in evict {
+            self.evict(id);
+        }
+    }
+
+    /// Analyze one flow and fold it into the running summary.
+    fn evict(&mut self, id: u64) {
+        let Some(lf) = self.live.remove(&id) else {
+            return;
+        };
+        let Some((ff, analysis, alerts)) = self.monitor.flow_work(id, &lf.buf) else {
+            return;
+        };
+        let stats = &mut self.summary.stats;
+        stats.flows += 1;
+        stats.bytes += ff.bytes_up + ff.bytes_down;
+        stats.kernel_msgs += analysis.kernel_msgs.len() as u64;
+        match analysis.visibility {
+            Visibility::FullContent => stats.full_content_flows += 1,
+            Visibility::FramingOnly => stats.framing_only_flows += 1,
+            Visibility::Opaque => stats.opaque_flows += 1,
+        }
+        self.summary
+            .alerts
+            .extend(alerts.into_iter().map(|a| self.monitor.attribute(a)));
+        self.summary.features.push(ff);
+    }
+
+    /// Evict every remaining flow (in flow-id order, so output is
+    /// deterministic) and return the accumulated summary, without
+    /// running the cross-flow detectors. The sharded path merges these.
+    pub(crate) fn into_summary(mut self) -> StreamSummary {
+        let mut rest: Vec<u64> = self.live.keys().copied().collect();
+        rest.sort_unstable();
+        for id in rest {
+            self.evict(id);
+        }
+        self.summary
+    }
+
+    /// Finish the capture: evict all remaining flows, run the
+    /// cross-flow detectors over every flow summary, and return the
+    /// full alert set (undrained per-flow + cross-flow, canonically
+    /// sorted) with final statistics.
+    pub fn finish(self) -> (Vec<Alert>, MonitorStats) {
+        let monitor = self.monitor;
+        let started = self.started;
+        let summary = self.into_summary();
+        monitor.finish_summaries(vec![summary], started)
+    }
+}
+
+impl Monitor {
+    /// Merge per-shard summaries: concatenate features and per-flow
+    /// alerts, run the cross-flow detectors once over the global
+    /// feature set, attribute, and sort canonically. Alerts already
+    /// taken via [`StreamingMonitor::drain_alerts`] are gone from the
+    /// summaries and therefore not re-emitted.
+    pub(crate) fn finish_summaries(
+        &self,
+        parts: Vec<StreamSummary>,
+        started: std::time::Instant,
+    ) -> (Vec<Alert>, MonitorStats) {
+        let mut stats = MonitorStats::default();
+        let mut alerts: Vec<Alert> = Vec::new();
+        let mut features: Vec<FlowFeatures> = Vec::new();
+        for p in parts {
+            stats.segments += p.stats.segments;
+            stats.flows += p.stats.flows;
+            stats.bytes += p.stats.bytes;
+            stats.full_content_flows += p.stats.full_content_flows;
+            stats.framing_only_flows += p.stats.framing_only_flows;
+            stats.opaque_flows += p.stats.opaque_flows;
+            stats.kernel_msgs += p.stats.kernel_msgs;
+            stats.peak_live_flows += p.stats.peak_live_flows;
+            alerts.extend(p.alerts);
+            features.extend(p.features);
+        }
+        alerts.extend(
+            detectors::cross_flow(&features, &self.config.thresholds)
+                .into_iter()
+                .map(|a| self.attribute(a)),
+        );
+        // Total order: equal-time alerts sort the same no matter which
+        // path (sequential, streaming, any shard count) produced them,
+        // so downstream order-sensitive consumers (incident merging)
+        // see one canonical sequence.
+        alerts.sort_by_cached_key(|a| {
+            (
+                a.time,
+                a.class,
+                a.source,
+                a.host,
+                a.server_id,
+                a.user.clone(),
+                a.detail.clone(),
+                a.confidence.to_bits(),
+            )
+        });
+        stats.elapsed_secs = started.elapsed().as_secs_f64();
+        (alerts, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ja_attackgen::mixer::{run_scenario, ScenarioSpec};
+    use ja_attackgen::AttackClass;
+    use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+
+    fn alert_keys(alerts: &[Alert]) -> Vec<(SimTime, AttackClass, String)> {
+        let mut k: Vec<_> = alerts
+            .iter()
+            .map(|a| (a.time, a.class, a.detail.clone()))
+            .collect();
+        k.sort();
+        k
+    }
+
+    fn mixed_trace(seed: u64) -> ja_netsim::trace::Trace {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(seed));
+        run_scenario(
+            &mut d,
+            &ScenarioSpec {
+                benign_sessions_per_server: 2,
+                attacks: vec![AttackClass::DataExfiltration, AttackClass::Cryptomining],
+                horizon_secs: 2 * 3600,
+                seed,
+            },
+        )
+        .trace
+    }
+
+    #[test]
+    fn streaming_matches_batch_alert_set() {
+        let trace = mixed_trace(41);
+        let m = Monitor::default();
+        let (batch, batch_stats) = m.analyze(&trace);
+        let mut sm = StreamingMonitor::new(
+            &m,
+            StreamingConfig {
+                // Close-based eviction only: idle eviction would split
+                // legitimately slow flows and is an online trade-off,
+                // not an equivalence-preserving one.
+                idle_timeout: None,
+                close_linger: Duration::from_secs(2),
+                sweep_interval: 64,
+            },
+        );
+        for r in trace.records() {
+            sm.push(r);
+        }
+        let (stream, stream_stats) = sm.finish();
+        assert_eq!(alert_keys(&batch), alert_keys(&stream));
+        assert_eq!(batch_stats.flows, stream_stats.flows);
+        assert_eq!(batch_stats.segments, stream_stats.segments);
+        assert_eq!(batch_stats.bytes, stream_stats.bytes);
+        assert_eq!(batch_stats.kernel_msgs, stream_stats.kernel_msgs);
+    }
+
+    #[test]
+    fn eviction_bounds_live_flows_on_staggered_capture() {
+        use ja_netsim::addr::{HostAddr, HostId};
+        use ja_netsim::network::Network;
+        use ja_netsim::segment::Direction;
+        // 200 short sessions, each closed well before the next begins:
+        // the batch path retains all 200 flow buffers, the streaming
+        // path only a handful at a time.
+        let mut net = Network::new();
+        for i in 0..200u64 {
+            let t0 = SimTime::from_secs(10 * i);
+            let f = net.open(
+                t0,
+                HostAddr::internal(HostId(1 + (i % 3) as u32)),
+                40_000 + i as u16,
+                HostAddr::external(9),
+                443,
+            );
+            net.send(
+                t0 + Duration::from_millis(5),
+                f,
+                Direction::ToResponder,
+                &[7u8; 300],
+            );
+            net.send(
+                t0 + Duration::from_millis(9),
+                f,
+                Direction::ToInitiator,
+                &[8u8; 900],
+            );
+            net.close(t0 + Duration::from_secs(5), f, false);
+        }
+        let trace = net.into_trace();
+        let m = Monitor::default();
+        let (batch, batch_stats) = m.analyze(&trace);
+        assert_eq!(batch_stats.peak_live_flows, 200);
+        let mut sm = StreamingMonitor::new(
+            &m,
+            StreamingConfig {
+                idle_timeout: None,
+                close_linger: Duration::from_secs(1),
+                sweep_interval: 16,
+            },
+        );
+        for r in trace.records() {
+            sm.push(r);
+        }
+        let (stream, stream_stats) = sm.finish();
+        assert_eq!(alert_keys(&batch), alert_keys(&stream));
+        assert_eq!(stream_stats.flows, 200);
+        assert!(
+            stream_stats.peak_live_flows <= 8,
+            "peak {} should be bounded by live flows, not capture size",
+            stream_stats.peak_live_flows
+        );
+    }
+
+    #[test]
+    fn drain_alerts_streams_per_flow_alerts_without_duplication() {
+        use ja_netsim::addr::{HostAddr, HostId};
+        use ja_netsim::network::Network;
+        use ja_netsim::segment::Direction;
+        // Ten bulk uploads leaving the perimeter, each flow closed long
+        // before the capture ends: their per-flow exfil alerts must
+        // surface mid-stream via drain_alerts, and draining must not
+        // duplicate or lose anything relative to the batch result.
+        let mut net = Network::new();
+        for i in 0..10u64 {
+            let t0 = SimTime::from_secs(120 * i);
+            let f = net.open(
+                t0,
+                HostAddr::internal(HostId(1)),
+                50_000 + i as u16,
+                HostAddr::external(7),
+                443,
+            );
+            net.send_snapped(
+                t0 + Duration::from_millis(10),
+                f,
+                Direction::ToResponder,
+                &[1u8; 4096],
+                20_000_000,
+            );
+            net.close(t0 + Duration::from_secs(30), f, false);
+        }
+        let trace = net.into_trace();
+        let m = Monitor::default();
+        let (batch, _) = m.analyze(&trace);
+        let mut sm = StreamingMonitor::new(
+            &m,
+            StreamingConfig {
+                sweep_interval: 8,
+                ..StreamingConfig::online()
+            },
+        );
+        let mut drained: Vec<Alert> = Vec::new();
+        for r in trace.records() {
+            sm.push(r);
+            drained.extend(sm.drain_alerts());
+        }
+        let (rest, _) = sm.finish();
+        // Exfil is caught per-flow, so it must surface mid-stream.
+        assert!(drained
+            .iter()
+            .any(|a| a.class == AttackClass::DataExfiltration));
+        let mut all = drained;
+        all.extend(rest);
+        assert_eq!(alert_keys(&batch), alert_keys(&all));
+    }
+
+    #[test]
+    fn idle_timeout_bounds_live_flows() {
+        let trace = mixed_trace(43);
+        let m = Monitor::default();
+        let mut sm = StreamingMonitor::new(
+            &m,
+            StreamingConfig {
+                idle_timeout: Some(Duration::from_secs(60)),
+                close_linger: Duration::from_secs(1),
+                sweep_interval: 32,
+            },
+        );
+        for r in trace.records() {
+            sm.push(r);
+        }
+        let (_, stats) = sm.finish();
+        assert!(stats.peak_live_flows > 0);
+        assert!(stats.peak_live_flows < stats.flows);
+    }
+}

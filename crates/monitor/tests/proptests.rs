@@ -3,14 +3,36 @@
 //! arbitrary feature inputs.
 
 use ja_monitor::detectors::{self, Thresholds};
+use ja_monitor::engine::Monitor;
 use ja_monitor::features::FlowFeatures;
 use ja_monitor::reassembly::Reassembler;
+use ja_monitor::streaming::{StreamingConfig, StreamingMonitor};
 use ja_netsim::addr::{FiveTuple, HostAddr, HostId};
 use ja_netsim::network::Network;
 use ja_netsim::rng::SimRng;
-use ja_netsim::segment::Direction;
+use ja_netsim::segment::{Direction, SegFlags, SegmentRecord};
 use ja_netsim::time::{Duration, SimTime};
+use ja_netsim::trace::Trace;
 use proptest::prelude::*;
+
+/// Ground-truth stream content: byte at absolute offset `p`.
+fn stream_byte(p: u64) -> u8 {
+    (p % 251) as u8
+}
+
+/// A manually-built payload record for flow 0.
+fn record(offset: u64, len: usize, t_ms: u64) -> SegmentRecord {
+    SegmentRecord {
+        time: SimTime::from_millis(t_ms),
+        tuple: FiveTuple::new(HostAddr::internal(HostId(1)), 1, HostAddr::external(1), 2),
+        flow_id: 0,
+        dir: Direction::ToResponder,
+        stream_offset: offset,
+        payload: (offset..offset + len as u64).map(stream_byte).collect(),
+        wire_len: len as u32,
+        flags: SegFlags::default(),
+    }
+}
 
 proptest! {
     /// The monitor's streaming reassembler recovers exactly the bytes
@@ -59,6 +81,120 @@ proptest! {
         let got = &re.flows()[&0].up.data;
         prop_assert!(got.len() <= data.len());
         prop_assert_eq!(got.as_slice(), &data[..got.len()]);
+    }
+
+    /// Reordered *and duplicated* captures reassemble to exactly the
+    /// ground-truth bytes with clean gap accounting: once everything is
+    /// delivered, no stale `pending_bytes` remain.
+    #[test]
+    fn duplication_keeps_gap_accounting_clean(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..200), 1..8),
+        mss in 1usize..64,
+        dup_mask in proptest::collection::vec(any::<bool>(), 16),
+        seed in any::<u64>()) {
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        let mut t = SimTime::from_millis(1);
+        for w in &writes {
+            t = net.send(t, f, Direction::ToResponder, w);
+            t += Duration::from_millis(2);
+        }
+        net.close(t, f, false);
+        let trace = net.into_trace();
+        let want = trace.reassemble(0, Direction::ToResponder);
+        let mut recs = trace.into_records();
+        let dups: Vec<SegmentRecord> = recs
+            .iter()
+            .filter(|r| !r.payload.is_empty())
+            .enumerate()
+            .filter(|(i, _)| dup_mask[i % dup_mask.len()])
+            .map(|(_, r)| r.clone())
+            .collect();
+        recs.extend(dups);
+        let mut rng = SimRng::new(seed);
+        let shuffled = Trace::new(recs).perturb(&mut rng, 0.0, Duration::from_millis(5));
+        let mut re = Reassembler::new();
+        re.feed_trace(&shuffled);
+        let fb = &re.flows()[&0];
+        prop_assert_eq!(&fb.up.data, &want);
+        prop_assert!(!fb.up.has_gap());
+        prop_assert_eq!(fb.up.pending_bytes, 0);
+    }
+
+    /// Arbitrary overlapping retransmissions (content consistent with
+    /// one underlying stream, like TCP) deliver exactly the contiguous
+    /// coverage prefix, and gap accounting drains once the gap fills.
+    #[test]
+    fn overlapping_segments_deliver_contiguous_coverage(
+        offsets in proptest::collection::vec(0u64..150, 1..40)) {
+        // Length is a pure function of offset, so a repeated offset is a
+        // true retransmission (same bytes).
+        let seg = |o: u64| (o, 1 + ((o * 7) % 40) as usize);
+        let mut re = Reassembler::new();
+        for (i, &o) in offsets.iter().enumerate() {
+            let (off, len) = seg(o);
+            re.feed(&record(off, len, i as u64));
+        }
+        let fb = &re.flows()[&0];
+        let mut intervals: Vec<(u64, u64)> = offsets
+            .iter()
+            .map(|&o| {
+                let (off, len) = seg(o);
+                (off, off + len as u64)
+            })
+            .collect();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        for (a, b) in intervals {
+            if a > covered {
+                break;
+            }
+            covered = covered.max(b);
+        }
+        let expected: Vec<u8> = (0..covered).map(stream_byte).collect();
+        prop_assert_eq!(&fb.up.data, &expected);
+        if !fb.up.has_gap() {
+            prop_assert_eq!(fb.up.pending_bytes, 0);
+        }
+    }
+
+    /// Retransmitted duplicates never inflate the volumetric/rate
+    /// features the exfiltration detectors read.
+    #[test]
+    fn duplicates_leave_features_unchanged(
+        len in 1usize..1500,
+        mss in 4usize..64,
+        dup_mask in proptest::collection::vec(any::<bool>(), 16)) {
+        let payload: Vec<u8> = (0..len as u64).map(stream_byte).collect();
+        let a = HostAddr::internal(HostId(1));
+        let b = HostAddr::external(1);
+        let mut net = Network::new().with_mss(mss);
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, &payload);
+        net.close(SimTime::from_secs(1), f, false);
+        let trace = net.into_trace();
+        let mut clean = Reassembler::new();
+        clean.feed_trace(&trace);
+        let mut recs = trace.into_records();
+        let dups: Vec<SegmentRecord> = recs
+            .iter()
+            .filter(|r| !r.payload.is_empty())
+            .enumerate()
+            .filter(|(i, _)| dup_mask[i % dup_mask.len()])
+            .map(|(_, r)| r.clone())
+            .collect();
+        recs.extend(dups);
+        let mut t = Trace::new(recs);
+        t.sort();
+        let mut noisy = Reassembler::new();
+        noisy.feed_trace(&t);
+        let c = &clean.flows()[&0];
+        let n = &noisy.flows()[&0];
+        prop_assert_eq!(&c.up_sizes, &n.up_sizes);
+        prop_assert_eq!(&c.up_times, &n.up_times);
+        prop_assert_eq!(&c.up.data, &n.up.data);
     }
 
     /// Detectors accept arbitrary (finite) features without panicking,
@@ -113,4 +249,67 @@ proptest! {
             prop_assert!((0.0..=1.0).contains(&a.confidence));
         }
     }
+}
+
+/// The streaming engine (eviction on) emits the identical alert set to
+/// `Monitor::analyze` on the same capture — including when the capture
+/// is reordered within a window smaller than the close linger — while
+/// retaining far fewer flows at peak.
+#[test]
+fn streaming_alert_set_matches_batch_on_reordered_capture() {
+    let mut net = Network::new();
+    for i in 0..60u64 {
+        let t0 = SimTime::from_secs(30 * i);
+        let f = net.open(
+            t0,
+            HostAddr::internal(HostId(1 + (i % 4) as u32)),
+            40_000 + i as u16,
+            HostAddr::external(3 + (i % 5) as u32),
+            if i % 3 == 0 { 53 } else { 443 },
+        );
+        net.send(
+            t0 + Duration::from_millis(3),
+            f,
+            Direction::ToResponder,
+            &vec![5u8; 64 + (i as usize % 9) * 700],
+        );
+        net.send(
+            t0 + Duration::from_millis(7),
+            f,
+            Direction::ToInitiator,
+            &[6u8; 90],
+        );
+        net.close(t0 + Duration::from_secs(9), f, i % 7 == 0);
+    }
+    let mut rng = SimRng::new(5);
+    let trace = net
+        .into_trace()
+        .perturb(&mut rng, 0.0, Duration::from_millis(400));
+    let m = Monitor::default();
+    let (batch, batch_stats) = m.analyze(&trace);
+    let mut sm = StreamingMonitor::new(
+        &m,
+        StreamingConfig {
+            idle_timeout: None,
+            close_linger: Duration::from_secs(2),
+            sweep_interval: 16,
+        },
+    );
+    for r in trace.records() {
+        sm.push(r);
+    }
+    let (stream, stream_stats) = sm.finish();
+    let key = |a: &ja_monitor::Alert| (a.time, a.class, a.detail.clone(), a.host);
+    let mut kb: Vec<_> = batch.iter().map(key).collect();
+    let mut ks: Vec<_> = stream.iter().map(key).collect();
+    kb.sort();
+    ks.sort();
+    assert_eq!(kb, ks);
+    assert_eq!(batch_stats.flows, stream_stats.flows);
+    assert!(
+        stream_stats.peak_live_flows < batch_stats.peak_live_flows / 4,
+        "streaming peak {} vs batch {}",
+        stream_stats.peak_live_flows,
+        batch_stats.peak_live_flows
+    );
 }

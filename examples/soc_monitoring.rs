@@ -14,7 +14,9 @@ use jupyter_audit::netsim::time::Duration;
 
 fn main() {
     let mut config = PipelineConfig::campus(2024);
-    config.parallel = true; // the "harness the supercomputer" path
+    // The "harness the supercomputer" path: the monitor partitions
+    // flows by id across per-shard streaming engines on the rayon pool.
+    config.parallel = true;
     let mut pipeline = Pipeline::new(config);
 
     let outcome = pipeline.run(&CampaignPlan::full_mix(42));
@@ -28,8 +30,10 @@ fn main() {
         outcome.scenario.sys_events.len(),
     );
     println!(
-        "monitor throughput: {:.0} segments/s of wall time\n",
-        outcome.monitor_stats.throughput_segments_per_sec()
+        "monitor throughput: {:.0} segments/s of wall time ({} flows, peak {} live)\n",
+        outcome.monitor_stats.throughput_segments_per_sec(),
+        outcome.monitor_stats.flows,
+        outcome.monitor_stats.peak_live_flows,
     );
 
     // The triage queue.

@@ -45,8 +45,16 @@ fn every_reexport_resolves() {
     // attackgen: the taxonomy enumerates all six classes.
     assert_eq!(attackgen::AttackClass::ALL.len(), 6);
 
-    // monitor: a default monitor can be constructed.
-    let _ = monitor::engine::Monitor::default();
+    // monitor: a default monitor can be constructed, and the streaming
+    // engine consumes an empty capture.
+    let m = monitor::engine::Monitor::default();
+    let sm = monitor::streaming::StreamingMonitor::new(
+        &m,
+        monitor::streaming::StreamingConfig::online(),
+    );
+    let (alerts, stats) = sm.finish();
+    assert!(alerts.is_empty());
+    assert_eq!(stats.flows, 0);
 
     // audit: an empty ring buffer reports zero events.
     let ring = audit::ring::RingBuffer::<u64>::new(16);
@@ -56,11 +64,19 @@ fn every_reexport_resolves() {
     let decoy = honeypot::decoy::Decoy::new(1, 0.9);
     assert!(decoy.captured_code().is_empty());
 
-    // core: the pipeline from the crate-level doctest runs end to end.
+    // core: the pipeline from the crate-level doctest runs end to end,
+    // and the fleet runner aggregates it.
     let mut pipeline = core::pipeline::Pipeline::new(core::pipeline::PipelineConfig::small_lab(7));
     let plan = core::pipeline::CampaignPlan::single(attackgen::AttackClass::Ransomware);
     let outcome = pipeline.run(&plan);
     assert!(outcome.report.alerts_total() > 0);
+    let fleet = core::pipeline::Pipeline::run_fleet(vec![core::pipeline::FleetJob::new(
+        "lab",
+        core::pipeline::PipelineConfig::small_lab(7),
+        plan,
+    )]);
+    assert_eq!(fleet.runs.len(), 1);
+    assert_eq!(fleet.total_alerts(), outcome.report.alerts_total());
 }
 
 #[test]
