@@ -9,13 +9,8 @@
 use crate::AttackClass;
 use ja_kernelsim::actions::CellScript;
 use ja_kernelsim::deployment::Deployment;
-use ja_kernelsim::server::ClientConn;
 use ja_netsim::addr::HostAddr;
-use ja_netsim::events::EventQueue;
-use ja_netsim::network::Network;
-use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
-use std::collections::HashMap;
 
 /// One step of a campaign, at an offset from campaign start.
 #[derive(Clone, Debug)]
@@ -145,96 +140,18 @@ pub struct ScenarioOutput {
 /// Execute campaigns against a deployment. `starts[i]` is the absolute
 /// start time of `campaigns[i]`. Steps across campaigns interleave on
 /// one clock, exactly as a sensor would see them.
+///
+/// This is the batch entry point: a thin collect-the-stream wrapper
+/// over [`crate::stream::ScenarioStream`], which executes campaigns
+/// lazily and yields observations one at a time. Callers that want
+/// bounded memory should drive the stream directly instead of
+/// materializing this output.
 pub fn execute(
     deployment: &mut Deployment,
     campaigns: &[(SimTime, Campaign)],
     rng_seed: u64,
 ) -> ScenarioOutput {
-    let mut net = Network::new();
-    let mut rng = SimRng::new(rng_seed);
-    let mut queue: EventQueue<(usize, usize)> = EventQueue::new(); // (campaign, step)
-    for (ci, (start, campaign)) in campaigns.iter().enumerate() {
-        for (si, step) in campaign.steps.iter().enumerate() {
-            queue.schedule(*start + step.offset(), (ci, si));
-        }
-    }
-    // One cached connection per (server, user).
-    let mut conns: HashMap<(usize, String), ClientConn> = HashMap::new();
-    let mut touched: Vec<std::collections::BTreeSet<usize>> =
-        vec![std::collections::BTreeSet::new(); campaigns.len()];
-    let mut end = SimTime::ZERO;
-    while let Some((t, (ci, si))) = queue.pop() {
-        let step = &campaigns[ci].1.steps[si];
-        match step {
-            CampaignStep::Cell {
-                server,
-                user,
-                script,
-                ..
-            } => {
-                touched[ci].insert(*server);
-                let key = (*server, user.clone());
-                let srv = &mut deployment.servers[*server];
-                let conn = conns.entry(key).or_insert_with(|| {
-                    // External actors connect from outside; owners from
-                    // their workstation.
-                    let addr = HostAddr::internal(ja_netsim::addr::HostId(1000 + *server as u32));
-                    srv.connect(&mut net, t, addr, user, 0)
-                });
-                let done = srv.run_cell(&mut net, t, conn, script);
-                end = end.max(done);
-            }
-            CampaignStep::Terminal {
-                server,
-                user,
-                cmdline,
-                ..
-            } => {
-                touched[ci].insert(*server);
-                deployment.servers[*server].run_terminal(t, user, cmdline);
-                end = end.max(t);
-            }
-            CampaignStep::AuthGuess { username, src, .. } => {
-                deployment.hub.login_guess(t, username, *src, &mut rng);
-                end = end.max(t);
-            }
-            CampaignStep::AuthLogin { username, src, .. } => {
-                deployment.hub.login_legitimate(t, username, *src);
-                end = end.max(t);
-            }
-            CampaignStep::Probe {
-                src, server, port, ..
-            } => {
-                touched[ci].insert(*server);
-                let dst = deployment.servers[*server].addr;
-                let sport = net.ephemeral_port();
-                let f = net.open(t, *src, sport, dst, *port);
-                net.close(t + Duration::from_millis(1), f, true);
-                end = end.max(t + Duration::from_millis(1));
-            }
-        }
-    }
-    for srv in &mut deployment.servers {
-        srv.finish(&mut net, end);
-    }
-    let ground_truth = campaigns
-        .iter()
-        .enumerate()
-        .map(|(ci, (start, c))| GroundTruth {
-            class: c.class,
-            name: c.name.clone(),
-            servers: touched[ci].iter().copied().collect(),
-            start: *start,
-            end: *start + c.duration(),
-        })
-        .collect();
-    ScenarioOutput {
-        trace: net.into_trace(),
-        sys_events: deployment.all_sys_events(),
-        auth_log: deployment.hub.auth_log.clone(),
-        ground_truth,
-        end,
-    }
+    crate::stream::ScenarioStream::new(deployment, campaigns.to_vec(), rng_seed).collect_output()
 }
 
 impl GroundTruth {

@@ -23,9 +23,12 @@
 //!   signature-based detection.
 //! - [`evasion`] — low-and-slow stretching and detection-threshold
 //!   inference (the paper's §IV.A evasion lessons).
-//! - [`campaign`] — the step/schedule model and the executor that drives
-//!   a deployment + network to produce traces, audit events and ground
-//!   truth.
+//! - [`campaign`] — the step/schedule model and the batch executor that
+//!   drives a deployment + network to produce traces, audit events and
+//!   ground truth.
+//! - [`stream`] — the lazy, pull-based scenario executor the batch
+//!   executor wraps: campaigns scheduled on the event queue, items
+//!   yielded one at a time, memory bounded by live campaigns.
 //! - [`mixer`] — full scenarios: N benign sessions with injected
 //!   campaigns at a controlled attack:benign ratio.
 
@@ -40,10 +43,12 @@ pub mod exfiltration;
 pub mod misconfig;
 pub mod mixer;
 pub mod ransomware;
+pub mod stream;
 pub mod takeover;
 pub mod zeroday;
 
 pub use campaign::{Campaign, CampaignStep, GroundTruth};
+pub use stream::{ScenarioItem, ScenarioStream};
 
 /// The attack classes of the paper's taxonomy (Fig. 1 / Fig. 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

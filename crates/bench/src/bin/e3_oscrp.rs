@@ -19,6 +19,7 @@ fn main() {
             benign_sessions_per_server: 0,
             attacks: vec![class],
             horizon_secs: 3600,
+            stretch: 1.0,
             seed,
         });
         let incident = out.report.incidents.iter().find(|i| i.class == class);

@@ -4,16 +4,104 @@
 //! offered load and compare four monitor configurations: the sequential
 //! batch path, the rayon flow-sharded path, a fixed-width sharded run,
 //! and the online streaming engine (bounded memory, per-close
-//! eviction).
+//! eviction). A final section compares the two *end-to-end* pipeline
+//! modes — batch (materialize trace, then analyze) vs fused streaming
+//! (generation pumped straight into the monitor) — on the same plan.
 //!
 //! `--tiny` restricts the sweep to the smallest workload (CI smoke).
+//! `--json` additionally writes machine-readable `BENCH_E5.json` so the
+//! perf trajectory is tracked across PRs.
 
+use ja_attackgen::AttackClass;
+use ja_core::pipeline::{CampaignPlan, Pipeline, PipelineConfig};
+use ja_kernelsim::deployment::DeploymentSpec;
 use ja_monitor::engine::{Monitor, MonitorConfig};
 use ja_monitor::streaming::{StreamingConfig, StreamingMonitor};
+
+/// The whole `BENCH_E5.json` payload. Non-finite throughputs/speedups
+/// are reported as `null` (`None`).
+#[derive(serde::Serialize)]
+struct BenchReport {
+    seed: u64,
+    tiny: bool,
+    rayon_threads: usize,
+    workloads: Vec<WorkloadRow>,
+    end_to_end: EndToEnd,
+}
+
+/// One row of the monitor-path sweep, for the JSON report.
+#[derive(serde::Serialize)]
+struct WorkloadRow {
+    servers: usize,
+    sessions: usize,
+    segments: u64,
+    bytes: u64,
+    throughput: Throughput,
+    parallel_speedup: Option<f64>,
+    streaming_peak_live_flows: u64,
+}
+
+/// Segments/second of each monitor path.
+#[derive(serde::Serialize)]
+struct Throughput {
+    sequential: Option<f64>,
+    parallel: Option<f64>,
+    sharded: Option<f64>,
+    streaming: Option<f64>,
+}
+
+/// The end-to-end batch-vs-streamed comparison, for the JSON report.
+#[derive(serde::Serialize)]
+struct EndToEnd {
+    servers: usize,
+    sessions: usize,
+    segments: u64,
+    batch_secs: Option<f64>,
+    streamed_secs: Option<f64>,
+    batch_segments_per_sec: Option<f64>,
+    streamed_segments_per_sec: Option<f64>,
+    streamed_vs_batch_speedup: Option<f64>,
+    batch_peak_live_flows: u64,
+    streamed_peak_live_flows: u64,
+}
+
+/// `None` for non-finite values so the JSON carries `null`, never
+/// `NaN`/`inf`.
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
+}
+
+fn e2e_config(servers: usize, seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::small_lab(seed);
+    cfg.deployment = DeploymentSpec {
+        servers,
+        misconfig_rate: 0.0,
+        weak_cred_fraction: 0.1,
+        breached_cred_fraction: 0.02,
+        mfa_fraction: 0.8,
+        seed,
+    };
+    // The E5 configuration under test: sharded analysis, so the batch
+    // path fans out over rayon and the streamed path overlaps
+    // generation with per-shard analysis threads.
+    cfg.parallel = true;
+    cfg
+}
+
+fn e2e_plan(sessions: usize, seed: u64) -> CampaignPlan {
+    CampaignPlan {
+        benign_sessions_per_server: sessions,
+        attacks: vec![AttackClass::DataExfiltration, AttackClass::Cryptomining],
+        horizon_secs: 4 * 3600,
+        stretch: 1.0,
+        seed,
+    }
+}
 
 fn main() {
     let seed = ja_bench::seed_from_args();
     let tiny = ja_bench::flag_from_args("--tiny");
+    let json = ja_bench::flag_from_args("--json");
     let reps = if tiny { 1 } else { 3 };
     println!("=== E5: monitor overhead vs offered traffic (seed {seed}) ===\n");
     println!(
@@ -37,6 +125,7 @@ fn main() {
     } else {
         &[(2, 1), (4, 2), (8, 3), (16, 4), (24, 6)]
     };
+    let mut rows: Vec<WorkloadRow> = Vec::new();
     for &(servers, sessions) in workloads {
         let trace = ja_bench::scaled_trace(servers, sessions, seed);
         let s = trace.summary();
@@ -78,6 +167,20 @@ fn main() {
             speedup,
             peak_live,
         );
+        rows.push(WorkloadRow {
+            servers,
+            sessions,
+            segments: s.segments,
+            bytes: s.bytes,
+            throughput: Throughput {
+                sequential: finite(tput(seq_secs)),
+                parallel: finite(tput(par_secs)),
+                sharded: finite(tput(sharded_secs)),
+                streaming: finite(tput(stream_secs)),
+            },
+            parallel_speedup: finite(speedup),
+            streaming_peak_live_flows: peak_live,
+        });
     }
     println!(
         "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. shrd = fixed"
@@ -86,4 +189,88 @@ fn main() {
         " half-pool sharding; strm = online streaming engine whose peak-live column shows the"
     );
     println!(" bounded flow-table high-water mark the batch paths don't have.)");
+
+    // End-to-end: batch pipeline (materialize, then analyze) vs the
+    // fused streamed pipeline (generation overlaps analysis, no trace).
+    let (servers, sessions) = if tiny { (2, 1) } else { (16, 4) };
+    println!(
+        "\n=== end-to-end pipeline: batch vs fused streaming ({servers} srv x {sessions}) ===\n"
+    );
+    // Interleave the two modes rep by rep, alternating which goes
+    // first in each pair (best-of over all reps): measuring one mode
+    // entirely before the other — or always in the same slot of the
+    // pair — biases allocator/cache state and CPU-throttle windows
+    // toward one side and swamps the real difference.
+    let e2e_reps = if tiny { 3 } else { reps.max(13) };
+    let mut batch_peak = 0u64;
+    let mut streamed_peak = 0u64;
+    let mut segments = 0u64;
+    let mut batch_secs = f64::MAX;
+    let mut streamed_secs = f64::MAX;
+    let run_batch = |segments: &mut u64, batch_peak: &mut u64, batch_secs: &mut f64| {
+        let mut p = Pipeline::new(e2e_config(servers, seed));
+        let started = std::time::Instant::now();
+        let out = p.run(&e2e_plan(sessions, seed));
+        *batch_secs = batch_secs.min(started.elapsed().as_secs_f64());
+        *batch_peak = out.monitor_stats.peak_live_flows;
+        *segments = out.monitor_stats.segments;
+    };
+    let run_streamed = |streamed_peak: &mut u64, streamed_secs: &mut f64| {
+        let mut p = Pipeline::new(e2e_config(servers, seed));
+        let started = std::time::Instant::now();
+        let out = p.run_streamed(&e2e_plan(sessions, seed));
+        *streamed_secs = streamed_secs.min(started.elapsed().as_secs_f64());
+        *streamed_peak = out.monitor_stats.peak_live_flows;
+    };
+    for rep in 0..e2e_reps {
+        if rep % 2 == 0 {
+            run_batch(&mut segments, &mut batch_peak, &mut batch_secs);
+            run_streamed(&mut streamed_peak, &mut streamed_secs);
+        } else {
+            run_streamed(&mut streamed_peak, &mut streamed_secs);
+            run_batch(&mut segments, &mut batch_peak, &mut batch_secs);
+        }
+    }
+    let batch_tput = segments as f64 / batch_secs;
+    let streamed_tput = segments as f64 / streamed_secs;
+    let speedup = batch_secs / streamed_secs;
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>12}",
+        "mode", "wall (s)", "sg/s", "peak-live", "speedup"
+    );
+    println!(
+        "{:<10} {:>12.3} {:>12.0} {:>14} {:>12}",
+        "batch", batch_secs, batch_tput, batch_peak, "1.00x"
+    );
+    println!(
+        "{:<10} {:>12.3} {:>12.0} {:>14} {:>11.2}x",
+        "streamed", streamed_secs, streamed_tput, streamed_peak, speedup
+    );
+    println!("\n(streamed = Pipeline::run_streamed: same alerts/incidents/scores, no materialized");
+    println!(" trace, generation overlapped with sharded analysis. peak-live shows the bounded");
+    println!(" flow-table high-water mark the batch monitor pass doesn't have.)");
+
+    if json {
+        let report = BenchReport {
+            seed,
+            tiny,
+            rayon_threads: rayon::current_num_threads(),
+            workloads: rows,
+            end_to_end: EndToEnd {
+                servers,
+                sessions,
+                segments,
+                batch_secs: finite(batch_secs),
+                streamed_secs: finite(streamed_secs),
+                batch_segments_per_sec: finite(batch_tput),
+                streamed_segments_per_sec: finite(streamed_tput),
+                streamed_vs_batch_speedup: finite(speedup),
+                batch_peak_live_flows: batch_peak,
+                streamed_peak_live_flows: streamed_peak,
+            },
+        };
+        let out = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_E5.json", &out).expect("write BENCH_E5.json");
+        println!("\nwrote BENCH_E5.json");
+    }
 }

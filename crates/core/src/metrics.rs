@@ -159,8 +159,15 @@ fn window_matches(alert: &Alert, gt: &GroundTruth, slack: Duration) -> bool {
     true
 }
 
-/// Score alerts against ground truth.
-pub fn score(alerts: &[Alert], ground_truth: &[GroundTruth], cfg: &ScoringConfig) -> Scoreboard {
+/// Score alerts against ground truth. Takes any iterator of alert
+/// references so callers can filter (e.g. drop config-scan findings)
+/// without cloning a single alert.
+pub fn score<'a>(
+    alerts: impl IntoIterator<Item = &'a Alert>,
+    ground_truth: &[GroundTruth],
+    cfg: &ScoringConfig,
+) -> Scoreboard {
+    let alerts: Vec<&Alert> = alerts.into_iter().collect();
     let mut board = Scoreboard::default();
     for class in AttackClass::ALL {
         let campaigns: Vec<&GroundTruth> = ground_truth
@@ -169,6 +176,7 @@ pub fn score(alerts: &[Alert], ground_truth: &[GroundTruth], cfg: &ScoringConfig
             .collect();
         let class_alerts: Vec<&Alert> = alerts
             .iter()
+            .copied()
             .filter(|a| a.class == class && a.confidence >= cfg.min_confidence)
             .collect();
         let mut s = ClassScore {

@@ -1,12 +1,15 @@
 //! Property tests: OSCRP totality, scoring bounds, incident-grouping
-//! invariants, risk finiteness.
+//! invariants, risk finiteness, and batch/streamed pipeline
+//! equivalence across random plans.
 
 use ja_attackgen::campaign::GroundTruth;
 use ja_attackgen::AttackClass;
 use ja_core::classify::incidents;
 use ja_core::metrics::{score, ScoringConfig};
 use ja_core::oscrp;
+use ja_core::pipeline::{CampaignPlan, Pipeline, PipelineConfig, RunOutcome};
 use ja_core::risk::incident_risk;
+use ja_kernelsim::deployment::DeploymentSpec;
 use ja_monitor::alerts::{Alert, AlertSource};
 use ja_netsim::time::{Duration, SimTime};
 use proptest::prelude::*;
@@ -34,6 +37,157 @@ fn arb_alert() -> impl Strategy<Value = Alert> {
             a.server_id = server;
             a
         })
+}
+
+/// A two-server lab so each property case stays cheap.
+fn tiny_config(seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::small_lab(seed);
+    cfg.deployment = DeploymentSpec {
+        servers: 2,
+        misconfig_rate: 0.0,
+        weak_cred_fraction: 0.1,
+        breached_cred_fraction: 0.02,
+        mfa_fraction: 0.8,
+        seed,
+    };
+    cfg
+}
+
+type AlertKey = (
+    SimTime,
+    AttackClass,
+    Option<u32>,
+    Option<String>,
+    String,
+    u64,
+);
+
+fn alert_fingerprint(out: &RunOutcome) -> Vec<AlertKey> {
+    out.report
+        .alerts
+        .iter()
+        .map(|a| {
+            (
+                a.time,
+                a.class,
+                a.server_id,
+                a.user.clone(),
+                a.detail.clone(),
+                a.confidence.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn incident_fingerprint(out: &RunOutcome) -> Vec<(AttackClass, SimTime, SimTime, usize, u64)> {
+    out.report
+        .incidents
+        .iter()
+        .map(|i| (i.class, i.start, i.end, i.alerts, i.confidence.to_bits()))
+        .collect()
+}
+
+proptest! {
+    /// The fused streaming pipeline is indistinguishable from the batch
+    /// pipeline across random plans and seeds: identical alert
+    /// sequences, incidents, scoreboards, ground truth, and stats
+    /// counters.
+    #[test]
+    fn run_streamed_matches_run_for_random_plans(
+        seed in 0u64..4096,
+        benign in 0usize..2,
+        attack_mask in 0u8..64,
+        horizon_halves in 1u64..4,
+    ) {
+        let attacks: Vec<AttackClass> = AttackClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| attack_mask & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let plan = CampaignPlan {
+            benign_sessions_per_server: benign,
+            attacks,
+            horizon_secs: horizon_halves * 1800,
+            stretch: 1.0,
+            seed,
+        };
+        let mut p1 = Pipeline::new(tiny_config(seed));
+        let batch = p1.run(&plan);
+        let mut p2 = Pipeline::new(tiny_config(seed));
+        let streamed = p2.run_streamed(&plan);
+        prop_assert_eq!(alert_fingerprint(&batch), alert_fingerprint(&streamed));
+        prop_assert_eq!(incident_fingerprint(&batch), incident_fingerprint(&streamed));
+        prop_assert_eq!(
+            batch.report.scoreboard.as_ref().unwrap().render(),
+            streamed.report.scoreboard.as_ref().unwrap().render()
+        );
+        prop_assert_eq!(
+            batch.scenario.ground_truth.len(),
+            streamed.scenario.ground_truth.len()
+        );
+        for (a, b) in batch
+            .scenario
+            .ground_truth
+            .iter()
+            .zip(&streamed.scenario.ground_truth)
+        {
+            prop_assert_eq!(&a.name, &b.name);
+            prop_assert_eq!(a.start, b.start);
+            prop_assert_eq!(a.end, b.end);
+            prop_assert_eq!(&a.servers, &b.servers);
+        }
+        prop_assert_eq!(batch.scenario.end, streamed.scenario.end);
+        prop_assert_eq!(batch.monitor_stats.segments, streamed.monitor_stats.segments);
+        prop_assert_eq!(batch.monitor_stats.flows, streamed.monitor_stats.flows);
+        prop_assert_eq!(batch.monitor_stats.bytes, streamed.monitor_stats.bytes);
+        prop_assert_eq!(batch.monitor_stats.kernel_msgs, streamed.monitor_stats.kernel_msgs);
+        prop_assert_eq!(batch.audit_completeness.to_bits(), streamed.audit_completeness.to_bits());
+        // The batch path retains raw streams; the streamed path never
+        // materialized them.
+        prop_assert!(batch.scenario.raw.is_some());
+        prop_assert!(streamed.scenario.raw.is_none());
+    }
+}
+
+#[test]
+fn streamed_peak_memory_proxy_stays_bounded_while_capture_grows() {
+    // Scale session count and horizon together so per-instant
+    // concurrency is constant while the total capture grows. The
+    // streamed path's memory proxy — peak concurrently-live flows in
+    // the monitor — must stay roughly flat even as total segments and
+    // flows keep climbing; the batch monitor pass by construction
+    // retains every flow.
+    let run = |scale: u64| {
+        let plan = CampaignPlan {
+            benign_sessions_per_server: 2 * scale as usize,
+            attacks: vec![],
+            horizon_secs: scale * 7200,
+            stretch: 1.0,
+            seed: 5,
+        };
+        let mut p = Pipeline::new(tiny_config(9));
+        let out = p.run_streamed(&plan);
+        (
+            out.monitor_stats.segments,
+            out.monitor_stats.flows,
+            out.monitor_stats.peak_live_flows,
+        )
+    };
+    let (seg1, _flows1, peak1) = run(1);
+    let (seg4, flows4, peak4) = run(4);
+    assert!(
+        seg4 > seg1 * 3,
+        "capture should grow ~4x: {seg1} -> {seg4} segments"
+    );
+    assert!(
+        peak4 <= peak1 * 2,
+        "peak live flows must not track capture size: {peak1} -> {peak4}"
+    );
+    assert!(
+        peak4 < flows4 / 2,
+        "peak live flows ({peak4}) must stay far below total flows ({flows4})"
+    );
 }
 
 proptest! {

@@ -44,7 +44,7 @@ fn val(c: u8, idx: usize) -> Result<u8, HexError> {
 /// Decode a hex string (upper- or lowercase) into bytes.
 pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
     let b = s.as_bytes();
-    if !b.len().is_multiple_of(2) {
+    if b.len() % 2 != 0 {
         return Err(HexError::OddLength);
     }
     let mut out = Vec::with_capacity(b.len() / 2);

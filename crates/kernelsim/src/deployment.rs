@@ -94,7 +94,11 @@ impl Deployment {
         &self.hub.users()[server].name
     }
 
-    /// All kernel-audit events across the fleet, time-ordered.
+    /// All kernel-audit events across the fleet, time-ordered (ties
+    /// broken by server index, then per-server emission order). Note
+    /// that streamed scenario execution *drains* server event buffers
+    /// as it runs, so after a streamed run this returns only what was
+    /// not consumed.
     pub fn all_sys_events(&self) -> Vec<crate::events::SysEvent> {
         let mut all: Vec<_> = self
             .servers

@@ -40,7 +40,9 @@ pub struct AuthEvent {
 #[derive(Clone, Debug, Default)]
 pub struct Hub {
     users: Vec<User>,
-    /// The auth log (append-only).
+    /// The auth log (append-only). Streamed scenario execution *drains*
+    /// it as it runs — after a scenario, read the events from
+    /// `ScenarioOutput::auth_log` rather than here.
     pub auth_log: Vec<AuthEvent>,
 }
 
@@ -118,7 +120,17 @@ impl Hub {
         outcome
     }
 
+    /// Take every auth event recorded since the last drain, in emission
+    /// order (which is also time order — entries are logged as attempts
+    /// happen). Streaming producers call this after each step so the
+    /// log does not grow with scenario length.
+    pub fn drain_auth_events(&mut self) -> Vec<AuthEvent> {
+        std::mem::take(&mut self.auth_log)
+    }
+
     /// Failed attempts from one source (brute-force fingerprint).
+    /// Counts only what is still buffered — see the
+    /// [`Hub::auth_log`] drain caveat.
     pub fn failures_from(&self, src: HostAddr) -> usize {
         self.auth_log
             .iter()

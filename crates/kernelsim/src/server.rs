@@ -49,6 +49,11 @@ struct KernelEntry {
 }
 
 /// A browser↔server connection carrying kernel channels over WebSocket.
+///
+/// The connection is the unit of *session* state: outbound flows opened
+/// by cells executed over it belong to it and are torn down with it by
+/// [`ClientConn::close`] — which is how campaign-scoped streaming keeps
+/// live network state bounded by concurrently active sessions.
 pub struct ClientConn {
     /// Network flow of the WebSocket connection.
     pub flow: FlowId,
@@ -56,12 +61,26 @@ pub struct ClientConn {
     pub user: String,
     /// Kernel index on the server.
     pub kernel_idx: usize,
+    /// Open outbound flows this session's cells created: (flow, dst,
+    /// port). `SendBytes`/`RecvBytes` actions use the most recent one.
+    ext_flows: Vec<(FlowId, HostAddr, u16)>,
     client: ClientSession,
     c2s: Option<ChaCha20>,
     s2c: Option<ChaCha20>,
     /// Per-message payload cipher (E2E mode); never derivable by the
     /// monitor.
     msg_cipher_seed: Option<Vec<u8>>,
+}
+
+impl ClientConn {
+    /// End the session at `at`: close every outbound flow its cells
+    /// opened, then the WebSocket flow itself (orderly FIN).
+    pub fn close(self, net: &mut Network, at: SimTime) {
+        for (flow, _, _) in self.ext_flows {
+            net.close(at, flow, false);
+        }
+        net.close(at, self.flow, false);
+    }
 }
 
 /// A single-user notebook server.
@@ -88,8 +107,6 @@ pub struct NotebookServer {
     signing_key: Vec<u8>,
     rng: SimRng,
     server_pid: Pid,
-    /// Open attacker/user-initiated outbound flows: (flow, dst, port).
-    ext_flows: Vec<(FlowId, HostAddr, u16)>,
     /// Most recently spawned process per user (CPU burns attach here,
     /// persisting across cells — a miner keeps burning after its launch
     /// cell returns).
@@ -136,7 +153,6 @@ impl NotebookServer {
             signing_key,
             rng,
             server_pid,
-            ext_flows: Vec::new(),
             last_spawned: std::collections::HashMap::new(),
         }
     }
@@ -232,6 +248,7 @@ impl NotebookServer {
             flow,
             user: user.to_string(),
             kernel_idx,
+            ext_flows: Vec::new(),
             client: ClientSession::new(
                 &format!("sess-{}-{}", self.id, user),
                 user,
@@ -340,7 +357,7 @@ impl NotebookServer {
         &mut self,
         net: &mut Network,
         at: SimTime,
-        conn: &ClientConn,
+        conn: &mut ClientConn,
         script: &CellScript,
     ) -> (CellEffect, SimTime) {
         let user = conn.user.clone();
@@ -458,7 +475,7 @@ impl NotebookServer {
                 Action::Connect { dst, dst_port } => {
                     let sport = net.ephemeral_port();
                     let flow = net.open(t, self.addr, sport, *dst, *dst_port);
-                    self.ext_flows.push((flow, *dst, *dst_port));
+                    conn.ext_flows.push((flow, *dst, *dst_port));
                     self.push_event(
                         t,
                         &user,
@@ -472,7 +489,7 @@ impl NotebookServer {
                     bytes,
                     entropy_high,
                 } => {
-                    if let Some(&(flow, dst, dst_port)) = self.ext_flows.last() {
+                    if let Some(&(flow, dst, dst_port)) = conn.ext_flows.last() {
                         let payload = self.gen_payload(*bytes, *entropy_high, t);
                         t = net.send_snapped(t, flow, Direction::ToResponder, &payload, *bytes);
                         self.push_event(
@@ -489,7 +506,7 @@ impl NotebookServer {
                     }
                 }
                 Action::RecvBytes { bytes } => {
-                    if let Some(&(flow, _, _)) = self.ext_flows.last() {
+                    if let Some(&(flow, _, _)) = conn.ext_flows.last() {
                         let payload = self.gen_payload(*bytes, true, t);
                         t = net.send_snapped(t, flow, Direction::ToInitiator, &payload, *bytes);
                     }
@@ -561,11 +578,12 @@ impl NotebookServer {
         );
     }
 
-    /// Close all outbound flows (end of simulation).
-    pub fn finish(&mut self, net: &mut Network, at: SimTime) {
-        for (flow, _, _) in self.ext_flows.drain(..) {
-            net.close(at, flow, false);
-        }
+    /// Take every kernel-audit event recorded since the last drain, in
+    /// emission order. Streaming producers call this after each step so
+    /// the server's event buffer never grows with scenario length —
+    /// per-campaign session emission instead of whole-scenario replay.
+    pub fn drain_sys_events(&mut self) -> Vec<SysEvent> {
+        std::mem::take(&mut self.sys_events)
     }
 
     /// Entropy statistics across current home-dir files — ground truth
@@ -735,7 +753,7 @@ mod tests {
             ],
         );
         srv.run_cell(&mut net, SimTime::from_secs(3), &mut conn, &script);
-        srv.finish(&mut net, SimTime::from_secs(4));
+        conn.close(&mut net, SimTime::from_secs(4));
         let fs = net.into_trace().flow_summaries();
         let ext = fs
             .iter()

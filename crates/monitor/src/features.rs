@@ -217,7 +217,7 @@ mod tests {
         let mut t = SimTime::from_secs(1);
         for _ in 0..8 {
             net.send(t, f, Direction::ToResponder, &[0u8; 180]);
-            t = t + Duration::from_secs(30);
+            t += Duration::from_secs(30);
         }
         net.close(t, f, false);
         let trace = net.into_trace();

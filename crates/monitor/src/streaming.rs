@@ -67,6 +67,35 @@ impl StreamingConfig {
             sweep_interval: u64::MAX,
         }
     }
+
+    /// Close-based eviction only: a flow is released shortly after its
+    /// FIN/RST, never on idleness. On an in-order feed this is
+    /// *equivalence-preserving* — the alert set is identical to batch
+    /// analysis — while memory stays bounded by concurrently-open
+    /// flows. This is what the fused producer→monitor pipeline uses.
+    pub fn close_evict() -> Self {
+        StreamingConfig {
+            idle_timeout: None,
+            close_linger: Duration::from_secs(2),
+            sweep_interval: 256,
+        }
+    }
+}
+
+/// Anything that can consume captured segments one at a time — the
+/// contract a streaming producer (e.g. `ja-attackgen`'s scenario
+/// stream, driven by the `ja-core` pipeline) pushes into. Implemented
+/// by [`StreamingMonitor`] and by the sharded router behind
+/// [`Monitor::analyze_stream`].
+pub trait SegmentSink {
+    /// Consume one captured record.
+    fn accept(&mut self, rec: SegmentRecord);
+}
+
+impl SegmentSink for StreamingMonitor<'_> {
+    fn accept(&mut self, rec: SegmentRecord) {
+        self.push(&rec);
+    }
 }
 
 impl Default for StreamingConfig {
@@ -285,6 +314,75 @@ impl Monitor {
         stats.elapsed_secs = started.elapsed().as_secs_f64();
         (alerts, stats)
     }
+
+    /// Analyze a *live feed* of records without ever materializing a
+    /// trace: `feed` pushes records into the provided [`SegmentSink`]
+    /// as they are produced, and the monitor analyzes them as they
+    /// arrive. With `shards == 1` the feed drives a single streaming
+    /// engine inline; with more, records are routed by flow id over
+    /// bounded channels to one worker thread per shard, so generation
+    /// overlaps analysis and the alert output is identical to
+    /// [`Monitor::analyze`] on the collected capture for every shard
+    /// count (given an equivalence-preserving `cfg` such as
+    /// [`StreamingConfig::close_evict`] on an in-order feed).
+    pub fn analyze_stream<F>(
+        &self,
+        shards: usize,
+        cfg: StreamingConfig,
+        feed: F,
+    ) -> (Vec<Alert>, MonitorStats)
+    where
+        F: FnOnce(&mut dyn SegmentSink),
+    {
+        let started = std::time::Instant::now();
+        let n = shards.max(1);
+        if n == 1 {
+            let mut engine = StreamingMonitor::new(self, cfg);
+            feed(&mut engine);
+            let summary = engine.into_summary();
+            return self.finish_summaries(vec![summary], started);
+        }
+        std::thread::scope(|scope| {
+            let mut senders = Vec::with_capacity(n);
+            let mut handles = Vec::with_capacity(n);
+            for _ in 0..n {
+                // Bounded channel: backpressure keeps in-flight records
+                // (and therefore memory) independent of capture size.
+                let (tx, rx) = std::sync::mpsc::sync_channel::<SegmentRecord>(1024);
+                senders.push(tx);
+                let monitor: &Monitor = self;
+                handles.push(scope.spawn(move || {
+                    let mut engine = StreamingMonitor::new(monitor, cfg);
+                    for rec in rx {
+                        engine.push(&rec);
+                    }
+                    engine.into_summary()
+                }));
+            }
+            let mut router = ShardRouter { senders };
+            feed(&mut router);
+            drop(router); // hang up so workers drain and exit
+            let parts: Vec<StreamSummary> = handles
+                .into_iter()
+                .map(|h| h.join().expect("monitor shard worker panicked"))
+                .collect();
+            self.finish_summaries(parts, started)
+        })
+    }
+}
+
+/// Routes records to per-shard worker channels by flow id.
+struct ShardRouter {
+    senders: Vec<std::sync::mpsc::SyncSender<SegmentRecord>>,
+}
+
+impl SegmentSink for ShardRouter {
+    fn accept(&mut self, rec: SegmentRecord) {
+        let i = (rec.flow_id % self.senders.len() as u64) as usize;
+        self.senders[i]
+            .send(rec)
+            .expect("monitor shard worker disappeared");
+    }
 }
 
 #[cfg(test)]
@@ -452,6 +550,28 @@ mod tests {
         let mut all = drained;
         all.extend(rest);
         assert_eq!(alert_keys(&batch), alert_keys(&all));
+    }
+
+    #[test]
+    fn analyze_stream_matches_batch_for_every_shard_count() {
+        let trace = mixed_trace(45);
+        let m = Monitor::default();
+        let (batch, batch_stats) = m.analyze(&trace);
+        let key = |a: &Alert| (a.time, a.class, a.detail.clone(), a.host, a.server_id);
+        let k1: Vec<_> = batch.iter().map(key).collect();
+        for shards in [1usize, 2, 3, 8] {
+            let (stream, stats) =
+                m.analyze_stream(shards, StreamingConfig::close_evict(), |sink| {
+                    for r in trace.records() {
+                        sink.accept(r.clone());
+                    }
+                });
+            let k2: Vec<_> = stream.iter().map(key).collect();
+            assert_eq!(k1, k2, "shards={shards}");
+            assert_eq!(batch_stats.flows, stats.flows, "shards={shards}");
+            assert_eq!(batch_stats.segments, stats.segments, "shards={shards}");
+            assert_eq!(batch_stats.bytes, stats.bytes, "shards={shards}");
+        }
     }
 
     #[test]

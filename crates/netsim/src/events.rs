@@ -69,6 +69,28 @@ impl<T> EventQueue<T> {
         self.next_seq += 1;
     }
 
+    /// Schedule `item` at `time` with an explicit tie-break `rank`
+    /// instead of insertion order. Lazy schedulers use this so the pop
+    /// order of equal-time events does not depend on *when* they were
+    /// enqueued — the ranks define one canonical total order. A queue
+    /// should use either `schedule` or `schedule_ranked`, not both:
+    /// ranks and insertion sequence numbers share the tie-break space.
+    pub fn schedule_ranked(&mut self, time: SimTime, rank: u64, item: T) {
+        let time = time.max(self.now);
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: rank,
+            item,
+        }));
+    }
+
+    /// Time of the earliest scheduled event, if any. Streaming consumers
+    /// use this as a watermark: anything emitted so far with a strictly
+    /// earlier timestamp can no longer be preceded by new emissions.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(s)| s.time)
+    }
+
     /// Pop the earliest event, advancing the clock.
     pub fn pop(&mut self) -> Option<(SimTime, T)> {
         let Reverse(s) = self.heap.pop()?;
@@ -129,6 +151,28 @@ mod tests {
         q.pop();
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ranked_scheduling_orders_ties_by_rank_not_insertion() {
+        let mut q = EventQueue::new();
+        // Inserted out of rank order; equal times must pop by rank.
+        q.schedule_ranked(SimTime::from_secs(1), 5, "b");
+        q.schedule_ranked(SimTime::from_secs(1), 2, "a");
+        q.schedule_ranked(SimTime::ZERO, 9, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, x)| x)).collect();
+        assert_eq!(order, vec!["first", "a", "b"]);
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(5), 1u32);
+        q.schedule(SimTime::from_secs(2), 2u32);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+        q.pop();
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
     }
 
     #[test]

@@ -19,6 +19,10 @@ pub struct Network {
     /// features without a full bandwidth model).
     per_segment_gap: Duration,
     next_ephemeral: u16,
+    /// When false, `send` does not accumulate delivery inboxes (the
+    /// ground-truth `recv` buffers). Streaming producers disable
+    /// delivery so per-flow memory stays O(1) instead of O(bytes sent).
+    retain_delivery: bool,
 }
 
 impl Default for Network {
@@ -36,12 +40,22 @@ impl Network {
             mss: DEFAULT_MSS,
             per_segment_gap: Duration(50),
             next_ephemeral: 40000,
+            retain_delivery: true,
         }
     }
 
     /// Override the MSS (tests use small values to force segmentation).
     pub fn with_mss(mut self, mss: usize) -> Self {
         self.mss = mss.max(1);
+        self
+    }
+
+    /// Capture-only mode: segments are still recorded at the tap, but
+    /// delivery inboxes are not retained, so [`Network::recv`] returns
+    /// nothing. Scenario streaming uses this to keep per-flow memory
+    /// independent of how many bytes the flow carried.
+    pub fn without_delivery(mut self) -> Self {
+        self.retain_delivery = false;
         self
     }
 
@@ -116,12 +130,16 @@ impl Network {
                 Direction::ToResponder => {
                     state.bytes_to_responder += chunk.len() as u64;
                     state.segs_to_responder += 1;
-                    state.inbox_responder.extend_from_slice(chunk);
+                    if self.retain_delivery {
+                        state.inbox_responder.extend_from_slice(chunk);
+                    }
                 }
                 Direction::ToInitiator => {
                     state.bytes_to_initiator += chunk.len() as u64;
                     state.segs_to_initiator += 1;
-                    state.inbox_initiator.extend_from_slice(chunk);
+                    if self.retain_delivery {
+                        state.inbox_initiator.extend_from_slice(chunk);
+                    }
                 }
             }
             t += gap;
@@ -232,6 +250,14 @@ impl Network {
         self.records.len()
     }
 
+    /// Take every record captured since the last drain, in emission
+    /// order. Streaming producers call this after each simulation step
+    /// so the tap buffer never grows with the capture; a subsequent
+    /// [`Network::into_trace`] only sees what was not drained.
+    pub fn drain_records(&mut self) -> Vec<SegmentRecord> {
+        std::mem::take(&mut self.records)
+    }
+
     /// Finish the simulation and hand the capture to the analyst. The
     /// trace is sorted by time (stable for ties, preserving emit order).
     pub fn into_trace(mut self) -> Trace {
@@ -326,6 +352,36 @@ mod tests {
         let p1 = net.ephemeral_port();
         let p2 = net.ephemeral_port();
         assert_eq!(p2, p1 + 1);
+    }
+
+    #[test]
+    fn drain_records_empties_tap_incrementally() {
+        let (a, b) = hosts();
+        let mut net = Network::new();
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        let first = net.drain_records();
+        assert_eq!(first.len(), 1); // SYN
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, b"xy");
+        assert_eq!(net.captured(), 1);
+        let second = net.drain_records();
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].payload, b"xy".to_vec());
+        assert_eq!(net.captured(), 0);
+    }
+
+    #[test]
+    fn without_delivery_still_captures_but_does_not_buffer() {
+        let (a, b) = hosts();
+        let mut net = Network::new().without_delivery();
+        let f = net.open(SimTime::ZERO, a, 1, b, 2);
+        net.send(SimTime::from_millis(1), f, Direction::ToResponder, b"hello");
+        assert_eq!(net.flow(f).bytes_to_responder, 5);
+        assert!(net.recv(f, Direction::ToResponder).is_empty());
+        let trace = net.into_trace();
+        assert!(trace
+            .records()
+            .iter()
+            .any(|r| r.payload == b"hello".to_vec()));
     }
 
     #[test]

@@ -26,7 +26,9 @@ fn main() {
             PipelineConfig::small_lab(201),
             CampaignPlan::single(AttackClass::DataExfiltration),
         ),
-        FleetJob::new("campus-hub", campus, CampaignPlan::full_mix(42)),
+        // The campus hub streams: its capture is the big one, so it is
+        // analyzed in flight (sharded) without ever materializing it.
+        FleetJob::new("campus-hub", campus, CampaignPlan::full_mix(42)).with_streaming(),
     ];
 
     println!(

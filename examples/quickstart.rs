@@ -19,12 +19,16 @@ fn main() {
     let outcome = pipeline.run(&plan);
 
     println!("=== jupyter-audit quickstart ===\n");
+    let trace = outcome
+        .scenario
+        .trace()
+        .expect("batch run retains the capture");
     println!(
         "scenario: {} segments, {} flows, {} kernel-audit events, {} auth events\n",
-        outcome.scenario.trace.summary().segments,
-        outcome.scenario.trace.summary().flows,
-        outcome.scenario.sys_events.len(),
-        outcome.scenario.auth_log.len(),
+        trace.summary().segments,
+        trace.summary().flows,
+        outcome.scenario.sys_events().expect("batch").len(),
+        outcome.scenario.auth_log().expect("batch").len(),
     );
     println!("{}", outcome.report.render());
     println!(

@@ -1,7 +1,11 @@
 //! SOC view: run the full mixed scenario (all six taxonomy classes over
-//! a campus-scale deployment) and triage the incident queue the way a
-//! security-operations analyst would — ranked by OSCRP risk, with
-//! per-plane attribution and per-class detection scores.
+//! a campus-scale deployment) through the *fused streaming pipeline* —
+//! generation pumped straight into the sharded streaming monitor, no
+//! trace ever materialized — and triage the incident queue the way a
+//! security-operations analyst would: ranked by OSCRP risk, with
+//! per-plane attribution and per-class detection scores. A second run
+//! hunts a 48-hour low-and-slow "quiet APT" to show the streamed path
+//! on sparse long captures.
 //!
 //! ```sh
 //! cargo run --release --example soc_monitoring
@@ -14,20 +18,20 @@ use jupyter_audit::netsim::time::Duration;
 
 fn main() {
     let mut config = PipelineConfig::campus(2024);
-    // The "harness the supercomputer" path: the monitor partitions
-    // flows by id across per-shard streaming engines on the rayon pool.
+    // The "harness the supercomputer" path: segments are routed by flow
+    // id to per-shard streaming engines on worker threads while the
+    // scenario is still being generated.
     config.parallel = true;
     let mut pipeline = Pipeline::new(config);
 
-    let outcome = pipeline.run(&CampaignPlan::full_mix(42));
+    let outcome = pipeline.run_streamed(&CampaignPlan::full_mix(42));
 
-    println!("=== SOC monitoring: campus deployment, full attack mix ===\n");
+    println!("=== SOC monitoring: campus deployment, full attack mix (streamed) ===\n");
     println!(
-        "traffic: {} segments / {:.1} MB over {:.1} h; {} kernel-audit events",
-        outcome.scenario.trace.summary().segments,
-        outcome.scenario.trace.summary().bytes as f64 / 1e6,
-        outcome.scenario.trace.summary().duration_secs / 3600.0,
-        outcome.scenario.sys_events.len(),
+        "traffic: {} segments / {:.1} MB over {:.1} h — analyzed in flight, no capture retained",
+        outcome.monitor_stats.segments,
+        outcome.monitor_stats.bytes as f64 / 1e6,
+        outcome.scenario.end.as_secs_f64() / 3600.0,
     );
     println!(
         "monitor throughput: {:.0} segments/s of wall time ({} flows, peak {} live)\n",
@@ -61,5 +65,35 @@ fn main() {
     println!(
         "{}",
         outcome.report.scoreboard.as_ref().expect("scored").render()
+    );
+
+    // The quiet APT hunt: a sparse 48-hour capture with an 8x-stretched
+    // stealth attack mix. The streamed path's live state stays bounded
+    // by the handful of concurrently-active sessions even though the
+    // capture spans two days.
+    let mut hunter = Pipeline::new(PipelineConfig::small_lab(2024));
+    let quiet = hunter.run_streamed(&CampaignPlan::quiet_apt(2024));
+    println!("=== quiet-APT hunt: 48 h sparse capture, low-and-slow mix (streamed) ===\n");
+    println!(
+        "capture: {} segments over {:.1} h; {} flows total, peak {} live",
+        quiet.monitor_stats.segments,
+        quiet.scenario.end.as_secs_f64() / 3600.0,
+        quiet.monitor_stats.flows,
+        quiet.monitor_stats.peak_live_flows,
+    );
+    let board = quiet.report.scoreboard.as_ref().expect("scored");
+    let caught: Vec<&str> = board
+        .classes
+        .iter()
+        .filter(|(_, s)| s.campaigns > 0 && s.detected > 0)
+        .map(|(c, _)| c.label())
+        .collect();
+    println!(
+        "stealth campaigns detected despite stretching: {}",
+        if caught.is_empty() {
+            "none".to_string()
+        } else {
+            caught.join(", ")
+        }
     );
 }

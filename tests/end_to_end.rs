@@ -73,6 +73,7 @@ fn benign_only_plan_produces_no_high_confidence_alerts() {
         benign_sessions_per_server: 3,
         attacks: vec![],
         horizon_secs: 4 * 3600,
+        stretch: 1.0,
         seed: 103,
     };
     let out = p.run(&plan);
@@ -90,7 +91,12 @@ fn benign_only_plan_produces_no_high_confidence_alerts() {
 fn dataset_export_round_trips_from_pipeline_output() {
     let mut p = Pipeline::new(PipelineConfig::small_lab(104));
     let out = p.run(&CampaignPlan::single(AttackClass::DataExfiltration));
-    let ds = Dataset::from_scenario(&out.scenario, b"integration-key");
+    let raw = out
+        .scenario
+        .raw
+        .as_ref()
+        .expect("batch runs retain the raw scenario");
+    let ds = Dataset::from_scenario(raw, b"integration-key");
     let back = Dataset::from_json(&ds.to_json()).expect("parses");
     assert_eq!(back.flows.len(), ds.flows.len());
     assert!(ds

@@ -543,7 +543,7 @@ mod tests {
             prop_assert!(x < 100);
             prop_assert!(v.len() < 16);
             if let Some(i) = o { prop_assert!(i < 4); }
-            prop_assert!(c >= 1 && c < 9);
+            prop_assert!((1..9).contains(&c));
         }
     }
 }
