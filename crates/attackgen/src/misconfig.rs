@@ -35,14 +35,18 @@ impl Default for ScanParams {
     }
 }
 
-/// Build a scan(+exploit) campaign across the whole deployment. The
+/// Build a scan(+exploit) campaign across the production fleet. The
 /// campaign needs the deployment to know which servers are exploitable —
 /// the scanner learns this from probe responses in reality; we read the
-/// config, which is the same information.
+/// config, which is the same information. Decoy servers are excluded:
+/// targeted plan attacks stay on production (decoys being deliberately
+/// exploitable would otherwise dominate the campaign), and decoys
+/// receive their traffic through wave campaigns built one layer up.
 pub fn campaign(deployment: &Deployment, params: &ScanParams) -> Campaign {
     let mut steps = Vec::new();
     let mut t = Duration::ZERO;
-    for (idx, _srv) in deployment.servers.iter().enumerate() {
+    let production = &deployment.servers[..deployment.production_count()];
+    for (idx, _srv) in production.iter().enumerate() {
         for &port in &params.ports {
             steps.push(CampaignStep::Probe {
                 src: params.src,
@@ -55,7 +59,7 @@ pub fn campaign(deployment: &Deployment, params: &ScanParams) -> Campaign {
     }
     if params.exploit {
         let mut delay = t + Duration::from_secs(60);
-        for (idx, srv) in deployment.servers.iter().enumerate() {
+        for (idx, srv) in production.iter().enumerate() {
             if srv.config.trivially_exploitable() {
                 let owner = deployment.owner_of(idx).to_string();
                 // Unauthenticated execute_request straight into the
@@ -89,7 +93,7 @@ pub fn campaign(deployment: &Deployment, params: &ScanParams) -> Campaign {
     }
     Campaign {
         class: Some(AttackClass::Misconfiguration),
-        name: format!("scan-exploit-{}srv", deployment.servers.len()),
+        name: format!("scan-exploit-{}srv", production.len()),
         steps,
     }
 }
@@ -134,6 +138,28 @@ mod tests {
             .filter(|s| matches!(s, CampaignStep::Cell { .. }))
             .count();
         assert_eq!(cells, 0, "hardened servers must not be exploitable");
+    }
+
+    #[test]
+    fn decoys_are_neither_scanned_nor_exploited() {
+        // Decoys are deliberately exposed (trivially exploitable); if
+        // the scan targeted them, every decoy-bearing deployment would
+        // see its plan attacks diverge from the decoy-free baseline.
+        let d = Deployment::build(&DeploymentSpec::small_lab(34).with_decoys(3));
+        let c = campaign(&d, &ScanParams::default());
+        assert!(c.steps.iter().all(|s| match s {
+            CampaignStep::Probe { server, .. } | CampaignStep::Cell { server, .. } =>
+                *server < d.production_count(),
+            _ => true,
+        }));
+        // Hardened production + exposed decoys: zero exploit cells.
+        let cells = c
+            .steps
+            .iter()
+            .filter(|s| matches!(s, CampaignStep::Cell { .. }))
+            .count();
+        assert_eq!(cells, 0);
+        assert_eq!(c.name, "scan-exploit-4srv");
     }
 
     #[test]

@@ -82,7 +82,7 @@ pub fn build_attack(
             },
         ),
         AttackClass::AccountTakeover => {
-            let targets: Vec<String> = (0..deployment.servers.len().min(4))
+            let targets: Vec<String> = (0..deployment.production_count().min(4))
                 .map(|i| deployment.owner_of(i).to_string())
                 .collect();
             takeover::campaign(&takeover::TakeoverParams {
@@ -104,8 +104,9 @@ pub fn build_attack(
 pub fn run_scenario(deployment: &mut Deployment, spec: &ScenarioSpec) -> ScenarioOutput {
     let mut rng = SimRng::new(spec.seed);
     let mut campaigns: Vec<(SimTime, Campaign)> = Vec::new();
-    // Benign background on every server.
-    for s in 0..deployment.servers.len() {
+    // Benign background on every production server (nobody legitimate
+    // works on a decoy — that is what makes decoy contact suspicious).
+    for s in 0..deployment.production_count() {
         let user = deployment.owner_of(s).to_string();
         for _ in 0..spec.benign_sessions_per_server {
             let start = SimTime(rng.range(0, Duration::from_secs(spec.horizon_secs).as_micros()));
@@ -113,9 +114,9 @@ pub fn run_scenario(deployment: &mut Deployment, spec: &ScenarioSpec) -> Scenari
             campaigns.push((start, benign::session(s, &user, &profile, &mut rng)));
         }
     }
-    // Attacks, round-robin across servers.
+    // Attacks, round-robin across production servers.
     for (i, &class) in spec.attacks.iter().enumerate() {
-        let server = i % deployment.servers.len();
+        let server = i % deployment.production_count();
         let start = SimTime(rng.range(
             Duration::from_secs(spec.horizon_secs / 4).as_micros(),
             Duration::from_secs(spec.horizon_secs / 2).as_micros(),

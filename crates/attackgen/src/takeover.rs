@@ -124,6 +124,7 @@ mod tests {
             weak_cred_fraction: 0.0,
             breached_cred_fraction: 1.0,
             mfa_fraction: 0.0,
+            decoys: 0,
             seed: 77,
         };
         let mut d = Deployment::build(&spec);

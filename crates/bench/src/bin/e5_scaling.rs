@@ -79,6 +79,7 @@ fn e2e_config(servers: usize, seed: u64) -> PipelineConfig {
         weak_cred_fraction: 0.1,
         breached_cred_fraction: 0.02,
         mfa_fraction: 0.8,
+        decoys: 0,
         seed,
     };
     // The E5 configuration under test: sharded analysis, so the batch

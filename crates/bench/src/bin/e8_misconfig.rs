@@ -32,6 +32,7 @@ fn main() {
             weak_cred_fraction: 0.2,
             breached_cred_fraction: 0.05,
             mfa_fraction: 0.5,
+            decoys: 0,
             seed: seed + i as u64,
         };
         let mut d = Deployment::build(&spec);

@@ -45,6 +45,7 @@ pub fn scaled_trace(servers: usize, sessions_per_server: usize, seed: u64) -> Tr
         weak_cred_fraction: 0.1,
         breached_cred_fraction: 0.02,
         mfa_fraction: 0.8,
+        decoys: 0,
         seed,
     };
     let mut d = Deployment::build(&spec);

@@ -10,6 +10,9 @@
 //!   executable campaign generator and at least one detector.
 //! - [`oscrp`] — avenues → concerns → consequences (Fig. 3), total and
 //!   tested.
+//! - [`intel`] — the live honeypot-intel loop: decoy servers capture
+//!   wave payloads mid-stream, signatures propagate over an intel bus
+//!   and hot-reload into the running monitor.
 //! - [`classify`] — alert → incident grouping → OSCRP mapping.
 //! - [`metrics`] — precision/recall/F1 scoring of alerts against ground
 //!   truth (the E4 instrument).
@@ -25,6 +28,7 @@
 
 pub mod classify;
 pub mod dataset;
+pub mod intel;
 pub mod metrics;
 pub mod oscrp;
 pub mod pipeline;
@@ -32,6 +36,7 @@ pub mod report;
 pub mod risk;
 pub mod taxonomy;
 
+pub use intel::{build_wave, IntelConfig, IntelOutcome, WaveSpec};
 pub use metrics::{score, ClassScore, Scoreboard};
 pub use oscrp::{Concern, Consequence};
 pub use pipeline::{Pipeline, PipelineConfig};

@@ -25,6 +25,7 @@
 //!   on the same seed — only the retained raw streams differ.
 
 use crate::classify::{incidents, Incident};
+use crate::intel::{IntelConfig, IntelLoop, IntelOutcome};
 use crate::metrics::{score, ScoringConfig};
 use crate::report::Report;
 use ja_attackgen::campaign::{execute, Campaign, GroundTruth, ScenarioOutput};
@@ -64,6 +65,11 @@ pub struct PipelineConfig {
     pub merge_window: Duration,
     /// Scoring config.
     pub scoring: ScoringConfig,
+    /// Honeypot intel loop (decoy capture → signature → hot-reloaded
+    /// monitor rules). Only the streamed paths run the loop — hot
+    /// reload is a streaming concept; the batch paths leave the
+    /// captured trace untouched and report no intel.
+    pub intel: Option<IntelConfig>,
 }
 
 impl PipelineConfig {
@@ -78,6 +84,7 @@ impl PipelineConfig {
             shards: None,
             merge_window: Duration::from_secs(1800),
             scoring: ScoringConfig::default(),
+            intel: None,
         }
     }
 
@@ -144,6 +151,9 @@ pub struct RunOutcome {
     pub monitor_stats: MonitorStats,
     /// Kernel-audit completeness (1.0 = no ring drops).
     pub audit_completeness: f64,
+    /// What the honeypot intel loop did (`Some` only after a streamed
+    /// run with [`PipelineConfig::intel`] configured).
+    pub intel: Option<IntelOutcome>,
     /// The consolidated report.
     pub report: Report,
 }
@@ -236,7 +246,10 @@ impl Pipeline {
     fn build_campaigns(&self, plan: &CampaignPlan) -> Vec<(SimTime, Campaign)> {
         let mut rng = SimRng::new(plan.seed);
         let mut campaigns: Vec<(SimTime, Campaign)> = Vec::new();
-        for s in 0..self.deployment.servers.len() {
+        // Benign workload and targeted attacks run on production
+        // servers only; decoys receive traffic through wave campaigns
+        // (see [`crate::intel::build_wave`]).
+        for s in 0..self.deployment.production_count() {
             let user = self.deployment.owner_of(s).to_string();
             for _ in 0..plan.benign_sessions_per_server {
                 let start =
@@ -253,7 +266,7 @@ impl Pipeline {
             }
         }
         for (i, &class) in plan.attacks.iter().enumerate() {
-            let server = i % self.deployment.servers.len();
+            let server = i % self.deployment.production_count();
             let start = SimTime(rng.range(
                 Duration::from_secs(plan.horizon_secs / 4).as_micros(),
                 Duration::from_secs(plan.horizon_secs / 2).as_micros(),
@@ -328,6 +341,7 @@ impl Pipeline {
             ScenarioArtifacts::from_batch(scenario),
             monitor_stats,
             audit_completeness,
+            None,
         )
     }
 
@@ -342,7 +356,20 @@ impl Pipeline {
         campaigns: Vec<(SimTime, Campaign)>,
         seed: u64,
     ) -> RunOutcome {
-        let monitor = Monitor::new(self.fleet_monitor_config());
+        // The honeypot intel loop gets fresh per-run state; its feed
+        // replaces the configured one so signatures learned in this run
+        // hot-reload into this run's monitor shards (and never leak
+        // across runs).
+        let mut intel_loop = self
+            .config
+            .intel
+            .as_ref()
+            .map(|cfg| IntelLoop::new(cfg, &self.deployment));
+        let mut mcfg = self.fleet_monitor_config();
+        if let Some(il) = &intel_loop {
+            mcfg.intel = il.feed().clone();
+        }
+        let monitor = Monitor::new(mcfg);
         let shards = self.shard_count();
         let mut tracer = Tracer::new(self.config.tracer_capacity);
         let mut auth_log: Vec<AuthEvent> = Vec::new();
@@ -350,6 +377,9 @@ impl Pipeline {
         let (mut alerts, monitor_stats) =
             monitor.analyze_stream(shards, StreamingConfig::close_evict(), |sink| {
                 while let Some(item) = stream.next_item() {
+                    if let Some(il) = intel_loop.as_mut() {
+                        il.observe(&item);
+                    }
                     match item {
                         ScenarioItem::Segment(rec) => sink.accept(rec),
                         ScenarioItem::Auth(ev) => auth_log.push(ev),
@@ -367,6 +397,7 @@ impl Pipeline {
             ScenarioArtifacts::from_streamed(ground_truth, end),
             monitor_stats,
             audit_completeness,
+            intel_loop.map(IntelLoop::into_outcome),
         )
     }
 
@@ -387,8 +418,14 @@ impl Pipeline {
         scenario: ScenarioArtifacts,
         monitor_stats: MonitorStats,
         audit_completeness: f64,
+        intel: Option<IntelOutcome>,
     ) -> RunOutcome {
-        for srv in &self.deployment.servers {
+        for (idx, srv) in self.deployment.servers.iter().enumerate() {
+            // Decoys are exposed *on purpose* — bait, not hygiene
+            // failures — so the configuration scanner skips them.
+            if self.deployment.is_decoy(idx) {
+                continue;
+            }
             for (_, alert) in ja_monitor::detectors::scan_config(srv.id, &srv.config) {
                 alerts.push(alert);
             }
@@ -411,6 +448,7 @@ impl Pipeline {
             scenario,
             monitor_stats,
             audit_completeness,
+            intel,
             report,
         }
     }
@@ -819,6 +857,109 @@ mod tests {
             alert_keys(&fleet.runs[0].outcome),
             alert_keys(&fleet.runs[1].outcome)
         );
+    }
+
+    #[test]
+    fn streamed_wave_closes_the_intel_loop() {
+        use crate::intel::{build_wave, IntelConfig, WaveSpec};
+        use ja_monitor::alerts::AlertSource;
+        // A lab with two perfect decoys, a naive mass wave, and a short
+        // propagation delay: decoys capture the payload mid-stream, the
+        // signature hot-reloads into the running monitor, and later
+        // production visits raise HoneypotIntel alerts.
+        let intel_cfg = IntelConfig {
+            propagation: Duration::from_secs(120),
+            realism: 1.0,
+            ..Default::default()
+        };
+        let mut cfg = PipelineConfig::small_lab(91);
+        cfg.deployment.decoys = 2;
+        cfg.intel = Some(intel_cfg.clone());
+        let mut p = Pipeline::new(cfg);
+        let mut rng = SimRng::new(5);
+        let wave = build_wave(p.deployment(), &intel_cfg, &WaveSpec::default(), &mut rng);
+        assert_eq!(wave.production_visits.len(), 4);
+        assert_eq!(wave.decoy_visits.len(), 2);
+        let start = SimTime::from_secs(60);
+        let out = p.run_campaigns_streamed(vec![(start, wave.campaign)], 91);
+        let intel = out.intel.as_ref().expect("intel loop ran");
+        assert!(intel.captures >= 2, "captures {}", intel.captures);
+        assert_eq!(intel.published.len(), 1, "one distinct payload");
+        let avail = intel.first_available.expect("signature propagated");
+        assert_eq!(
+            avail,
+            intel.first_capture.unwrap() + Duration::from_secs(120)
+        );
+        let hp: Vec<_> = out
+            .report
+            .alerts
+            .iter()
+            .filter(|a| a.source == AlertSource::HoneypotIntel)
+            .collect();
+        assert!(
+            !hp.is_empty(),
+            "intel loop never fired:\n{}",
+            out.report.render()
+        );
+        // No retroactive alerts: every honeypot-intel alert is on a
+        // flow that began at/after the signature became available.
+        for a in &hp {
+            assert!(a.time >= avail, "retroactive alert {a:?}");
+            assert!(a.detail.contains("hp-"), "{a:?}");
+        }
+        // The report's honeypot plane is nonzero.
+        assert!(out.report.alerts_from(AlertSource::HoneypotIntel) > 0);
+        assert!(!out.report.render().contains("honeypot 0"));
+    }
+
+    #[test]
+    fn intel_loop_inert_without_decoys_and_absent_on_batch() {
+        use crate::intel::IntelConfig;
+        use ja_monitor::alerts::AlertSource;
+        // Intel configured but zero decoys: nothing captured, nothing
+        // published, output identical to the unconfigured pipeline.
+        let mut cfg = PipelineConfig::small_lab(47);
+        cfg.intel = Some(IntelConfig::default());
+        let mut p1 = Pipeline::new(cfg);
+        let with_loop = p1.run_streamed(&CampaignPlan::full_mix(9));
+        let mut p2 = Pipeline::new(PipelineConfig::small_lab(47));
+        let without = p2.run_streamed(&CampaignPlan::full_mix(9));
+        let intel = with_loop.intel.as_ref().unwrap();
+        assert_eq!(intel.captures, 0);
+        assert!(intel.published.is_empty());
+        assert_eq!(alert_keys(&with_loop), alert_keys(&without));
+        assert_eq!(with_loop.report.alerts_from(AlertSource::HoneypotIntel), 0);
+        // The batch path never runs the loop.
+        let mut p3 = Pipeline::new(PipelineConfig::small_lab(47));
+        assert!(p3.run(&CampaignPlan::full_mix(9)).intel.is_none());
+    }
+
+    #[test]
+    fn decoy_servers_do_not_perturb_plans_or_config_scans() {
+        // Same plan, same seed, decoys added: benign/attack campaigns
+        // still land on production servers only, and the exposed decoy
+        // configs are not reported as hygiene findings.
+        use ja_monitor::alerts::AlertSource;
+        // Misconfiguration matters most here: its scan-and-exploit
+        // campaign reads server configs, and decoys are deliberately
+        // exploitable — it must still skip them.
+        for class in [AttackClass::Cryptomining, AttackClass::Misconfiguration] {
+            let mut cfg = PipelineConfig::campus(13);
+            cfg.deployment.decoys = 3;
+            let mut with_decoys = Pipeline::new(cfg);
+            let a = with_decoys.run_streamed(&CampaignPlan::single(class));
+            let mut plain = Pipeline::new(PipelineConfig::campus(13));
+            let b = plain.run_streamed(&CampaignPlan::single(class));
+            assert_eq!(
+                a.report.alerts_from(AlertSource::ConfigScan),
+                b.report.alerts_from(AlertSource::ConfigScan),
+                "{class:?}"
+            );
+            assert_eq!(alert_keys(&a), alert_keys(&b), "{class:?}");
+            for (ga, gb) in a.scenario.ground_truth.iter().zip(&b.scenario.ground_truth) {
+                assert_eq!(ga.servers, gb.servers, "{class:?}");
+            }
+        }
     }
 
     #[test]

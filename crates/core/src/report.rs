@@ -104,6 +104,43 @@ mod tests {
     }
 
     #[test]
+    fn honeypot_plane_is_counted_separately() {
+        // Regression: rule-matched alerts used to be attributed to
+        // `Network` regardless of rule origin, so the honeypot slot
+        // rendered 0 even when the intel loop fired.
+        let alerts = vec![
+            Alert::new(
+                SimTime::from_secs(1),
+                AttackClass::Cryptomining,
+                0.9,
+                AlertSource::HoneypotIntel,
+            )
+            .with_server(0)
+            .with_detail("rule hp-4-0 in cell code"),
+            Alert::new(
+                SimTime::from_secs(2),
+                AttackClass::Cryptomining,
+                0.7,
+                AlertSource::Network,
+            )
+            .with_server(0),
+        ];
+        let incidents = incidents(&alerts, Duration::from_secs(60));
+        let r = Report {
+            alerts,
+            incidents,
+            scoreboard: None,
+        };
+        assert_eq!(r.alerts_from(AlertSource::HoneypotIntel), 1);
+        assert_eq!(r.alerts_from(AlertSource::Network), 1);
+        let text = r.render();
+        assert!(text.contains("honeypot 1"), "{text}");
+        // The merged incident records both planes as sources.
+        assert_eq!(r.incidents_total(), 1);
+        assert!(r.incidents[0].sources.contains(&AlertSource::HoneypotIntel));
+    }
+
+    #[test]
     fn empty_report() {
         let r = Report::default();
         assert_eq!(r.alerts_total(), 0);

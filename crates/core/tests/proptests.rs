@@ -48,6 +48,7 @@ fn tiny_config(seed: u64) -> PipelineConfig {
         weak_cred_fraction: 0.1,
         breached_cred_fraction: 0.02,
         mfa_fraction: 0.8,
+        decoys: 0,
         seed,
     };
     cfg
@@ -191,6 +192,131 @@ fn streamed_peak_memory_proxy_stays_bounded_while_capture_grows() {
 }
 
 proptest! {
+    /// The honeypot-intel machinery is inert when it has nothing to
+    /// learn: a pipeline with the intel loop configured but no decoys
+    /// (feed stays empty) produces output bit-identical to an
+    /// unconfigured pipeline across random plans — i.e. today's
+    /// behavior is preserved exactly.
+    #[test]
+    fn empty_intel_feed_changes_nothing(
+        seed in 0u64..2048,
+        benign in 0usize..2,
+        attack_mask in 0u8..64,
+    ) {
+        let attacks: Vec<AttackClass> = AttackClass::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| attack_mask & (1 << i) != 0)
+            .map(|(_, &c)| c)
+            .collect();
+        let plan = CampaignPlan {
+            benign_sessions_per_server: benign,
+            attacks,
+            horizon_secs: 1800,
+            stretch: 1.0,
+            seed,
+        };
+        let mut cfg = tiny_config(seed);
+        cfg.intel = Some(ja_core::intel::IntelConfig::default());
+        let mut p1 = Pipeline::new(cfg);
+        let with_loop = p1.run_streamed(&plan);
+        let mut p2 = Pipeline::new(tiny_config(seed));
+        let without = p2.run_streamed(&plan);
+        let intel = with_loop.intel.as_ref().unwrap();
+        prop_assert_eq!(intel.captures, 0);
+        prop_assert!(intel.published.is_empty());
+        prop_assert_eq!(alert_fingerprint(&with_loop), alert_fingerprint(&without));
+        prop_assert_eq!(incident_fingerprint(&with_loop), incident_fingerprint(&without));
+        prop_assert_eq!(with_loop.monitor_stats.segments, without.monitor_stats.segments);
+        prop_assert_eq!(
+            with_loop.audit_completeness.to_bits(),
+            without.audit_completeness.to_bits()
+        );
+    }
+
+    /// A hot-reloaded rule never matches traffic observed before its
+    /// `available_at`: every honeypot-intel alert a streamed wave run
+    /// raises sits at/after the availability instant of the rule that
+    /// produced it, and a propagation delay longer than the capture
+    /// yields zero honeypot-intel alerts.
+    #[test]
+    fn intel_rules_never_match_before_availability(
+        seed in 0u64..2048,
+        decoys in 1usize..4,
+        prop_secs in 0u64..2_000,
+    ) {
+        use ja_monitor::alerts::AlertSource;
+        use ja_netsim::rng::SimRng;
+        let intel_cfg = ja_core::intel::IntelConfig {
+            propagation: Duration::from_secs(prop_secs),
+            realism: 1.0,
+            ..Default::default()
+        };
+        let mut cfg = tiny_config(seed);
+        cfg.deployment.decoys = decoys;
+        cfg.intel = Some(intel_cfg.clone());
+        let mut p = Pipeline::new(cfg);
+        let mut rng = SimRng::new(seed);
+        let wave = ja_core::intel::build_wave(
+            p.deployment(),
+            &intel_cfg,
+            &ja_core::intel::WaveSpec::default(),
+            &mut rng,
+        );
+        let out = p.run_campaigns_streamed(vec![(SimTime::from_secs(30), wave.campaign)], seed);
+        let intel = out.intel.as_ref().unwrap();
+        // Map rule id -> availability.
+        let avail: std::collections::HashMap<&str, SimTime> = intel
+            .published
+            .iter()
+            .map(|pr| (pr.rule.id.as_str(), pr.available_at))
+            .collect();
+        for a in out
+            .report
+            .alerts
+            .iter()
+            .filter(|a| a.source == AlertSource::HoneypotIntel)
+        {
+            let (_, at) = avail
+                .iter()
+                .find(|(id, _)| a.detail.contains(*id))
+                .expect("alert names its rule");
+            prop_assert!(
+                a.time >= *at,
+                "retroactive alert at {:?} for rule available at {:?}",
+                a.time,
+                at
+            );
+        }
+        // Same wave, propagation past the end of the capture: nothing
+        // may match.
+        let intel_cfg2 = ja_core::intel::IntelConfig {
+            propagation: Duration::from_secs(7 * 24 * 3600),
+            realism: 1.0,
+            ..Default::default()
+        };
+        let mut cfg2 = tiny_config(seed);
+        cfg2.deployment.decoys = decoys;
+        cfg2.intel = Some(intel_cfg2.clone());
+        let mut p2 = Pipeline::new(cfg2);
+        let mut rng2 = SimRng::new(seed);
+        let wave2 = ja_core::intel::build_wave(
+            p2.deployment(),
+            &intel_cfg2,
+            &ja_core::intel::WaveSpec::default(),
+            &mut rng2,
+        );
+        let out2 = p2.run_campaigns_streamed(vec![(SimTime::from_secs(30), wave2.campaign)], seed);
+        prop_assert_eq!(
+            out2.report
+                .alerts
+                .iter()
+                .filter(|a| a.source == AlertSource::HoneypotIntel)
+                .count(),
+            0
+        );
+    }
+
     /// OSCRP closure is total and deduplicated for every avenue.
     #[test]
     fn oscrp_closure_total(class in arb_class()) {

@@ -53,7 +53,7 @@ impl Decoy {
         Decoy {
             id,
             // Decoys sit at the network edge: externally routable.
-            addr: HostAddr::external(0xD0_00 + id),
+            addr: HostAddr::decoy(id),
             realism: realism.clamp(0.0, 1.0),
             captures: Vec::new(),
         }

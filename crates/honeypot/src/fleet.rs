@@ -33,6 +33,11 @@ pub struct WaveParams {
     pub class: AttackClass,
     /// Payload code dropped on compromised targets.
     pub payload_code: String,
+    /// Optional payload rotation: when non-empty, visit `i` drops
+    /// `payload_variants[i % len]` instead of `payload_code` (campaigns
+    /// that re-pack their dropper between targets). Each *distinct*
+    /// payload contributes its own signature on first capture.
+    pub payload_variants: Vec<String>,
 }
 
 impl Default for WaveParams {
@@ -46,6 +51,18 @@ impl Default for WaveParams {
             propagation_secs: 600,
             class: AttackClass::Cryptomining,
             payload_code: "subprocess.Popen(['/tmp/.kworkerd','-o','pool.evil:3333'])".into(),
+            payload_variants: Vec::new(),
+        }
+    }
+}
+
+impl WaveParams {
+    /// The payload dropped on the `visit`-th target.
+    fn payload_for(&self, visit: usize) -> &str {
+        if self.payload_variants.is_empty() {
+            &self.payload_code
+        } else {
+            &self.payload_variants[visit % self.payload_variants.len()]
         }
     }
 }
@@ -108,14 +125,22 @@ pub fn simulate_wave(params: &WaveParams, rng: &mut SimRng) -> WaveOutcome {
     let mut victims_hit = 0;
     let mut victims_protected = 0;
     let mut decoys_skipped = 0;
+    // Payloads already signed: each *distinct* payload publishes a rule
+    // on its first capture (not just the global first capture — later
+    // decoys catching a re-packed dropper still contribute intel).
+    let mut signed: Vec<String> = Vec::new();
     for (i, target) in targets.iter().enumerate() {
         let t = SimTime(Duration::from_secs_f64(params.inter_visit_secs * i as f64).as_micros());
+        let payload = params.payload_for(i);
         match *target {
             Target::Production => {
-                let protected = intel
-                    .first_available()
-                    .map(|avail| avail <= t)
-                    .unwrap_or(false);
+                // Protected iff a rule matching *this visit's* payload
+                // has propagated by now.
+                let protected = intel.published().iter().any(|p| {
+                    p.available_at <= t
+                        && matches!(&p.rule.pattern,
+                            ja_monitor::rules::Pattern::CodeSubstring(s) if payload.contains(s.as_str()))
+                });
                 if protected {
                     victims_protected += 1;
                 } else {
@@ -132,17 +157,15 @@ pub fn simulate_wave(params: &WaveParams, rng: &mut SimRng) -> WaveOutcome {
                     t,
                     attacker,
                     Interaction::ExecuteCell {
-                        code: params.payload_code.clone(),
+                        code: payload.to_string(),
                     },
                 );
                 if outcome_first_capture.is_none() {
                     outcome_first_capture = Some(t);
-                    let rule = rule_from_capture(
-                        d.id,
-                        d.captures.len(),
-                        params.class,
-                        &params.payload_code,
-                    );
+                }
+                if !signed.iter().any(|p| p == payload) {
+                    signed.push(payload.to_string());
+                    let rule = rule_from_capture(d.id, d.captures.len(), params.class, payload);
                     intel.publish(t, rule);
                 }
             }
@@ -242,6 +265,36 @@ mod tests {
         );
         assert_eq!(rs.len(), 1);
         assert!(!rs.match_code(&params.payload_code).is_empty());
+    }
+
+    #[test]
+    fn distinct_payloads_each_contribute_a_signature() {
+        // Regression: only the global first capture used to publish, so
+        // a rotated dropper's later variants never produced intel.
+        let params = WaveParams {
+            decoys: 10,
+            sophistication: 0.0,
+            propagation_secs: 60,
+            payload_variants: vec![
+                "subprocess.Popen('/tmp/.kworkerd_a')".into(),
+                "subprocess.Popen('/tmp/.kworkerd_b')".into(),
+            ],
+            ..Default::default()
+        };
+        let mut rng = SimRng::new(6);
+        let out = simulate_wave(&params, &mut rng);
+        // Both variants were captured at least once across the fleet,
+        // and each published exactly one rule, first capture wins.
+        assert_eq!(out.intel.len(), 2, "{:?}", out.intel);
+        // `signature_available` stays the *earliest* availability.
+        assert_eq!(out.signature_available, out.intel.first_available());
+        let a = out.intel.published()[0].available_at;
+        let b = out.intel.published()[1].available_at;
+        assert_eq!(out.signature_available, Some(a.min(b)));
+        // Repeated captures of an already-signed payload do not
+        // republish: 10 naive decoys, only 2 rules.
+        let captures: usize = out.decoys_state.iter().map(|d| d.captures.len()).sum();
+        assert!(captures > 2, "captures {captures}");
     }
 
     #[test]

@@ -58,6 +58,11 @@ impl IntelBus {
         self.published.iter().map(|p| p.available_at).min()
     }
 
+    /// Everything published so far, in publish order.
+    pub fn published(&self) -> &[PublishedRule] {
+        &self.published
+    }
+
     /// Published rule count.
     pub fn len(&self) -> usize {
         self.published.len()
@@ -73,7 +78,7 @@ impl IntelBus {
 mod tests {
     use super::*;
     use ja_attackgen::AttackClass;
-    use ja_monitor::rules::Pattern;
+    use ja_monitor::rules::{Pattern, RuleOrigin};
 
     fn rule(id: &str) -> Rule {
         Rule {
@@ -81,6 +86,7 @@ mod tests {
             class: AttackClass::ZeroDay,
             pattern: Pattern::CodeSubstring("evil_token".into()),
             confidence: 0.8,
+            origin: RuleOrigin::HoneypotIntel,
         }
     }
 

@@ -14,8 +14,16 @@
 //!   from captured attacker code.
 //! - [`intel`] — the sharing bus: learned rules become visible to
 //!   production monitors after a propagation delay.
-//! - [`fleet`] — the attack-wave model measuring time-to-signature and
-//!   victim exposure with/without decoys (experiment E6/A1).
+//! - [`fleet`] — the closed-form attack-wave model measuring
+//!   time-to-signature and victim exposure with/without decoys
+//!   (experiment E6(c)).
+//!
+//! The *live* loop — real decoy servers receiving streamed campaign
+//! traffic, captures publishing hot-reloaded monitor rules mid-run —
+//! is assembled one layer up in `ja_core::intel`, on top of the
+//! primitives here ([`Decoy::capture`],
+//! [`signature::rule_from_capture`], [`IntelBus`]); ablation A1 runs
+//! it end to end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,7 +5,7 @@
 //! production monitor can match — without matching benign notebooks.
 
 use ja_attackgen::AttackClass;
-use ja_monitor::rules::{Pattern, Rule};
+use ja_monitor::rules::{Pattern, Rule, RuleOrigin};
 
 /// Tokens too common in benign scientific code to be signatures.
 const BENIGN_VOCAB: &[&str] = &[
@@ -38,14 +38,24 @@ const BENIGN_VOCAB: &[&str] = &[
 /// Extract the most distinctive token from hostile code: the longest
 /// token of length ≥ 5 that is not benign vocabulary. Falls back to the
 /// leading 24 characters when nothing qualifies.
+///
+/// The benign check compares *whole identifiers*, not substrings: a
+/// payload token that merely contains a benign word
+/// (`cryptominer_update_v2` contains `update`) is exactly the kind of
+/// malware-specific string we want as a signature, not something to
+/// discard. Dotted compounds are rejected when *any* component is a
+/// benign identifier: `pandas.read_csv`, `matplotlib.pyplot` or
+/// `torch.nn.Linear` must never become signatures — they would match
+/// half the benign notebooks in the fleet.
 pub fn distinctive_token(code: &str) -> String {
+    let is_benign = |token: &str| token.split('.').any(|part| BENIGN_VOCAB.contains(&part));
     let mut best: Option<&str> = None;
     for token in code.split(|c: char| !(c.is_alphanumeric() || c == '_' || c == '.')) {
         if token.len() < 5 {
             continue;
         }
         let lower = token.to_ascii_lowercase();
-        if BENIGN_VOCAB.iter().any(|b| lower.contains(b)) {
+        if is_benign(&lower) {
             continue;
         }
         if best.map(|b| token.len() > b.len()).unwrap_or(true) {
@@ -67,6 +77,7 @@ pub fn rule_from_capture(decoy_id: u32, seq: usize, class: AttackClass, code: &s
         class,
         pattern: Pattern::CodeSubstring(distinctive_token(code)),
         confidence: 0.85,
+        origin: RuleOrigin::HoneypotIntel,
     }
 }
 
@@ -86,6 +97,43 @@ mod tests {
     fn benign_heavy_code_falls_back() {
         let t = distinctive_token("import numpy");
         assert_eq!(t, "import numpy"); // fallback prefix (< 24 chars)
+    }
+
+    #[test]
+    fn token_containing_benign_word_is_still_distinctive() {
+        // Regression: `lower.contains(b)` used to reject any token that
+        // merely contained a benign word, so this payload fell through
+        // to the weak 24-char-prefix fallback.
+        let t = distinctive_token("run('/opt/cryptominer_update_v2 --wallet 4A6h')");
+        assert_eq!(t, "cryptominer_update_v2");
+        // Whole-token matches are still rejected.
+        let t2 = distinctive_token("update describe import");
+        assert_eq!(t2, "update describe import"); // prefix fallback
+    }
+
+    #[test]
+    fn dotted_benign_compounds_never_become_signatures() {
+        // `pandas.read_csv` / `matplotlib.pyplot` / `df.describe` are
+        // single tokens (the tokenizer keeps '.'); any benign component
+        // disqualifies them — publishing one as a rule would alert on
+        // half the benign notebooks in the fleet.
+        let code = "import pandas\npandas.read_csv('http://e/x')";
+        let t = distinctive_token(code);
+        assert_eq!(t, code.chars().take(24).collect::<String>()); // fallback
+        let code2 = "df = pd.read_csv('x')\ndf.describe()";
+        let t2 = distinctive_token(code2);
+        assert_eq!(t2, code2.chars().take(24).collect::<String>()); // fallback
+
+        // A benign import must not out-length the actual malware token
+        // even when one of its components is missing from the vocab.
+        let t3 = distinctive_token("import matplotlib.pyplot\nrun('/tmp/.xmrig_y7')");
+        assert_eq!(t3, ".xmrig_y7");
+    }
+
+    #[test]
+    fn rules_are_honeypot_attributed() {
+        let rule = rule_from_capture(1, 0, AttackClass::Cryptomining, "evil_stratum_loader()");
+        assert_eq!(rule.origin, RuleOrigin::HoneypotIntel);
     }
 
     #[test]

@@ -1,10 +1,18 @@
 //! Fleet builder: a hub plus N single-user servers with controlled
 //! configuration hygiene — the unit every experiment runs against.
+//!
+//! A deployment may additionally host *decoy* servers: deliberately
+//! exposed notebook instances appended after the production fleet
+//! (§IV.A's edge honeypots). Decoys are real [`NotebookServer`]s — they
+//! accept connections, run cells and emit the same observation streams
+//! — so streamed scenario execution routes real campaign traffic to
+//! them; the honeypot-intel layer above decides what to learn from it.
 
 use crate::config::ServerConfig;
 use crate::hub::Hub;
 use crate::server::NotebookServer;
-use crate::users::{self, User};
+use crate::users::{self, CredentialStrength, Role, User};
+use ja_netsim::addr::HostAddr;
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::SimTime;
 
@@ -12,10 +20,13 @@ use ja_netsim::time::SimTime;
 pub struct Deployment {
     /// The hub.
     pub hub: Hub,
-    /// Single-user servers (index = server id).
+    /// Single-user servers (index = server id). Production servers
+    /// first, then any decoys.
     pub servers: Vec<NotebookServer>,
     /// RNG for site-level draws.
     pub rng: SimRng,
+    /// Number of production servers; `servers[production..]` are decoys.
+    production: usize,
 }
 
 /// Knobs for building a deployment.
@@ -31,6 +42,10 @@ pub struct DeploymentSpec {
     pub breached_cred_fraction: f64,
     /// MFA enrollment fraction.
     pub mfa_fraction: f64,
+    /// Decoy notebook servers appended after the production fleet:
+    /// deliberately exposed bait with weak service accounts. `0` (the
+    /// default everywhere) reproduces a decoy-free site bit for bit.
+    pub decoys: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -44,8 +59,15 @@ impl DeploymentSpec {
             weak_cred_fraction: 0.1,
             breached_cred_fraction: 0.02,
             mfa_fraction: 0.8,
+            decoys: 0,
             seed,
         }
+    }
+
+    /// Append `n` decoy servers to the spec (builder style).
+    pub fn with_decoys(mut self, n: usize) -> Self {
+        self.decoys = n;
+        self
     }
 
     /// A sprawling campus deployment with realistic hygiene problems.
@@ -56,6 +78,7 @@ impl DeploymentSpec {
             weak_cred_fraction: 0.25,
             breached_cred_fraction: 0.05,
             mfa_fraction: 0.4,
+            decoys: 0,
             seed,
         }
     }
@@ -73,7 +96,7 @@ impl Deployment {
             spec.breached_cred_fraction,
             spec.mfa_fraction,
         );
-        let mut servers = Vec::with_capacity(spec.servers);
+        let mut servers = Vec::with_capacity(spec.servers + spec.decoys);
         for (i, user) in users.iter().enumerate() {
             let config = ServerConfig::sample(&mut rng, spec.misconfig_rate);
             let mut srv = NotebookServer::new(i as u32, config, spec.seed ^ (i as u64) << 20);
@@ -81,10 +104,37 @@ impl Deployment {
             srv.start_kernel(&user.name, SimTime::ZERO);
             servers.push(srv);
         }
+        // Decoys: deliberately exposed bait at the network edge, owned
+        // by weak throwaway service accounts. Exposure here is a lure,
+        // not a hygiene failure — config scanners skip decoys.
+        let mut users = users;
+        for d in 0..spec.decoys {
+            let i = spec.servers + d;
+            let user = User {
+                name: format!("svc-decoy-{d}"),
+                role: Role::Researcher,
+                strength: CredentialStrength::Weak,
+                mfa: false,
+            };
+            let mut srv = NotebookServer::new(
+                i as u32,
+                ServerConfig::exposed(),
+                spec.seed ^ (i as u64) << 20,
+            );
+            // Edge-visible: decoys are routable from outside, unlike the
+            // production fleet behind the hub. Shares the honeypot
+            // layer's address derivation, keyed by server id.
+            srv.addr = HostAddr::decoy(i as u32);
+            srv.provision_user(&user.name, SimTime::ZERO);
+            srv.start_kernel(&user.name, SimTime::ZERO);
+            servers.push(srv);
+            users.push(user);
+        }
         Deployment {
             hub: Hub::new(users),
             servers,
             rng,
+            production: spec.servers,
         }
     }
 
@@ -92,6 +142,23 @@ impl Deployment {
     /// construction).
     pub fn owner_of(&self, server: usize) -> &str {
         &self.hub.users()[server].name
+    }
+
+    /// Number of production (non-decoy) servers. Decoys, if any, occupy
+    /// `servers[production_count()..]`.
+    pub fn production_count(&self) -> usize {
+        self.production
+    }
+
+    /// Is server `i` a decoy?
+    pub fn is_decoy(&self, server: usize) -> bool {
+        server >= self.production
+    }
+
+    /// Indices of the decoy servers (empty range when the site has
+    /// none).
+    pub fn decoy_indices(&self) -> std::ops::Range<usize> {
+        self.production..self.servers.len()
     }
 
     /// All kernel-audit events across the fleet, time-ordered (ties
@@ -166,5 +233,41 @@ mod tests {
         let d = Deployment::build(&DeploymentSpec::campus(11));
         let addrs: std::collections::HashSet<_> = d.servers.iter().map(|s| s.addr).collect();
         assert_eq!(addrs.len(), d.servers.len());
+    }
+
+    #[test]
+    fn decoys_append_after_production_and_are_exposed() {
+        let d = Deployment::build(&DeploymentSpec::small_lab(7).with_decoys(3));
+        assert_eq!(d.servers.len(), 7);
+        assert_eq!(d.production_count(), 4);
+        assert_eq!(d.decoy_indices(), 4..7);
+        assert!(!d.is_decoy(3));
+        assert!(d.is_decoy(4));
+        for i in d.decoy_indices() {
+            let s = &d.servers[i];
+            assert!(
+                !s.config.misconfigurations().is_empty(),
+                "decoy {i} is bait"
+            );
+            assert!(!s.addr.is_internal(), "decoys are edge-visible");
+            assert!(d.owner_of(i).starts_with("svc-decoy-"));
+            assert!(!s.vfs.is_empty(), "decoy homes look lived-in");
+        }
+        // Addresses stay unique across production + decoys.
+        let addrs: std::collections::HashSet<_> = d.servers.iter().map(|s| s.addr).collect();
+        assert_eq!(addrs.len(), d.servers.len());
+    }
+
+    #[test]
+    fn decoy_free_build_is_identical_to_before() {
+        // decoys: 0 must not perturb any rng draw or server state.
+        let plain = Deployment::build(&DeploymentSpec::small_lab(7));
+        let explicit = Deployment::build(&DeploymentSpec::small_lab(7).with_decoys(0));
+        assert_eq!(plain.servers.len(), explicit.servers.len());
+        for (a, b) in plain.servers.iter().zip(&explicit.servers) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.transport_secret, b.transport_secret);
+        }
+        assert_eq!(plain.decoy_indices(), 4..4);
     }
 }

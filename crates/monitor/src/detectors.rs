@@ -8,7 +8,7 @@
 use crate::alerts::{Alert, AlertSource};
 use crate::analyzers::FlowAnalysis;
 use crate::features::FlowFeatures;
-use crate::rules::RuleSet;
+use crate::rules::{Pattern, Rule, RuleOrigin, RuleSet};
 use ja_attackgen::AttackClass;
 use ja_kernelsim::config::MisconfigClass;
 use ja_kernelsim::hub::{AuthEvent, AuthOutcome};
@@ -136,34 +136,26 @@ pub fn per_flow(
             )),
         );
     }
-    // Signature rules against visible content.
+    // Signature rules against visible content. The alert source follows
+    // the rule's provenance, so honeypot-learned signatures surface as
+    // `HoneypotIntel` in reports rather than blending into `Network`.
     if let Some(hs) = &analysis.handshake {
         for rule in rules.match_url(&hs.target) {
-            alerts.push(
-                Alert::new(
-                    features.start,
-                    rule.class,
-                    rule.confidence,
-                    AlertSource::Network,
-                )
-                .with_host(features.tuple.src)
-                .with_detail(format!("rule {} on URL {}", rule.id, hs.target)),
-            );
+            alerts.push(rule_hit(
+                features,
+                rule,
+                format!("rule {} on URL {}", rule.id, hs.target),
+            ));
         }
     }
     for msg in &analysis.kernel_msgs {
         if let Some(code) = &msg.code {
             for rule in rules.match_code(code) {
-                alerts.push(
-                    Alert::new(
-                        features.start,
-                        rule.class,
-                        rule.confidence,
-                        AlertSource::Network,
-                    )
-                    .with_host(features.tuple.src)
-                    .with_detail(format!("rule {} in cell code", rule.id)),
-                );
+                alerts.push(rule_hit(
+                    features,
+                    rule,
+                    format!("rule {} in cell code", rule.id),
+                ));
             }
         }
         // Protocol anomaly: unsigned kernel traffic on a visible flow.
@@ -181,6 +173,69 @@ pub fn per_flow(
             break; // one per flow is enough
         }
     }
+    alerts
+}
+
+/// The alert source a match from `rule` should carry.
+fn rule_alert_source(rule: &Rule) -> AlertSource {
+    match rule.origin {
+        RuleOrigin::HoneypotIntel => AlertSource::HoneypotIntel,
+        RuleOrigin::Builtin => AlertSource::Network,
+    }
+}
+
+/// The alert one rule match raises on one flow — shared by the static
+/// rule set and the hot-reload feed paths, so provenance attribution
+/// and attribution fields stay in one place.
+fn rule_hit(features: &FlowFeatures, rule: &Rule, detail: String) -> Alert {
+    Alert::new(
+        features.start,
+        rule.class,
+        rule.confidence,
+        rule_alert_source(rule),
+    )
+    .with_host(features.tuple.src)
+    .with_detail(detail)
+}
+
+/// Match the hot-reloadable rule feed against a flow's visible content:
+/// only rules available by the flow's start may match (no retroactive
+/// alerts), and only network-plane patterns apply here — code
+/// substrings against recovered kernel messages and URL substrings
+/// against the upgrade target. Port and cmdline patterns belong to the
+/// static detectors and the audit plane respectively. Rules are
+/// borrowed under the feed's read guard, never cloned.
+pub fn feed_rule_hits(
+    features: &FlowFeatures,
+    analysis: &FlowAnalysis,
+    feed: &crate::rules::RuleFeed,
+) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    feed.for_each_available(features.start, |rule| match &rule.pattern {
+        Pattern::CodeSubstring(s) => {
+            for msg in &analysis.kernel_msgs {
+                if msg.code.as_deref().is_some_and(|c| c.contains(s.as_str())) {
+                    alerts.push(rule_hit(
+                        features,
+                        rule,
+                        format!("rule {} in cell code", rule.id),
+                    ));
+                }
+            }
+        }
+        Pattern::UrlSubstring(s) => {
+            if let Some(hs) = &analysis.handshake {
+                if hs.target.contains(s.as_str()) {
+                    alerts.push(rule_hit(
+                        features,
+                        rule,
+                        format!("rule {} on URL {}", rule.id, hs.target),
+                    ));
+                }
+            }
+        }
+        Pattern::DstPort(_) | Pattern::CmdlineSubstring(_) => {}
+    });
     alerts
 }
 

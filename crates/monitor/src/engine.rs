@@ -14,7 +14,7 @@ use crate::analyzers::{analyze_flow, FlowAnalysis};
 use crate::detectors::{self, Thresholds};
 use crate::features::FlowFeatures;
 use crate::reassembly::FlowBuf;
-use crate::rules::RuleSet;
+use crate::rules::{RuleFeed, RuleSet};
 use crate::streaming::{StreamingConfig, StreamingMonitor};
 use ja_kernelsim::hub::AuthEvent;
 use ja_netsim::addr::HostAddr;
@@ -27,8 +27,13 @@ use std::collections::HashMap;
 /// Monitor configuration.
 #[derive(Clone, Debug)]
 pub struct MonitorConfig {
-    /// Signature rules (builtin + honeypot-learned).
+    /// Signature rules (builtin + anything merged before analysis).
     pub rules: RuleSet,
+    /// Hot-reloadable timed rules published *during* analysis (the
+    /// honeypot intel loop). Each rule only matches flows that began at
+    /// or after its `available_at`; an empty feed changes nothing.
+    /// Clones of this config share the feed.
+    pub intel: RuleFeed,
     /// Detector thresholds.
     pub thresholds: Thresholds,
     /// TLS-inspection secrets by server address (empty = purely
@@ -42,6 +47,7 @@ impl Default for MonitorConfig {
     fn default() -> Self {
         MonitorConfig {
             rules: RuleSet::builtin(),
+            intel: RuleFeed::new(),
             thresholds: Thresholds::default(),
             inspect_secrets: HashMap::new(),
             server_ids: HashMap::new(),
@@ -134,8 +140,17 @@ impl Monitor {
     ) -> Option<(FlowFeatures, FlowAnalysis, Vec<Alert>)> {
         let ff = FlowFeatures::from_flow(id, buf)?;
         let analysis = analyze_flow(FlowId(id), buf, self.secret_for(buf));
-        let alerts =
+        let mut alerts =
             detectors::per_flow(&ff, &analysis, &self.config.rules, &self.config.thresholds);
+        // Hot-reloaded intel: only rules that had propagated before this
+        // flow began may match it (no retroactive alerts).
+        if !self.config.intel.is_empty() {
+            alerts.extend(detectors::feed_rule_hits(
+                &ff,
+                &analysis,
+                &self.config.intel,
+            ));
+        }
         Some((ff, analysis, alerts))
     }
 

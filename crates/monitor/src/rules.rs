@@ -1,8 +1,22 @@
 //! Signature rules: the "latest signatures of attacks in the wild" the
 //! paper wants honeypots to learn at the edge and push to production
 //! monitors before attackers reach them (§IV.A).
+//!
+//! Two delivery models coexist:
+//!
+//! - A static [`RuleSet`] configured up front (builtin signatures plus
+//!   anything merged in before analysis starts).
+//! - A hot-reloadable [`RuleFeed`]: timed rules published *while the
+//!   monitor is running* (the honeypot intel loop). Every rule carries
+//!   an `available_at` instant, and the engine only applies a rule to
+//!   flows that began at or after it — a rule learned at simulated time
+//!   `t` never matches traffic observed before it propagated, exactly
+//!   as a real intel push cannot retroactively alert on yesterday's
+//!   capture.
 
 use ja_attackgen::AttackClass;
+use ja_netsim::time::SimTime;
+use std::sync::{Arc, RwLock};
 
 /// What a rule matches on.
 #[derive(Clone, Debug, PartialEq)]
@@ -17,6 +31,18 @@ pub enum Pattern {
     CmdlineSubstring(String),
 }
 
+/// Where a rule came from. Alert attribution follows the origin, so a
+/// report can say which plane (builtin sensor vs honeypot intel loop)
+/// produced a detection.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleOrigin {
+    /// Shipped with the production sensor.
+    #[default]
+    Builtin,
+    /// Learned by an edge decoy and propagated over the intel bus.
+    HoneypotIntel,
+}
+
 /// One signature rule.
 #[derive(Clone, Debug)]
 pub struct Rule {
@@ -28,6 +54,80 @@ pub struct Rule {
     pub pattern: Pattern,
     /// Confidence contributed by a match.
     pub confidence: f64,
+    /// Provenance (decides alert-source attribution).
+    pub origin: RuleOrigin,
+}
+
+/// A rule plus the earliest simulated instant a production monitor may
+/// use it (learned-at plus propagation delay on the intel bus).
+#[derive(Clone, Debug)]
+pub struct TimedRule {
+    /// When production monitors may start matching with this rule.
+    pub available_at: SimTime,
+    /// The rule itself.
+    pub rule: Rule,
+}
+
+/// A hot-reloadable rule feed: the publisher half (the pipeline's
+/// honeypot intel loop) pushes [`TimedRule`]s while the subscriber half
+/// (every streaming-monitor shard) consults it per analyzed flow.
+/// Clones share state, so one handle can feed any number of worker
+/// threads; publishing mid-capture is exactly the hot-reload path.
+#[derive(Clone, Debug, Default)]
+pub struct RuleFeed {
+    inner: Arc<RwLock<Vec<TimedRule>>>,
+}
+
+impl RuleFeed {
+    /// An empty feed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publish a rule that becomes usable at `available_at`.
+    /// Re-publishing an id already in the feed is a no-op.
+    pub fn publish(&self, available_at: SimTime, rule: Rule) {
+        let mut rules = self.inner.write().expect("rule feed poisoned");
+        if !rules.iter().any(|t| t.rule.id == rule.id) {
+            rules.push(TimedRule { available_at, rule });
+        }
+    }
+
+    /// Number of published rules (available or not).
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("rule feed poisoned").len()
+    }
+
+    /// Is the feed empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All published rules with their availability times.
+    pub fn snapshot(&self) -> Vec<TimedRule> {
+        self.inner.read().expect("rule feed poisoned").clone()
+    }
+
+    /// Rules a monitor may apply to a flow that began at `at`: only
+    /// those whose `available_at` is not after it. Publish order is
+    /// preserved, so output is deterministic for a deterministic
+    /// publisher.
+    pub fn rules_at(&self, at: SimTime) -> Vec<Rule> {
+        let mut rules = Vec::new();
+        self.for_each_available(at, |r| rules.push(r.clone()));
+        rules
+    }
+
+    /// Visit (borrowed, in publish order) every rule available to a
+    /// flow that began at `at` — the allocation-free variant of
+    /// [`RuleFeed::rules_at`] the per-flow hot path uses.
+    pub fn for_each_available<F: FnMut(&Rule)>(&self, at: SimTime, mut f: F) {
+        for t in self.inner.read().expect("rule feed poisoned").iter() {
+            if t.available_at <= at {
+                f(&t.rule);
+            }
+        }
+    }
 }
 
 /// A rule set with match helpers.
@@ -101,6 +201,7 @@ impl RuleSet {
                 class,
                 pattern,
                 confidence: conf,
+                origin: RuleOrigin::Builtin,
             });
         }
         rs
@@ -189,6 +290,7 @@ mod tests {
             class: AttackClass::ZeroDay,
             pattern: Pattern::CodeSubstring("abc".into()),
             confidence: 0.5,
+            origin: RuleOrigin::Builtin,
         };
         rs.add(rule.clone());
         rs.add(rule);
@@ -205,7 +307,48 @@ mod tests {
             class: AttackClass::ZeroDay,
             pattern: Pattern::CodeSubstring("comm.send(buffer".into()),
             confidence: 0.8,
+            origin: RuleOrigin::HoneypotIntel,
         });
         assert_eq!(rs.match_code("comm.send(buffer[:40960])").len(), 1);
+    }
+
+    fn timed(id: &str, token: &str, at: SimTime) -> TimedRule {
+        TimedRule {
+            available_at: at,
+            rule: Rule {
+                id: id.into(),
+                class: AttackClass::Cryptomining,
+                pattern: Pattern::CodeSubstring(token.into()),
+                confidence: 0.9,
+                origin: RuleOrigin::HoneypotIntel,
+            },
+        }
+    }
+
+    #[test]
+    fn feed_gates_rules_on_availability() {
+        let feed = RuleFeed::new();
+        assert!(feed.is_empty());
+        let t = timed("hp-1-1", "evil_token", SimTime::from_secs(600));
+        feed.publish(t.available_at, t.rule);
+        assert_eq!(feed.len(), 1);
+        assert!(feed.rules_at(SimTime::from_secs(599)).is_empty());
+        assert_eq!(feed.rules_at(SimTime::from_secs(600)).len(), 1);
+        assert_eq!(feed.rules_at(SimTime::from_secs(10_000)).len(), 1);
+    }
+
+    #[test]
+    fn feed_dedups_by_id_and_shares_state_across_clones() {
+        let feed = RuleFeed::new();
+        let handle = feed.clone();
+        let t = timed("hp-1-1", "evil_token", SimTime::ZERO);
+        handle.publish(t.available_at, t.rule.clone());
+        handle.publish(SimTime::from_secs(9), t.rule); // same id, later time
+        assert_eq!(feed.len(), 1);
+        assert_eq!(feed.snapshot()[0].available_at, SimTime::ZERO);
+        // A second distinct rule is visible through every handle.
+        let t2 = timed("hp-2-1", "other_token", SimTime::ZERO);
+        feed.publish(t2.available_at, t2.rule);
+        assert_eq!(handle.rules_at(SimTime::ZERO).len(), 2);
     }
 }

@@ -574,6 +574,107 @@ mod tests {
         }
     }
 
+    /// One plaintext notebook server visited by one hostile session per
+    /// entry in `times`: each session connects (a fresh flow), executes
+    /// a cell carrying a distinctive hostile token, and closes.
+    fn hostile_sessions_trace(times: &[SimTime]) -> ja_netsim::trace::Trace {
+        use ja_kernelsim::actions::CellScript;
+        use ja_kernelsim::config::{ServerConfig, TransportMode};
+        use ja_kernelsim::server::NotebookServer;
+        use ja_netsim::addr::{HostAddr, HostId};
+        use ja_netsim::network::Network;
+        let mut cfg = ServerConfig::hardened();
+        cfg.transport = TransportMode::PlainWs;
+        let mut srv = NotebookServer::new(1, cfg, 11);
+        srv.provision_user("alice", SimTime::ZERO);
+        srv.start_kernel("alice", SimTime::ZERO);
+        let mut net = Network::new();
+        for (i, &at) in times.iter().enumerate() {
+            let mut conn = srv.connect(
+                &mut net,
+                at,
+                HostAddr::internal(HostId(200 + i as u32)),
+                "alice",
+                0,
+            );
+            let done = srv.run_cell(
+                &mut net,
+                at + Duration::from_millis(50),
+                &mut conn,
+                &CellScript::pure("subprocess.Popen('/tmp/.stratum_kworkerd')"),
+            );
+            conn.close(&mut net, done + Duration::from_secs(1));
+        }
+        net.into_trace()
+    }
+
+    fn hot_rule() -> crate::rules::Rule {
+        crate::rules::Rule {
+            id: "hp-7-1".into(),
+            class: AttackClass::Cryptomining,
+            pattern: crate::rules::Pattern::CodeSubstring(".stratum_kworkerd".into()),
+            confidence: 0.9,
+            origin: crate::rules::RuleOrigin::HoneypotIntel,
+        }
+    }
+
+    #[test]
+    fn feed_rule_published_mid_stream_matches_only_later_flows() {
+        use crate::alerts::AlertSource;
+        // Two identical hostile sessions, one before and one after the
+        // rule's availability instant: the hot-reloaded rule must catch
+        // exactly the later one — never retroactively the earlier one.
+        let trace = hostile_sessions_trace(&[SimTime::from_secs(100), SimTime::from_secs(5_000)]);
+        let m = Monitor::default();
+        let feed = m.config.intel.clone();
+        let (alerts, _) = m.analyze_stream(1, StreamingConfig::close_evict(), |sink| {
+            let mut published = false;
+            for r in trace.records() {
+                // The intel loop publishes while the capture is running.
+                if !published && r.time >= SimTime::from_secs(1_000) {
+                    feed.publish(SimTime::from_secs(1_000), hot_rule());
+                    published = true;
+                }
+                sink.accept(r.clone());
+            }
+            assert!(published, "capture should span the publish instant");
+        });
+        let intel: Vec<&Alert> = alerts
+            .iter()
+            .filter(|a| a.source == AlertSource::HoneypotIntel)
+            .collect();
+        assert_eq!(intel.len(), 1, "{intel:?}");
+        assert_eq!(intel[0].time, SimTime::from_secs(5_000));
+        assert!(intel[0].detail.contains("hp-7-1"));
+    }
+
+    #[test]
+    fn feed_rule_never_matches_traffic_before_availability() {
+        use crate::alerts::AlertSource;
+        // Rule becomes available only after the whole capture: zero
+        // honeypot-intel alerts, and the output is identical to a run
+        // with no feed at all.
+        let trace = hostile_sessions_trace(&[SimTime::from_secs(100)]);
+        let baseline = Monitor::default();
+        let (base_alerts, _) = baseline.analyze(&trace);
+        let m = Monitor::default();
+        m.config
+            .intel
+            .publish(SimTime::from_secs(10_000), hot_rule());
+        let (alerts, _) = m.analyze(&trace);
+        assert!(alerts
+            .iter()
+            .all(|a| a.source != AlertSource::HoneypotIntel));
+        assert_eq!(alert_keys(&base_alerts), alert_keys(&alerts));
+        // Flip availability to before the flow: it now matches.
+        let m2 = Monitor::default();
+        m2.config.intel.publish(SimTime::from_secs(50), hot_rule());
+        let (alerts2, _) = m2.analyze(&trace);
+        assert!(alerts2
+            .iter()
+            .any(|a| a.source == AlertSource::HoneypotIntel));
+    }
+
     #[test]
     fn idle_timeout_bounds_live_flows() {
         let trace = mixed_trace(43);

@@ -21,6 +21,14 @@ impl HostAddr {
         HostAddr(0xCB00_0000 | (id & 0x00FF_FFFF))
     }
 
+    /// Edge-decoy address for a decoy id: a reserved block of the
+    /// external range, so bait servers are routable from the internet
+    /// (unlike the internal fleet) and every layer that models decoys
+    /// derives the same address from the same id.
+    pub fn decoy(id: u32) -> Self {
+        Self::external(0xD000 + id)
+    }
+
     /// Is this address inside the protected perimeter?
     pub fn is_internal(self) -> bool {
         self.0 >> 24 == 0x0A

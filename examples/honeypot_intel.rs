@@ -1,80 +1,117 @@
-//! Edge honeypots: the paper's defense for staying "ahead of attackers"
-//! — decoys capture a mass-mining wave's payload, the extracted
-//! signature propagates to production monitors, and later victims are
-//! protected. This example sweeps fleet size and attacker
-//! sophistication.
+//! Edge honeypots, live: the paper's defense for staying "ahead of
+//! attackers", demonstrated on the real streamed pipeline. A deployment
+//! hosts deliberately exposed decoy servers; an internet wave visits
+//! every server in shuffled order; decoys capture the payload
+//! mid-stream; the extracted signature propagates over the intel bus
+//! and hot-reloads into the running monitor — so production flows that
+//! begin after propagation raise `HoneypotIntel` alerts while the
+//! capture is still streaming.
 //!
 //! ```sh
 //! cargo run --release --example honeypot_intel
 //! ```
 
-use jupyter_audit::honeypot::{simulate_wave, WaveParams};
+use jupyter_audit::core::intel::{build_wave, IntelConfig, WaveSpec};
+use jupyter_audit::core::pipeline::{Pipeline, PipelineConfig};
+use jupyter_audit::kernelsim::deployment::DeploymentSpec;
+use jupyter_audit::monitor::alerts::AlertSource;
 use jupyter_audit::netsim::rng::SimRng;
+use jupyter_audit::netsim::time::{Duration, SimTime};
 
-fn mean_protection(decoys: usize, sophistication: f64, realism: f64, trials: u64) -> f64 {
-    let mut total = 0.0;
-    for seed in 0..trials {
-        let params = WaveParams {
-            decoys,
-            sophistication,
-            realism,
-            ..Default::default()
-        };
-        let mut rng = SimRng::new(1000 + seed);
-        total += simulate_wave(&params, &mut rng).protection_rate();
-    }
-    total / trials as f64
+/// Run one wave against `decoys` bait servers and report exposure.
+fn run(decoys: usize, propagation_secs: u64) -> (usize, usize, usize) {
+    let mut cfg = PipelineConfig::small_lab(7);
+    cfg.deployment = DeploymentSpec {
+        servers: 8,
+        decoys,
+        ..DeploymentSpec::small_lab(7)
+    };
+    let intel = IntelConfig {
+        propagation: Duration::from_secs(propagation_secs),
+        realism: 0.9,
+        ..Default::default()
+    };
+    cfg.intel = Some(intel.clone());
+    let mut p = Pipeline::new(cfg);
+    let mut rng = SimRng::new(11);
+    let wave = build_wave(p.deployment(), &intel, &WaveSpec::default(), &mut rng);
+    let start = SimTime::from_secs(60);
+    let out = p.run_campaigns_streamed(vec![(start, wave.campaign)], 7);
+    let intel = out.intel.expect("intel loop configured");
+    let victims = wave
+        .production_visits
+        .iter()
+        .filter(|(_, off)| {
+            intel
+                .first_available
+                .map_or(true, |avail| start + *off < avail)
+        })
+        .count();
+    (
+        victims,
+        intel.captures,
+        out.report.alerts_from(AlertSource::HoneypotIntel),
+    )
 }
 
 fn main() {
-    println!("=== honeypot fleet: protection vs size and attacker sophistication ===\n");
-    println!("wave: 50 production targets, 120 s between visits, 10 min intel propagation\n");
+    println!("=== honeypot intel loop on the streamed pipeline ===\n");
 
-    println!(
-        "{:<8} {:>22} {:>22} {:>22}",
-        "decoys", "naive attacker", "moderate (s=0.5)", "fingerprinting (s=1.0)"
-    );
-    for decoys in [0usize, 1, 2, 4, 8, 16, 32] {
-        let naive = mean_protection(decoys, 0.0, 0.9, 40);
-        let moderate = mean_protection(decoys, 0.5, 0.9, 40);
-        let expert = mean_protection(decoys, 1.0, 0.9, 40);
-        println!(
-            "{:<8} {:>21.1}% {:>21.1}% {:>21.1}%",
-            decoys,
-            naive * 100.0,
-            moderate * 100.0,
-            expert * 100.0
-        );
-    }
-
-    println!("\nrealism matters against fingerprinting attackers (8 decoys, s=1.0):");
-    for realism in [0.0, 0.5, 0.9, 1.0] {
-        let p = mean_protection(8, 1.0, realism, 40);
-        println!("  realism {realism:.1} -> protection {:.1}%", p * 100.0);
-    }
-
-    // Show one concrete wave end to end.
-    let params = WaveParams {
-        decoys: 8,
+    // One fully narrated run: 8 production servers, 4 decoys.
+    let mut cfg = PipelineConfig::small_lab(7);
+    cfg.deployment = DeploymentSpec {
+        servers: 8,
+        decoys: 4,
+        ..DeploymentSpec::small_lab(7)
+    };
+    let intel = IntelConfig {
+        propagation: Duration::from_secs(300),
+        realism: 0.9,
         ..Default::default()
     };
-    let mut rng = SimRng::new(7);
-    let out = simulate_wave(&params, &mut rng);
-    println!("\none concrete wave (8 decoys):");
-    println!("  first decoy capture: {:?}", out.first_capture);
-    println!("  signature available: {:?}", out.signature_available);
+    cfg.intel = Some(intel.clone());
+    let mut p = Pipeline::new(cfg);
+    let mut rng = SimRng::new(11);
+    let spec = WaveSpec::default();
+    let wave = build_wave(p.deployment(), &intel, &spec, &mut rng);
     println!(
-        "  victims hit {} / protected {} (protection {:.0}%)",
-        out.victims_hit,
-        out.victims_protected,
-        out.protection_rate() * 100.0
+        "wave: {} production visits, {} decoy visits, {} decoys fingerprinted+skipped",
+        wave.production_visits.len(),
+        wave.decoy_visits.len(),
+        wave.decoys_skipped
     );
-    let rules = out.intel.ruleset_at(
-        jupyter_audit::netsim::time::SimTime(u64::MAX),
-        &jupyter_audit::monitor::rules::RuleSet::new(),
-    );
+    let start = SimTime::from_secs(60);
+    let out = p.run_campaigns_streamed(vec![(start, wave.campaign)], 7);
+    let intel = out.intel.as_ref().expect("intel loop configured");
+    println!("decoy captures:      {}", intel.captures);
+    println!("first capture:       {:?}", intel.first_capture);
+    println!("signature available: {:?}", intel.first_available);
+    for pr in &intel.published {
+        println!(
+            "learned rule {} ({:?}) from the captured payload",
+            pr.rule.id, pr.rule.pattern
+        );
+    }
     println!(
-        "  learned rules match the payload: {}",
-        !rules.match_code(&params.payload_code).is_empty()
+        "honeypot-intel alerts on the live stream: {}",
+        out.report.alerts_from(AlertSource::HoneypotIntel)
     );
+    println!("\nreport header:");
+    println!("{}", out.report.render().lines().next().unwrap_or_default());
+
+    // The ablation in miniature: decoys and fast intel shrink exposure.
+    println!("\nvictims hit (of 8 production servers) vs fleet size and propagation delay:");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "decoys", "victims", "captures", "hp alerts", "(prop 300 s)"
+    );
+    for decoys in [0usize, 2, 4, 8] {
+        let (victims, captures, alerts) = run(decoys, 300);
+        println!("{decoys:<8} {victims:>12} {captures:>12} {alerts:>12}");
+    }
+    println!("\nfaster intel, fewer victims (4 decoys):");
+    for prop in [60u64, 300, 1800] {
+        let (victims, _, alerts) = run(4, prop);
+        println!("  propagation {prop:>5} s -> victims {victims}, honeypot alerts {alerts}");
+    }
 }
