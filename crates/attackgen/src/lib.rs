@@ -42,13 +42,15 @@ pub mod evasion;
 pub mod exfiltration;
 pub mod misconfig;
 pub mod mixer;
+pub mod parallel;
 pub mod ransomware;
 pub mod stream;
 pub mod takeover;
 pub mod zeroday;
 
 pub use campaign::{Campaign, CampaignStep, GroundTruth};
-pub use stream::{ScenarioItem, ScenarioStream};
+pub use parallel::{run_parallel, ParallelOutcome};
+pub use stream::{ScenarioItem, ScenarioStream, StreamKey};
 
 /// The attack classes of the paper's taxonomy (Fig. 1 / Fig. 3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]

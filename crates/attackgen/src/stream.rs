@@ -46,14 +46,14 @@
 
 use crate::campaign::{Campaign, CampaignStep, GroundTruth, ScenarioOutput};
 use crate::AttackClass;
-use ja_kernelsim::deployment::Deployment;
+use ja_kernelsim::deployment::{Deployment, DeploymentPart};
 use ja_kernelsim::events::SysEvent;
 use ja_kernelsim::hub::AuthEvent;
 use ja_kernelsim::server::ClientConn;
 use ja_netsim::addr::{HostAddr, HostId};
 use ja_netsim::events::EventQueue;
 use ja_netsim::network::Network;
-use ja_netsim::rng::SimRng;
+use ja_netsim::rng::{split_seed, SimRng};
 use ja_netsim::segment::SegmentRecord;
 use ja_netsim::time::{Duration, SimTime};
 use ja_netsim::trace::Trace;
@@ -93,6 +93,11 @@ enum SchedEntry {
 /// Per-campaign execution state. Steps are dropped and sessions closed
 /// when the campaign retires, so long-gone campaigns cost nothing.
 struct CampaignRun {
+    /// Global campaign index (== position in the full plan). Drives the
+    /// scheduler rank, the network allocation scope, and the RNG seed,
+    /// so a stream running any *subset* of the plan behaves — campaign
+    /// for campaign — exactly like the full sequential run.
+    gci: usize,
     class: Option<AttackClass>,
     name: String,
     start: SimTime,
@@ -100,6 +105,9 @@ struct CampaignRun {
     steps: Vec<CampaignStep>,
     remaining: usize,
     touched: BTreeSet<usize>,
+    /// Private RNG, seeded `split_seed(stream_seed, gci)` — independent
+    /// of every other campaign's draw history.
+    rng: SimRng,
     /// One client session per (server, user) this campaign drives.
     /// BTreeMap so teardown order is deterministic.
     conns: BTreeMap<(usize, String), ClientConn>,
@@ -107,13 +115,22 @@ struct CampaignRun {
     last_activity: SimTime,
 }
 
+/// Canonical per-item sort key: `(item time, kind, scheduler pop time,
+/// scheduler pop rank, intra-drain index)` for segments and auth events,
+/// `(item time, kind, server index, per-server sequence, 0)` for sys
+/// events. Every component is computable *locally* by whichever producer
+/// runs the emitting campaign — no global counter — yet sorting by key
+/// reproduces the exact total order the sequential stream releases.
+/// Keys are unique, so a k-way merge of per-producer streams by key is
+/// exact. (Within one pop the emission sequence used to be a global
+/// counter; pops advance in `(time, rank)` order and drains happen once
+/// per pop, so `(pop time, pop rank, intra index)` sorts identically.)
+pub type StreamKey = (SimTime, u8, u64, u64, u64);
+
 /// An emitted item waiting for the watermark to pass its timestamp.
-/// The key reproduces the batch path's canonical order: time, then a
-/// per-kind tie-break (segments/auth: global emission sequence; sys
-/// events: server index, then per-server emission sequence).
 #[derive(Debug)]
 struct Pending {
-    key: (SimTime, u8, u64, u64),
+    key: StreamKey,
     item: ScenarioItem,
 }
 
@@ -123,9 +140,8 @@ const KIND_SYS: u8 = 2;
 
 /// Lazy, pull-based scenario executor (see module docs).
 pub struct ScenarioStream<'d> {
-    deployment: &'d mut Deployment,
+    part: DeploymentPart<'d>,
     net: Network,
-    rng: SimRng,
     queue: EventQueue<SchedEntry>,
     campaigns: Vec<CampaignRun>,
     /// Emissions not yet past the watermark (unordered; released and
@@ -134,13 +150,11 @@ pub struct ScenarioStream<'d> {
     pending: Vec<Pending>,
     /// Earliest timestamp in `pending`.
     min_pending: Option<SimTime>,
-    /// Released items, in canonical order, awaiting the consumer.
-    ready: std::collections::VecDeque<ScenarioItem>,
+    /// Released items, in canonical key order, awaiting the consumer.
+    ready: std::collections::VecDeque<(StreamKey, ScenarioItem)>,
     /// Ground truth of retired campaigns, tagged with campaign index so
     /// the final label order matches the batch path (input order).
     retired: Vec<(usize, GroundTruth)>,
-    seg_seq: u64,
-    auth_seq: u64,
     sys_seq: Vec<u64>,
     end: SimTime,
     finished: bool,
@@ -157,22 +171,41 @@ impl<'d> ScenarioStream<'d> {
         campaigns: Vec<(SimTime, Campaign)>,
         rng_seed: u64,
     ) -> Self {
-        assert!(
-            campaigns.len() < u32::MAX as usize,
-            "campaign count exceeds scheduler rank space"
-        );
+        let indexed = campaigns
+            .into_iter()
+            .enumerate()
+            .map(|(ci, (start, c))| (ci, start, c))
+            .collect();
+        Self::over_part(deployment.as_part(), indexed, rng_seed)
+    }
+
+    /// Set up a stream over an explicit deployment part and a subset of
+    /// a plan's campaigns, each tagged with its *global* index. This is
+    /// the parallel-producer entry: running disjoint subsets on separate
+    /// parts and merging the keyed items reproduces the sequential
+    /// stream exactly (see [`StreamKey`]).
+    pub fn over_part(
+        part: DeploymentPart<'d>,
+        campaigns: Vec<(usize, SimTime, Campaign)>,
+        rng_seed: u64,
+    ) -> Self {
         let mut queue = EventQueue::new();
         let runs: Vec<CampaignRun> = campaigns
             .into_iter()
             .enumerate()
-            .map(|(ci, (start, c))| {
+            .map(|(local, (gci, start, c))| {
+                assert!(
+                    gci < u32::MAX as usize,
+                    "campaign index exceeds scheduler rank space"
+                );
                 assert!(
                     c.steps.len() < u32::MAX as usize - 1,
                     "step count exceeds scheduler rank space"
                 );
-                queue.schedule_ranked(start, rank(ci, None), SchedEntry::Start(ci));
+                queue.schedule_ranked(start, rank(gci, None), SchedEntry::Start(local));
                 let duration = c.duration();
                 CampaignRun {
+                    gci,
                     class: c.class,
                     name: c.name,
                     start,
@@ -180,24 +213,22 @@ impl<'d> ScenarioStream<'d> {
                     remaining: c.steps.len(),
                     steps: c.steps,
                     touched: BTreeSet::new(),
+                    rng: SimRng::new(split_seed(rng_seed, gci as u64)),
                     conns: BTreeMap::new(),
                     last_activity: start,
                 }
             })
             .collect();
-        let sys_seq = vec![0u64; deployment.servers.len()];
+        let sys_seq = vec![0u64; part.servers.len()];
         ScenarioStream {
-            deployment,
+            part,
             net: Network::new().without_delivery(),
-            rng: SimRng::new(rng_seed),
             queue,
             campaigns: runs,
             pending: Vec::new(),
             min_pending: None,
             ready: std::collections::VecDeque::new(),
             retired: Vec::new(),
-            seg_seq: 0,
-            auth_seq: 0,
             sys_seq,
             end: SimTime::ZERO,
             finished: false,
@@ -209,9 +240,15 @@ impl<'d> ScenarioStream<'d> {
     /// far as needed (and no further). `None` once the scenario is
     /// fully played out and drained.
     pub fn next_item(&mut self) -> Option<ScenarioItem> {
+        self.next_keyed().map(|(_, item)| item)
+    }
+
+    /// Like [`ScenarioStream::next_item`], but also yields the item's
+    /// canonical [`StreamKey`] — what the parallel merge orders by.
+    pub fn next_keyed(&mut self) -> Option<(StreamKey, ScenarioItem)> {
         loop {
-            if let Some(item) = self.ready.pop_front() {
-                return Some(item);
+            if let Some(keyed) = self.ready.pop_front() {
+                return Some(keyed);
             }
             if !self.finished && self.queue.is_empty() {
                 // Every step has run and every campaign retired (session
@@ -268,7 +305,7 @@ impl<'d> ScenarioStream<'d> {
             }
         }
         wave.sort_unstable_by_key(|p| p.key);
-        self.ready.extend(wave.into_iter().map(|p| p.item));
+        self.ready.extend(wave.into_iter().map(|p| (p.key, p.item)));
     }
 
     /// High-water mark of items buffered awaiting the watermark — the
@@ -296,6 +333,13 @@ impl<'d> ScenarioStream<'d> {
         self.retired.sort_by_key(|(ci, _)| *ci);
         let labels = self.retired.drain(..).map(|(_, g)| g).collect();
         (labels, self.end)
+    }
+
+    /// Like [`ScenarioStream::into_labels`], but keeps each label's
+    /// global campaign index — parallel producers return these so the
+    /// merged label list can be re-sorted into plan order.
+    pub fn into_labels_indexed(self) -> (Vec<(usize, GroundTruth)>, SimTime) {
+        (self.retired, self.end)
     }
 
     /// Run the stream to exhaustion and collect everything into the
@@ -326,22 +370,26 @@ impl<'d> ScenarioStream<'d> {
         let Some((t, entry)) = self.queue.pop() else {
             return;
         };
+        let pop_rank;
         match entry {
             SchedEntry::Start(ci) => {
                 let run = &self.campaigns[ci];
+                pop_rank = rank(run.gci, None);
                 if run.steps.is_empty() {
                     self.retire(ci);
                 } else {
+                    let gci = run.gci;
                     for (si, step) in run.steps.iter().enumerate() {
                         self.queue.schedule_ranked(
                             t + step.offset(),
-                            rank(ci, Some(si)),
+                            rank(gci, Some(si)),
                             SchedEntry::Step(ci, si),
                         );
                     }
                 }
             }
             SchedEntry::Step(ci, si) => {
+                pop_rank = rank(self.campaigns[ci].gci, Some(si));
                 let step_end = self.exec_step(t, ci, si);
                 let run = &mut self.campaigns[ci];
                 run.last_activity = run.last_activity.max(step_end);
@@ -352,16 +400,20 @@ impl<'d> ScenarioStream<'d> {
                 }
             }
         }
-        self.drain_emissions();
+        self.drain_emissions(t, pop_rank);
     }
 
     /// Execute one campaign step; returns the simulated instant it
     /// finished. Mirrors the historical batch executor arm for arm.
+    /// Network allocations (flow ids, ephemeral ports) happen inside the
+    /// campaign's own scope, and random draws come from the campaign's
+    /// own RNG, so the step behaves identically no matter which other
+    /// campaigns share the stream.
     fn exec_step(&mut self, t: SimTime, ci: usize, si: usize) -> SimTime {
-        let deployment = &mut *self.deployment;
+        let part = &mut self.part;
         let net = &mut self.net;
-        let rng = &mut self.rng;
         let run = &mut self.campaigns[ci];
+        net.set_scope(run.gci as u32);
         let step = &run.steps[si];
         match step {
             CampaignStep::Cell {
@@ -372,7 +424,9 @@ impl<'d> ScenarioStream<'d> {
             } => {
                 run.touched.insert(*server);
                 let key = (*server, user.clone());
-                let srv = &mut deployment.servers[*server];
+                let srv = part.servers[*server]
+                    .as_deref_mut()
+                    .expect("campaign touches a server this part does not own");
                 let conn = run.conns.entry(key).or_insert_with(|| {
                     // External actors connect from outside; owners from
                     // their workstation.
@@ -388,22 +442,27 @@ impl<'d> ScenarioStream<'d> {
                 ..
             } => {
                 run.touched.insert(*server);
-                deployment.servers[*server].run_terminal(t, user, cmdline);
+                part.servers[*server]
+                    .as_deref_mut()
+                    .expect("campaign touches a server this part does not own")
+                    .run_terminal(t, user, cmdline);
                 t
             }
             CampaignStep::AuthGuess { username, src, .. } => {
-                deployment.hub.login_guess(t, username, *src, rng);
+                part.hub.login_guess(t, username, *src, &mut run.rng);
                 t
             }
             CampaignStep::AuthLogin { username, src, .. } => {
-                deployment.hub.login_legitimate(t, username, *src);
+                part.hub.login_legitimate(t, username, *src);
                 t
             }
             CampaignStep::Probe {
                 src, server, port, ..
             } => {
                 run.touched.insert(*server);
-                let dst = deployment.servers[*server].addr;
+                // Probes only read the (static) address table, so they
+                // impose no ownership constraint on partitioning.
+                let dst = part.addrs[*server];
                 let sport = net.ephemeral_port();
                 let f = net.open(t, *src, sport, dst, *port);
                 let done = t + Duration::from_millis(1);
@@ -430,31 +489,38 @@ impl<'d> ScenarioStream<'d> {
             start: run.start,
             end: run.start + run.duration,
         };
-        self.retired.push((ci, gt));
+        self.retired.push((run.gci, gt));
     }
 
-    /// Move everything the last step emitted into the pending buffer.
-    fn drain_emissions(&mut self) {
+    /// Move everything the last step emitted into the pending buffer,
+    /// keyed by `(pop time, pop rank, intra-drain index)` — the locally
+    /// computable equivalent of the old global emission counters (pops
+    /// advance in `(time, rank)` order and each pop drains once, so the
+    /// induced order is identical).
+    fn drain_emissions(&mut self, pop_t: SimTime, pop_rank: u64) {
+        let mut intra = 0u64;
         for rec in self.net.drain_records() {
-            let key = (rec.time, KIND_SEGMENT, self.seg_seq, 0);
-            self.seg_seq += 1;
+            let key = (rec.time, KIND_SEGMENT, pop_t.0, pop_rank, intra);
+            intra += 1;
             self.stash(Pending {
                 key,
                 item: ScenarioItem::Segment(rec),
             });
         }
-        for ev in self.deployment.hub.drain_auth_events() {
-            let key = (ev.time, KIND_AUTH, self.auth_seq, 0);
-            self.auth_seq += 1;
+        for ev in self.part.hub.drain_auth_events() {
+            let key = (ev.time, KIND_AUTH, pop_t.0, pop_rank, intra);
+            intra += 1;
             self.stash(Pending {
                 key,
                 item: ScenarioItem::Auth(ev),
             });
         }
-        for s_idx in 0..self.deployment.servers.len() {
-            let events = self.deployment.servers[s_idx].drain_sys_events();
-            for ev in events {
-                let key = (ev.time, KIND_SYS, s_idx as u64, self.sys_seq[s_idx]);
+        for s_idx in 0..self.part.servers.len() {
+            let Some(srv) = self.part.servers[s_idx].as_deref_mut() else {
+                continue;
+            };
+            for ev in srv.drain_sys_events() {
+                let key = (ev.time, KIND_SYS, s_idx as u64, self.sys_seq[s_idx], 0);
                 self.sys_seq[s_idx] += 1;
                 self.stash(Pending {
                     key,

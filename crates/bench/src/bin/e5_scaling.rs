@@ -27,6 +27,7 @@ struct BenchReport {
     rayon_threads: usize,
     workloads: Vec<WorkloadRow>,
     end_to_end: EndToEnd,
+    thread_sweep: Vec<ThreadSweepRow>,
 }
 
 /// One row of the monitor-path sweep, for the JSON report.
@@ -34,6 +35,7 @@ struct BenchReport {
 struct WorkloadRow {
     servers: usize,
     sessions: usize,
+    shards: usize,
     segments: u64,
     bytes: u64,
     throughput: Throughput,
@@ -63,6 +65,17 @@ struct EndToEnd {
     streamed_vs_batch_speedup: Option<f64>,
     batch_peak_live_flows: u64,
     streamed_peak_live_flows: u64,
+}
+
+/// One point of the end-to-end thread sweep: both pipeline ends fanned
+/// out with producers = shards = `threads`
+/// ([`Pipeline::run_streamed_parallel`]).
+#[derive(serde::Serialize)]
+struct ThreadSweepRow {
+    threads: usize,
+    wall_secs: Option<f64>,
+    segments_per_sec: Option<f64>,
+    speedup_vs_single: Option<f64>,
 }
 
 /// `None` for non-finite values so the JSON carries `null`, never
@@ -121,20 +134,23 @@ fn main() {
         "speedup",
         "peak-live"
     );
-    let workloads: &[(usize, usize)] = if tiny {
-        &[(2, 1)]
+    // Explicit shard count per sweep point: deriving it from the rayon
+    // pool width made the "sharded" column meaningless on narrow
+    // machines (a 1-wide pool collapsed every point to 1 shard) and let
+    // the sweep silently stop varying anything.
+    let workloads: &[(usize, usize, usize)] = if tiny {
+        &[(2, 1, 2)]
     } else {
-        &[(2, 1), (4, 2), (8, 3), (16, 4), (24, 6)]
+        &[(2, 1, 2), (4, 2, 2), (8, 3, 4), (16, 4, 4), (24, 6, 8)]
     };
     let mut rows: Vec<WorkloadRow> = Vec::new();
-    for &(servers, sessions) in workloads {
+    for &(servers, sessions, shards) in workloads {
         let trace = ja_bench::scaled_trace(servers, sessions, seed);
         let s = trace.summary();
         let monitor = Monitor::new(MonitorConfig::default());
         // Warm + best-of-N to keep numbers stable in a shared VM.
         let seq_secs = ja_bench::best_of(reps, || monitor.analyze(&trace).1.elapsed_secs);
         let par_secs = ja_bench::best_of(reps, || monitor.analyze_parallel(&trace).1.elapsed_secs);
-        let shards = rayon::current_num_threads().max(2) / 2;
         let sharded_secs = ja_bench::best_of(reps, || {
             monitor.analyze_sharded(&trace, shards).1.elapsed_secs
         });
@@ -171,6 +187,7 @@ fn main() {
         rows.push(WorkloadRow {
             servers,
             sessions,
+            shards,
             segments: s.segments,
             bytes: s.bytes,
             throughput: Throughput {
@@ -184,10 +201,10 @@ fn main() {
         });
     }
     println!(
-        "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. shrd = fixed"
+        "\n(speedup = parallel/sequential throughput; > 1 means the rayon path wins. shrd = explicit"
     );
     println!(
-        " half-pool sharding; strm = online streaming engine whose peak-live column shows the"
+        " per-point shard width; strm = online streaming engine whose peak-live column shows the"
     );
     println!(" bounded flow-table high-water mark the batch paths don't have.)");
 
@@ -251,6 +268,60 @@ fn main() {
     println!(" trace, generation overlapped with sharded analysis. peak-live shows the bounded");
     println!(" flow-table high-water mark the batch monitor pass doesn't have.)");
 
+    // Thread sweep: the fully fanned-out pipeline
+    // (Pipeline::run_streamed_parallel) with producers = shards = t.
+    // Output is bit-identical at every point (pinned by the ja-core
+    // equivalence proptests); only wall clock may move.
+    println!(
+        "\n=== thread sweep: parallel producers + batched shard fan-out ({servers} srv x {sessions}) ===\n"
+    );
+    let thread_counts: &[usize] = if tiny { &[1, 2] } else { &[1, 2, 4, 8] };
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "threads", "wall (s)", "sg/s", "speedup"
+    );
+    let mut sweep: Vec<ThreadSweepRow> = Vec::new();
+    let mut single_secs: Option<f64> = None;
+    for &t in thread_counts {
+        let secs = ja_bench::best_of(e2e_reps, || {
+            let mut cfg = e2e_config(servers, seed);
+            cfg.parallel = false;
+            cfg.shards = Some(t);
+            cfg.producers = Some(t);
+            let mut p = Pipeline::new(cfg);
+            let started = std::time::Instant::now();
+            let _ = p.run_streamed_parallel(&e2e_plan(sessions, seed));
+            started.elapsed().as_secs_f64()
+        });
+        if t == 1 {
+            single_secs = Some(secs);
+        }
+        let speedup = single_secs.map_or(f64::NAN, |s1| s1 / secs);
+        println!(
+            "{:<8} {:>12.3} {:>12.0} {:>9.2}x",
+            t,
+            secs,
+            segments as f64 / secs,
+            speedup
+        );
+        sweep.push(ThreadSweepRow {
+            threads: t,
+            wall_secs: finite(secs),
+            segments_per_sec: finite(segments as f64 / secs),
+            speedup_vs_single: finite(speedup),
+        });
+    }
+    // The sweep must actually vary the thread count — the regression
+    // this guards against is a pool-width derivation collapsing every
+    // point to the same effective width.
+    let distinct: std::collections::HashSet<usize> = sweep.iter().map(|r| r.threads).collect();
+    assert!(
+        distinct.len() > 1,
+        "thread sweep must cover more than one thread count, got {distinct:?}"
+    );
+    println!("\n(producers = shards = threads; speedup vs the 1-thread point. On a 1-core host");
+    println!(" expect ~1.0x or below — the sweep then measures fan-out overhead, not gains.)");
+
     if json {
         let report = BenchReport {
             seed,
@@ -269,6 +340,7 @@ fn main() {
                 batch_peak_live_flows: batch_peak,
                 streamed_peak_live_flows: streamed_peak,
             },
+            thread_sweep: sweep,
         };
         let out = serde_json::to_string_pretty(&report).expect("report serializes");
         std::fs::write("BENCH_E5.json", &out).expect("write BENCH_E5.json");

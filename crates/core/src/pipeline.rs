@@ -30,6 +30,7 @@ use crate::metrics::{score, ScoringConfig};
 use crate::report::Report;
 use ja_attackgen::campaign::{execute, Campaign, GroundTruth, ScenarioOutput};
 use ja_attackgen::mixer::build_attack;
+use ja_attackgen::parallel::{run_parallel, ParallelOutcome};
 use ja_attackgen::stream::{ScenarioItem, ScenarioStream};
 use ja_attackgen::AttackClass;
 use ja_audit::detectors::AuditDetector;
@@ -38,7 +39,7 @@ use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
 use ja_kernelsim::events::SysEvent;
 use ja_kernelsim::hub::AuthEvent;
 use ja_monitor::engine::{Monitor, MonitorConfig, MonitorStats};
-use ja_monitor::streaming::StreamingConfig;
+use ja_monitor::streaming::{FanoutSpec, StreamingConfig};
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
 use ja_netsim::trace::Trace;
@@ -61,6 +62,12 @@ pub struct PipelineConfig {
     /// Shard the monitor across exactly this many workers (overrides
     /// `parallel`, which uses the rayon pool width).
     pub shards: Option<usize>,
+    /// Scenario producer threads for
+    /// [`Pipeline::run_streamed_parallel`] (overrides `parallel`, which
+    /// uses the rayon pool width). The effective count may be lower:
+    /// campaigns sharing a server always run on one producer. Output is
+    /// bit-identical at every producer count.
+    pub producers: Option<usize>,
     /// Incident merge window.
     pub merge_window: Duration,
     /// Scoring config.
@@ -82,6 +89,7 @@ impl PipelineConfig {
             tracer_capacity: 1 << 16,
             parallel: false,
             shards: None,
+            producers: None,
             merge_window: Duration::from_secs(1800),
             scoring: ScoringConfig::default(),
             intel: None,
@@ -305,6 +313,15 @@ impl Pipeline {
         }
     }
 
+    /// How many scenario producer threads the configuration asks for.
+    fn producer_count(&self) -> usize {
+        match (self.config.producers, self.config.parallel) {
+            (Some(n), _) => n.max(1),
+            (None, true) => rayon::current_num_threads().max(1),
+            (None, false) => 1,
+        }
+    }
+
     /// Run a plan end to end, materializing the capture (batch path).
     pub fn run(&mut self, plan: &CampaignPlan) -> RunOutcome {
         let campaigns = self.build_campaigns(plan);
@@ -318,6 +335,18 @@ impl Pipeline {
     pub fn run_streamed(&mut self, plan: &CampaignPlan) -> RunOutcome {
         let campaigns = self.build_campaigns(plan);
         self.run_campaigns_streamed(campaigns, plan.seed)
+    }
+
+    /// Run a plan with *both* ends of the fused pipeline fanned out:
+    /// up to [`PipelineConfig::producers`] scenario threads generate
+    /// server-disjoint campaign groups concurrently (merged back into
+    /// canonical order by stream key), and the merged feed is routed to
+    /// the monitor shards in chunked batches. The outcome is
+    /// bit-identical to [`Pipeline::run_streamed`] and [`Pipeline::run`]
+    /// on the same seed at every producer/shard count.
+    pub fn run_streamed_parallel(&mut self, plan: &CampaignPlan) -> RunOutcome {
+        let campaigns = self.build_campaigns(plan);
+        self.run_campaigns_streamed_parallel(campaigns, plan.seed)
     }
 
     /// Run explicit campaigns end to end (batch path).
@@ -401,6 +430,71 @@ impl Pipeline {
         )
     }
 
+    /// Run explicit campaigns with parallel scenario producers fused
+    /// into the batched sharded streaming monitor. The producer side
+    /// partitions campaigns into server-disjoint groups (one
+    /// [`ScenarioStream`] per group on its own thread) and merges the
+    /// keyed items back into the exact sequential order, so every
+    /// order-sensitive consumer — the intel loop's observation tap, the
+    /// auth analyzer, the bounded tracer, the shard router — sees the
+    /// same feed as [`Pipeline::run_campaigns_streamed`].
+    pub fn run_campaigns_streamed_parallel(
+        &mut self,
+        campaigns: Vec<(SimTime, Campaign)>,
+        seed: u64,
+    ) -> RunOutcome {
+        let mut intel_loop = self
+            .config
+            .intel
+            .as_ref()
+            .map(|cfg| IntelLoop::new(cfg, &self.deployment));
+        let mut mcfg = self.fleet_monitor_config();
+        if let Some(il) = &intel_loop {
+            mcfg.intel = il.feed().clone();
+        }
+        let monitor = Monitor::new(mcfg);
+        let shards = self.shard_count();
+        let producers = self.producer_count();
+        let mut tracer = Tracer::new(self.config.tracer_capacity);
+        let mut auth_log: Vec<AuthEvent> = Vec::new();
+        let deployment = &mut self.deployment;
+        let mut produced: Option<ParallelOutcome> = None;
+        let (mut alerts, monitor_stats) = monitor.analyze_stream_batched(
+            FanoutSpec::with_shards(shards),
+            StreamingConfig::close_evict(),
+            |sink| {
+                produced = Some(run_parallel(
+                    deployment,
+                    campaigns,
+                    seed ^ 0xA0D17,
+                    producers,
+                    |item| {
+                        if let Some(il) = intel_loop.as_mut() {
+                            il.observe(&item);
+                        }
+                        match item {
+                            ScenarioItem::Segment(rec) => sink.accept(rec),
+                            ScenarioItem::Auth(ev) => auth_log.push(ev),
+                            ScenarioItem::Sys(ev) => tracer.ingest(ev),
+                        }
+                    },
+                ));
+            },
+        );
+        let produced = produced.expect("producer feed ran");
+        alerts.extend(monitor.analyze_auth(&auth_log));
+        let audit_alerts = Self::drain_audit(&mut tracer);
+        let audit_completeness = tracer.completeness();
+        alerts.extend(audit_alerts);
+        self.finish_run(
+            alerts,
+            ScenarioArtifacts::from_streamed(produced.ground_truth, produced.end),
+            monitor_stats,
+            audit_completeness,
+            intel_loop.map(IntelLoop::into_outcome),
+        )
+    }
+
     /// Collect buffered kernel events and run the audit detectors.
     fn drain_audit(tracer: &mut Tracer) -> Vec<ja_monitor::alerts::Alert> {
         let audited = tracer.collect();
@@ -466,6 +560,11 @@ pub struct FleetJob {
     /// Run through [`Pipeline::run_streamed`] instead of the batch
     /// path. Outcomes are identical; memory stays bounded.
     pub streamed: bool,
+    /// Run through [`Pipeline::run_streamed_parallel`]: parallel
+    /// scenario producers feeding the batched shard fan-out. Outcomes
+    /// are identical to the other two paths; takes precedence over
+    /// `streamed`.
+    pub parallel_streamed: bool,
 }
 
 impl FleetJob {
@@ -476,12 +575,19 @@ impl FleetJob {
             config,
             plan,
             streamed: false,
+            parallel_streamed: false,
         }
     }
 
     /// Switch this job to the fused streaming path.
     pub fn with_streaming(mut self) -> Self {
         self.streamed = true;
+        self
+    }
+
+    /// Switch this job to the parallel-producer streaming path.
+    pub fn with_parallel_streaming(mut self) -> Self {
+        self.parallel_streamed = true;
         self
     }
 }
@@ -614,7 +720,9 @@ impl FleetRunner {
             .par_iter()
             .map(|job| {
                 let mut p = Pipeline::new(job.config.clone());
-                let outcome = if job.streamed {
+                let outcome = if job.parallel_streamed {
+                    p.run_streamed_parallel(&job.plan)
+                } else if job.streamed {
                     p.run_streamed(&job.plan)
                 } else {
                     p.run(&job.plan)
@@ -857,6 +965,128 @@ mod tests {
             alert_keys(&fleet.runs[0].outcome),
             alert_keys(&fleet.runs[1].outcome)
         );
+    }
+
+    #[test]
+    fn parallel_streamed_run_matches_streamed_and_batch() {
+        let mut cfg = PipelineConfig::small_lab(51);
+        cfg.producers = Some(4);
+        cfg.shards = Some(3);
+        let mut p1 = Pipeline::new(cfg);
+        let par = p1.run_streamed_parallel(&CampaignPlan::full_mix(5));
+        let mut p2 = Pipeline::new(PipelineConfig::small_lab(51));
+        let streamed = p2.run_streamed(&CampaignPlan::full_mix(5));
+        let mut p3 = Pipeline::new(PipelineConfig::small_lab(51));
+        let batch = p3.run(&CampaignPlan::full_mix(5));
+        assert_eq!(alert_keys(&streamed), alert_keys(&par));
+        assert_eq!(alert_keys(&batch), alert_keys(&par));
+        assert_eq!(
+            streamed.report.incidents_total(),
+            par.report.incidents_total()
+        );
+        assert_eq!(
+            streamed.report.scoreboard.as_ref().unwrap().render(),
+            par.report.scoreboard.as_ref().unwrap().render()
+        );
+        assert_eq!(streamed.scenario.end, par.scenario.end);
+        assert_eq!(
+            streamed.scenario.ground_truth.len(),
+            par.scenario.ground_truth.len()
+        );
+        for (a, b) in streamed
+            .scenario
+            .ground_truth
+            .iter()
+            .zip(&par.scenario.ground_truth)
+        {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.servers, b.servers);
+        }
+        assert_eq!(streamed.monitor_stats.segments, par.monitor_stats.segments);
+        assert_eq!(streamed.monitor_stats.flows, par.monitor_stats.flows);
+        assert_eq!(streamed.monitor_stats.bytes, par.monitor_stats.bytes);
+        assert_eq!(streamed.audit_completeness, par.audit_completeness);
+        // Parallel streaming never materializes the raw capture either.
+        assert!(par.scenario.trace().is_none());
+    }
+
+    #[test]
+    fn parallel_streamed_is_deterministic_across_repeat_runs() {
+        // Same config, same plan, run twice: thread interleaving must
+        // not leak into any output (the merge is keyed, not racy).
+        let run = || {
+            let mut cfg = PipelineConfig::small_lab(52);
+            cfg.producers = Some(3);
+            cfg.shards = Some(2);
+            let mut p = Pipeline::new(cfg);
+            let out = p.run_streamed_parallel(&CampaignPlan::full_mix(6));
+            (
+                alert_keys(&out),
+                out.report.incidents_total(),
+                out.monitor_stats.segments,
+                out.scenario.end,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn parallel_streamed_fleet_job_matches_streamed_job() {
+        let mut pcfg = PipelineConfig::small_lab(43);
+        pcfg.producers = Some(4);
+        let jobs = vec![
+            FleetJob::new(
+                "streamed",
+                PipelineConfig::small_lab(43),
+                CampaignPlan::full_mix(7),
+            )
+            .with_streaming(),
+            FleetJob::new("par-streamed", pcfg, CampaignPlan::full_mix(7))
+                .with_parallel_streaming(),
+        ];
+        let fleet = Pipeline::run_fleet(jobs);
+        assert_eq!(
+            alert_keys(&fleet.runs[0].outcome),
+            alert_keys(&fleet.runs[1].outcome)
+        );
+    }
+
+    #[test]
+    fn parallel_streamed_wave_closes_the_intel_loop_identically() {
+        use crate::intel::{build_wave, IntelConfig, WaveSpec};
+        // The intel loop observes the merged feed; its hot-reload
+        // behavior must be byte-for-byte what the sequential streamed
+        // path produces, regardless of requested producer count.
+        let intel_cfg = IntelConfig {
+            propagation: Duration::from_secs(120),
+            realism: 1.0,
+            ..Default::default()
+        };
+        let mk_cfg = |producers: Option<usize>| {
+            let mut cfg = PipelineConfig::small_lab(91);
+            cfg.deployment.decoys = 2;
+            cfg.intel = Some(intel_cfg.clone());
+            cfg.producers = producers;
+            cfg
+        };
+        let mut p1 = Pipeline::new(mk_cfg(Some(4)));
+        let mut rng = SimRng::new(5);
+        let wave = build_wave(p1.deployment(), &intel_cfg, &WaveSpec::default(), &mut rng);
+        let start = SimTime::from_secs(60);
+        let par = p1.run_campaigns_streamed_parallel(vec![(start, wave.campaign.clone())], 91);
+        let mut p2 = Pipeline::new(mk_cfg(None));
+        let seq = p2.run_campaigns_streamed(vec![(start, wave.campaign)], 91);
+        assert_eq!(alert_keys(&seq), alert_keys(&par));
+        let (si, pi) = (seq.intel.as_ref().unwrap(), par.intel.as_ref().unwrap());
+        assert_eq!(si.captures, pi.captures);
+        assert_eq!(si.published.len(), pi.published.len());
+        for (a, b) in si.published.iter().zip(&pi.published) {
+            assert_eq!(a.learned_at, b.learned_at);
+            assert_eq!(a.available_at, b.available_at);
+            assert_eq!(a.rule.id, b.rule.id);
+        }
+        assert_eq!(si.first_capture, pi.first_capture);
+        assert_eq!(si.first_available, pi.first_available);
     }
 
     #[test]

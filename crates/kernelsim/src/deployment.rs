@@ -29,6 +29,21 @@ pub struct Deployment {
     production: usize,
 }
 
+/// A mutable execution view over a disjoint subset of a deployment's
+/// servers — what one parallel scenario producer owns. `servers` is
+/// index-aligned with `Deployment::servers` (entries this part does not
+/// own are `None`), `addrs` is the full read-only address table, and the
+/// hub is an independent clone whose auth log the part drains privately.
+pub struct DeploymentPart<'d> {
+    /// Cloned hub (see [`Deployment::split_parts`] for why this is safe).
+    pub hub: Hub,
+    /// Mutable borrows of the owned servers, index-aligned with the
+    /// deployment; `None` for servers owned by other parts.
+    pub servers: Vec<Option<&'d mut NotebookServer>>,
+    /// Address of every server in the fleet (static after build).
+    pub addrs: Vec<HostAddr>,
+}
+
 /// Knobs for building a deployment.
 #[derive(Clone, Debug)]
 pub struct DeploymentSpec {
@@ -159,6 +174,38 @@ impl Deployment {
     /// none).
     pub fn decoy_indices(&self) -> std::ops::Range<usize> {
         self.production..self.servers.len()
+    }
+
+    /// Whole-deployment execution view: one part owning every server
+    /// (the sequential scenario path runs over this).
+    pub fn as_part(&mut self) -> DeploymentPart<'_> {
+        let n = self.servers.len();
+        let owner = vec![0usize; n];
+        self.split_parts(&owner, 1).pop().expect("one part")
+    }
+
+    /// Split the fleet into `parts` disjoint execution views. `owner[i]`
+    /// names the part that gets mutable access to server `i`; every part
+    /// sees the full address table (probes only read addresses) and its
+    /// own clone of the hub (login outcomes depend only on static user
+    /// attributes plus the caller's RNG, and the auth log is drained
+    /// destructively, so clones cannot diverge observably).
+    pub fn split_parts(&mut self, owner: &[usize], parts: usize) -> Vec<DeploymentPart<'_>> {
+        assert_eq!(owner.len(), self.servers.len(), "owner table size");
+        let addrs: Vec<HostAddr> = self.servers.iter().map(|s| s.addr).collect();
+        let n = self.servers.len();
+        let mut out: Vec<DeploymentPart<'_>> = (0..parts)
+            .map(|_| DeploymentPart {
+                hub: self.hub.clone(),
+                servers: (0..n).map(|_| None).collect(),
+                addrs: addrs.clone(),
+            })
+            .collect();
+        for (i, srv) in self.servers.iter_mut().enumerate() {
+            assert!(owner[i] < parts, "owner {} out of range", owner[i]);
+            out[owner[i]].servers[i] = Some(srv);
+        }
+        out
     }
 
     /// All kernel-audit events across the fleet, time-ordered (ties

@@ -181,7 +181,7 @@ impl Monitor {
         let n = shards.max(1);
         let mut buckets: Vec<Vec<&SegmentRecord>> = (0..n).map(|_| Vec::new()).collect();
         for r in trace.records() {
-            buckets[(r.flow_id % n as u64) as usize].push(r);
+            buckets[shard_of(r.flow_id, n)].push(r);
         }
         let parts = buckets
             .par_iter()
@@ -203,6 +203,16 @@ impl Monitor {
             .map(|a| self.attribute(a))
             .collect()
     }
+}
+
+/// Shard assignment for a flow id — shared by the batch sharded path and
+/// the streaming fan-out router so both balance identically. A
+/// multiplicative hash rather than `flow_id % n`: campaign-scoped flow
+/// ids are `(campaign << 32) | counter`, so for power-of-two shard
+/// counts a plain modulo would land every campaign's first flow on
+/// shard 0.
+pub(crate) fn shard_of(flow_id: u64, n: usize) -> usize {
+    ((flow_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) % n as u64) as usize
 }
 
 #[cfg(test)]

@@ -38,4 +38,4 @@ pub mod streaming;
 pub use alerts::{Alert, AlertSource};
 pub use engine::{Monitor, MonitorConfig, MonitorStats};
 pub use features::FlowFeatures;
-pub use streaming::{StreamingConfig, StreamingMonitor};
+pub use streaming::{FanoutSpec, StreamingConfig, StreamingMonitor};

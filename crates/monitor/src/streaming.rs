@@ -320,10 +320,11 @@ impl Monitor {
     /// as they are produced, and the monitor analyzes them as they
     /// arrive. With `shards == 1` the feed drives a single streaming
     /// engine inline; with more, records are routed by flow id over
-    /// bounded channels to one worker thread per shard, so generation
-    /// overlaps analysis and the alert output is identical to
-    /// [`Monitor::analyze`] on the collected capture for every shard
-    /// count (given an equivalence-preserving `cfg` such as
+    /// bounded channels to one worker thread per shard (in chunked
+    /// batches — see [`FanoutSpec`]), so generation overlaps analysis
+    /// and the alert output is identical to [`Monitor::analyze`] on the
+    /// collected capture for every shard count (given an
+    /// equivalence-preserving `cfg` such as
     /// [`StreamingConfig::close_evict`] on an in-order feed).
     pub fn analyze_stream<F>(
         &self,
@@ -334,33 +335,61 @@ impl Monitor {
     where
         F: FnOnce(&mut dyn SegmentSink),
     {
+        self.analyze_stream_batched(FanoutSpec::with_shards(shards), cfg, feed)
+    }
+
+    /// [`Monitor::analyze_stream`] with explicit fan-out geometry.
+    /// Records are buffered per shard and shipped `fanout.chunk` at a
+    /// time, so shard workers pay one channel synchronization per chunk
+    /// instead of per record — the difference between fan-out overhead
+    /// eating the shard gains and not.
+    pub fn analyze_stream_batched<F>(
+        &self,
+        fanout: FanoutSpec,
+        cfg: StreamingConfig,
+        feed: F,
+    ) -> (Vec<Alert>, MonitorStats)
+    where
+        F: FnOnce(&mut dyn SegmentSink),
+    {
         let started = std::time::Instant::now();
-        let n = shards.max(1);
+        let n = fanout.shards.max(1);
         if n == 1 {
             let mut engine = StreamingMonitor::new(self, cfg);
             feed(&mut engine);
             let summary = engine.into_summary();
             return self.finish_summaries(vec![summary], started);
         }
+        let chunk = fanout.chunk.max(1);
         std::thread::scope(|scope| {
             let mut senders = Vec::with_capacity(n);
             let mut handles = Vec::with_capacity(n);
             for _ in 0..n {
-                // Bounded channel: backpressure keeps in-flight records
-                // (and therefore memory) independent of capture size.
-                let (tx, rx) = std::sync::mpsc::sync_channel::<SegmentRecord>(1024);
+                // Bounded channel of chunks: backpressure keeps
+                // in-flight records (and therefore memory) independent
+                // of capture size.
+                let (tx, rx) =
+                    std::sync::mpsc::sync_channel::<Vec<SegmentRecord>>(fanout.depth.max(1));
                 senders.push(tx);
                 let monitor: &Monitor = self;
                 handles.push(scope.spawn(move || {
                     let mut engine = StreamingMonitor::new(monitor, cfg);
-                    for rec in rx {
-                        engine.push(&rec);
+                    for batch in rx {
+                        for rec in &batch {
+                            engine.push(rec);
+                        }
                     }
                     engine.into_summary()
                 }));
             }
-            let mut router = ShardRouter { senders };
+            let buffers = (0..n).map(|_| Vec::with_capacity(chunk)).collect();
+            let mut router = ShardRouter {
+                senders,
+                buffers,
+                chunk,
+            };
             feed(&mut router);
+            router.flush_all(); // partial final chunks
             drop(router); // hang up so workers drain and exit
             let parts: Vec<StreamSummary> = handles
                 .into_iter()
@@ -371,17 +400,66 @@ impl Monitor {
     }
 }
 
-/// Routes records to per-shard worker channels by flow id.
+/// Fan-out geometry for the sharded streaming path.
+#[derive(Clone, Copy, Debug)]
+pub struct FanoutSpec {
+    /// Shard worker count (clamped to ≥ 1; 1 runs inline, unsharded).
+    pub shards: usize,
+    /// Records per chunked channel send.
+    pub chunk: usize,
+    /// In-flight chunks allowed per shard before the router blocks.
+    pub depth: usize,
+}
+
+impl FanoutSpec {
+    /// Default geometry for `shards` workers: 128-record chunks, 8 in
+    /// flight per shard (≈ the former per-record channel's 1024-record
+    /// backlog, at 1/128th the synchronization).
+    pub fn with_shards(shards: usize) -> Self {
+        FanoutSpec {
+            shards: shards.max(1),
+            chunk: 128,
+            depth: 8,
+        }
+    }
+}
+
+/// Routes records to per-shard worker channels by flow-id hash (the
+/// same [`crate::engine::shard_of`] the batch sharded path uses),
+/// buffering `chunk` records per shard between sends.
 struct ShardRouter {
-    senders: Vec<std::sync::mpsc::SyncSender<SegmentRecord>>,
+    senders: Vec<std::sync::mpsc::SyncSender<Vec<SegmentRecord>>>,
+    buffers: Vec<Vec<SegmentRecord>>,
+    chunk: usize,
+}
+
+impl ShardRouter {
+    fn flush(&mut self, i: usize) {
+        if self.buffers[i].is_empty() {
+            return;
+        }
+        let batch = std::mem::replace(&mut self.buffers[i], Vec::with_capacity(self.chunk));
+        self.senders[i]
+            .send(batch)
+            .expect("monitor shard worker disappeared");
+    }
+
+    /// Ship every non-empty buffer (the partial final chunks at stream
+    /// end).
+    fn flush_all(&mut self) {
+        for i in 0..self.buffers.len() {
+            self.flush(i);
+        }
+    }
 }
 
 impl SegmentSink for ShardRouter {
     fn accept(&mut self, rec: SegmentRecord) {
-        let i = (rec.flow_id % self.senders.len() as u64) as usize;
-        self.senders[i]
-            .send(rec)
-            .expect("monitor shard worker disappeared");
+        let i = crate::engine::shard_of(rec.flow_id, self.senders.len());
+        self.buffers[i].push(rec);
+        if self.buffers[i].len() >= self.chunk {
+            self.flush(i);
+        }
     }
 }
 
@@ -673,6 +751,151 @@ mod tests {
         assert!(alerts2
             .iter()
             .any(|a| a.source == AlertSource::HoneypotIntel));
+    }
+
+    #[test]
+    fn batched_fanout_flushes_partial_final_chunks() {
+        // Capture sizes straddling chunk boundaries: exactly one chunk,
+        // one record short, one record over. Whatever is left in a
+        // router buffer at stream end must be flushed, or tail flows
+        // silently vanish.
+        use ja_netsim::addr::{HostAddr, HostId};
+        use ja_netsim::network::Network;
+        let m = Monitor::default();
+        for extra in [0usize, 6, 7, 8] {
+            let mut net = Network::new();
+            for i in 0..(3 + extra as u64) {
+                let t = SimTime::from_secs(i);
+                let f = net.open(
+                    t,
+                    HostAddr::internal(HostId(1 + i as u32)),
+                    40_000,
+                    HostAddr::external(3),
+                    443,
+                );
+                net.close(t + Duration::from_millis(10), f, false);
+            }
+            let trace = net.into_trace();
+            let n_records = trace.records().len();
+            let fanout = FanoutSpec {
+                shards: 3,
+                chunk: 7,
+                depth: 2,
+            };
+            let (_, stats) =
+                m.analyze_stream_batched(fanout, StreamingConfig::close_evict(), |sink| {
+                    for r in trace.records() {
+                        sink.accept(r.clone());
+                    }
+                });
+            assert_eq!(stats.segments as usize, n_records, "extra={extra}");
+            assert_eq!(stats.flows as usize, 3 + extra, "extra={extra}");
+        }
+    }
+
+    #[test]
+    fn batched_fanout_zero_record_stream() {
+        // A feed that never produces a record: workers must hang up
+        // cleanly with nothing flushed and nothing analyzed.
+        let m = Monitor::default();
+        let fanout = FanoutSpec {
+            shards: 4,
+            chunk: 128,
+            depth: 8,
+        };
+        let (alerts, stats) =
+            m.analyze_stream_batched(fanout, StreamingConfig::close_evict(), |_sink| {});
+        assert!(alerts.is_empty());
+        assert_eq!(stats.segments, 0);
+        assert_eq!(stats.flows, 0);
+    }
+
+    #[test]
+    fn batched_fanout_single_flow_dominating_one_shard() {
+        // One elephant flow (thousands of records, all on one shard)
+        // among a few mice: the skewed shard must neither drop records
+        // nor deadlock against the bounded channel depth, and the alert
+        // set must match the batch path.
+        use ja_netsim::addr::{HostAddr, HostId};
+        use ja_netsim::network::Network;
+        use ja_netsim::segment::Direction;
+        let mut net = Network::new().with_mss(100);
+        let big = net.open(
+            SimTime::ZERO,
+            HostAddr::internal(HostId(1)),
+            40_000,
+            HostAddr::external(7),
+            443,
+        );
+        let mut t = SimTime::from_millis(10);
+        for _ in 0..40 {
+            // 40 writes × 10 segments each = 4000+ records on one flow.
+            t = net.send(t, big, Direction::ToResponder, &[5u8; 1000]) + Duration::from_millis(50);
+        }
+        net.close(t + Duration::from_secs(1), big, false);
+        for i in 0..3u64 {
+            let f = net.open(
+                SimTime::from_secs(2 + i),
+                HostAddr::internal(HostId(10 + i as u32)),
+                41_000,
+                HostAddr::external(8),
+                443,
+            );
+            net.close(SimTime::from_secs(3 + i), f, false);
+        }
+        let trace = net.into_trace();
+        let m = Monitor::default();
+        let (batch, batch_stats) = m.analyze(&trace);
+        let fanout = FanoutSpec {
+            shards: 4,
+            chunk: 16,
+            depth: 2,
+        };
+        let (stream, stats) =
+            m.analyze_stream_batched(fanout, StreamingConfig::close_evict(), |sink| {
+                for r in trace.records() {
+                    sink.accept(r.clone());
+                }
+            });
+        assert_eq!(batch_stats.segments, stats.segments);
+        assert_eq!(batch_stats.flows, stats.flows);
+        assert_eq!(batch_stats.bytes, stats.bytes);
+        assert_eq!(alert_keys(&batch), alert_keys(&stream));
+    }
+
+    #[test]
+    fn batched_fanout_matches_per_record_output_across_geometries() {
+        // Chunk size and depth are performance knobs, never correctness
+        // knobs: every geometry yields the batch alert set.
+        let trace = mixed_trace(47);
+        let m = Monitor::default();
+        let (batch, batch_stats) = m.analyze(&trace);
+        for (chunk, depth) in [(1usize, 1usize), (2, 1), (64, 2), (512, 8)] {
+            let fanout = FanoutSpec {
+                shards: 3,
+                chunk,
+                depth,
+            };
+            let (stream, stats) =
+                m.analyze_stream_batched(fanout, StreamingConfig::close_evict(), |sink| {
+                    for r in trace.records() {
+                        sink.accept(r.clone());
+                    }
+                });
+            assert_eq!(
+                alert_keys(&batch),
+                alert_keys(&stream),
+                "chunk={chunk} depth={depth}"
+            );
+            assert_eq!(
+                batch_stats.flows, stats.flows,
+                "chunk={chunk} depth={depth}"
+            );
+            assert_eq!(
+                batch_stats.segments, stats.segments,
+                "chunk={chunk} depth={depth}"
+            );
+        }
     }
 
     #[test]

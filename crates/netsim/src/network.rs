@@ -7,18 +7,25 @@ use crate::flow::{FlowId, FlowState, DEFAULT_MSS};
 use crate::segment::{Direction, SegFlags, SegmentRecord};
 use crate::time::{Duration, SimTime};
 use crate::trace::Trace;
+use std::collections::HashMap;
 
 /// Simulated network with a passive capture tap.
 #[derive(Debug)]
 pub struct Network {
-    flows: Vec<FlowState>,
+    flows: HashMap<u64, FlowState>,
     records: Vec<SegmentRecord>,
     mss: usize,
     /// Per-segment serialization delay used to spread multi-segment
     /// writes over time (keeps timestamps strictly useful for rate
     /// features without a full bandwidth model).
     per_segment_gap: Duration,
-    next_ephemeral: u16,
+    /// Current allocation scope (see [`Network::set_scope`]). Flow ids
+    /// and ephemeral ports are allocated per-scope so that two actors in
+    /// different scopes draw identical ids no matter how their actions
+    /// interleave — the property parallel scenario producers rely on.
+    scope: u32,
+    next_flow_in_scope: HashMap<u32, u64>,
+    next_ephemeral: HashMap<u32, u16>,
     /// When false, `send` does not accumulate delivery inboxes (the
     /// ground-truth `recv` buffers). Streaming producers disable
     /// delivery so per-flow memory stays O(1) instead of O(bytes sent).
@@ -35,11 +42,13 @@ impl Network {
     /// Network with default MSS and a 50 µs per-segment gap.
     pub fn new() -> Self {
         Network {
-            flows: Vec::new(),
+            flows: HashMap::new(),
             records: Vec::new(),
             mss: DEFAULT_MSS,
             per_segment_gap: Duration(50),
-            next_ephemeral: 40000,
+            scope: 0,
+            next_flow_in_scope: HashMap::new(),
+            next_ephemeral: HashMap::new(),
             retain_delivery: true,
         }
     }
@@ -59,10 +68,23 @@ impl Network {
         self
     }
 
-    /// Allocate an ephemeral source port.
+    /// Switch the allocation scope. Flow ids become
+    /// `(scope << 32) | per-scope counter` and ephemeral ports restart at
+    /// 40000 per scope, so an actor's allocations depend only on its own
+    /// history — never on what other scopes did in between. Scenario
+    /// streams set the scope to the global campaign index before each
+    /// step, which is what makes any partition of campaigns across
+    /// producer threads emit bit-identical records. The default scope is
+    /// 0, preserving the classic dense 0,1,2,… ids for direct users.
+    pub fn set_scope(&mut self, scope: u32) {
+        self.scope = scope;
+    }
+
+    /// Allocate an ephemeral source port (within the current scope).
     pub fn ephemeral_port(&mut self) -> u16 {
-        let p = self.next_ephemeral;
-        self.next_ephemeral = self.next_ephemeral.checked_add(1).unwrap_or(40000);
+        let c = self.next_ephemeral.entry(self.scope).or_insert(40000);
+        let p = *c;
+        *c = c.checked_add(1).unwrap_or(40000);
         p
     }
 
@@ -76,8 +98,10 @@ impl Network {
         dst_port: u16,
     ) -> FlowId {
         let tuple = FiveTuple::new(src, src_port, dst, dst_port);
-        let id = FlowId(self.flows.len() as u64);
-        self.flows.push(FlowState::new(tuple, at));
+        let ctr = self.next_flow_in_scope.entry(self.scope).or_insert(0);
+        let id = FlowId(((self.scope as u64) << 32) | *ctr);
+        *ctr += 1;
+        self.flows.insert(id.0, FlowState::new(tuple, at));
         self.records.push(SegmentRecord {
             time: at,
             tuple,
@@ -100,7 +124,7 @@ impl Network {
     pub fn send(&mut self, at: SimTime, flow: FlowId, dir: Direction, payload: &[u8]) -> SimTime {
         let mss = self.mss;
         let gap = self.per_segment_gap;
-        let state = &mut self.flows[flow.0 as usize];
+        let state = self.flows.get_mut(&flow.0).expect("unknown flow");
         debug_assert!(state.is_open(), "send on closed flow");
         let tuple = state.tuple;
         let mut t = at;
@@ -167,7 +191,7 @@ impl Network {
         // Aggregate the truncated remainder into u32-sized accounting
         // records (one per ~4 GiB) rather than one per MSS — the capture
         // stays small while flow statistics stay true.
-        let state = &mut self.flows[flow.0 as usize];
+        let state = self.flows.get_mut(&flow.0).expect("unknown flow");
         let tuple = state.tuple;
         while remaining > 0 {
             let chunk = remaining.min(u32::MAX as u64);
@@ -204,7 +228,7 @@ impl Network {
     /// Drain bytes delivered to one side of a flow (ground-truth
     /// in-order delivery).
     pub fn recv(&mut self, flow: FlowId, side: Direction) -> Vec<u8> {
-        let state = &mut self.flows[flow.0 as usize];
+        let state = self.flows.get_mut(&flow.0).expect("unknown flow");
         match side {
             // Bytes heading to the responder are read at the responder.
             Direction::ToResponder => std::mem::take(&mut state.inbox_responder),
@@ -214,7 +238,7 @@ impl Network {
 
     /// Close a flow; records a FIN (or RST for abortive close).
     pub fn close(&mut self, at: SimTime, flow: FlowId, abortive: bool) {
-        let state = &mut self.flows[flow.0 as usize];
+        let state = self.flows.get_mut(&flow.0).expect("unknown flow");
         if state.closed_at.is_some() {
             return;
         }
@@ -237,7 +261,7 @@ impl Network {
 
     /// Flow state accessor.
     pub fn flow(&self, flow: FlowId) -> &FlowState {
-        &self.flows[flow.0 as usize]
+        &self.flows[&flow.0]
     }
 
     /// Number of flows ever opened.

@@ -6,8 +6,17 @@
 
 use std::ops::Range;
 
-/// Number of worker threads a parallel stage will use.
+/// Number of worker threads a parallel stage will use. Honors the
+/// `RAYON_NUM_THREADS` environment variable (like real rayon's global
+/// pool) so CI can pin the width; otherwise uses every available core.
 pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
