@@ -7,6 +7,7 @@
 use ja_attackgen::AttackClass;
 use ja_kernelsim::events::{SysEvent, SysEventKind};
 use ja_monitor::alerts::{Alert, AlertSource};
+use ja_monitor::matcher::{CompiledRuleSet, MatchMode};
 use ja_monitor::rules::RuleSet;
 use std::collections::HashMap;
 
@@ -50,6 +51,9 @@ pub struct AuditDetector {
     /// Signature rules shared with the network monitor (cmdline + code
     /// patterns apply on this plane too).
     pub rules: RuleSet,
+    /// How signature rules execute: compiled automata (default) or the
+    /// naive linear scans (baseline for the equivalence tests).
+    pub match_mode: MatchMode,
 }
 
 impl Default for AuditDetector {
@@ -64,16 +68,21 @@ impl AuditDetector {
         AuditDetector {
             thresholds: AuditThresholds::default(),
             rules: RuleSet::builtin(),
+            match_mode: MatchMode::default(),
         }
     }
 
     /// Run all audit detectors over an event stream (time-ordered).
+    /// Signature rules are compiled once per call (automaton per
+    /// plane), so each event pays a single scan regardless of rule
+    /// count.
     pub fn analyze(&self, events: &[SysEvent]) -> Vec<Alert> {
         let mut alerts = Vec::new();
         self.ransomware(events, &mut alerts);
         self.mining(events, &mut alerts);
         self.exfil(events, &mut alerts);
-        self.signatures(events, &mut alerts);
+        let compiled = self.rules.compiled(self.match_mode);
+        self.signatures(events, &compiled, &mut alerts);
         alerts.sort_by_key(|a| a.time);
         alerts
     }
@@ -202,11 +211,11 @@ impl AuditDetector {
     }
 
     /// Cmdline/code signatures (work regardless of transport).
-    fn signatures(&self, events: &[SysEvent], alerts: &mut Vec<Alert>) {
+    fn signatures(&self, events: &[SysEvent], rules: &CompiledRuleSet, alerts: &mut Vec<Alert>) {
         for e in events {
             match &e.kind {
                 SysEventKind::ProcExec { cmdline, .. } => {
-                    for rule in self.rules.match_cmdline(cmdline) {
+                    for rule in rules.match_cmdline(cmdline) {
                         alerts.push(
                             Alert::new(
                                 e.time,
@@ -221,7 +230,7 @@ impl AuditDetector {
                     }
                 }
                 SysEventKind::CellExecute { code, .. } => {
-                    for rule in self.rules.match_code(code) {
+                    for rule in rules.match_code(code) {
                         alerts.push(
                             Alert::new(
                                 e.time,

@@ -1,0 +1,366 @@
+//! E7-rulescale — signature matching vs rule-set size. The intel loop
+//! grows the live rule feed without bound ("latest signatures of
+//! attacks in the wild"), so per-flow matching cost must not scale with
+//! rule count. This bench sweeps the feed size (8 → 4096 rules) on two
+//! levels and compares [`MatchMode::Naive`] (per-flow read lock +
+//! linear `contains` scan per rule) against [`MatchMode::Compiled`]
+//! (generation-cached Aho-Corasick automata, one pass per payload):
+//!
+//! 1. **Matcher stage**: raw scan throughput (MB/s) of both modes over
+//!    a fixed synthetic cell-code corpus.
+//! 2. **End-to-end**: the real fused streamed pipeline
+//!    ([`Pipeline::run_streamed`]) with the rules pre-published into
+//!    the hot-reload feed. Alert output is asserted identical between
+//!    modes at every sweep point before any number is reported.
+//!
+//! `--tiny` restricts the sweep to {8, 64} rules (CI smoke). `--json`
+//! additionally writes `BENCH_E7.json` so the rule-scaling curve is
+//! tracked across PRs.
+
+use ja_attackgen::campaign::{Campaign, CampaignStep};
+use ja_attackgen::AttackClass;
+use ja_core::pipeline::{Pipeline, PipelineConfig, RunOutcome};
+use ja_kernelsim::actions::CellScript;
+use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
+use ja_monitor::matcher::MatchMode;
+use ja_monitor::rules::{Pattern, Rule, RuleOrigin, RuleSet};
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::time::{Duration, SimTime};
+
+/// The whole `BENCH_E7.json` payload. Non-finite throughputs/speedups
+/// are reported as `null` (`None`).
+#[derive(serde::Serialize)]
+struct BenchReport {
+    seed: u64,
+    tiny: bool,
+    matcher: Vec<MatcherRow>,
+    pipeline: Vec<PipelineRow>,
+}
+
+/// One point of the matcher-stage sweep: raw corpus-scan throughput.
+#[derive(serde::Serialize)]
+struct MatcherRow {
+    rules: usize,
+    corpus_bytes: usize,
+    naive_mb_per_sec: Option<f64>,
+    compiled_mb_per_sec: Option<f64>,
+    compiled_speedup: Option<f64>,
+}
+
+/// One point of the end-to-end sweep: the streamed pipeline with the
+/// rule feed pre-published at the given size, both match modes.
+#[derive(serde::Serialize)]
+struct PipelineRow {
+    rules: usize,
+    segments: u64,
+    alerts: usize,
+    naive_secs: Option<f64>,
+    compiled_secs: Option<f64>,
+    naive_segments_per_sec: Option<f64>,
+    compiled_segments_per_sec: Option<f64>,
+    compiled_speedup: Option<f64>,
+}
+
+/// `None` for non-finite values so the JSON carries `null`, never
+/// `NaN`/`inf`.
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
+}
+
+/// `n` synthetic honeypot-learned signatures. All but the first are
+/// unique never-matching tokens (the realistic case: a large feed where
+/// almost every rule misses almost every flow); rule 0 matches real
+/// cell code so the hit/emit path is exercised identically at every
+/// sweep point.
+fn synth_rules(n: usize) -> Vec<Rule> {
+    (0..n)
+        .map(|i| Rule {
+            id: format!("hp-scale-{i:05}"),
+            class: AttackClass::ALL[i % AttackClass::ALL.len()],
+            pattern: Pattern::CodeSubstring(if i == 0 {
+                // Matches the workload's ordinary analysis cells, so the
+                // hit/emit path runs identically at every sweep point.
+                "read_csv".into()
+            } else {
+                format!("hp_sig_{i:05}_beacon")
+            }),
+            confidence: 0.7,
+            origin: RuleOrigin::HoneypotIntel,
+        })
+        .collect()
+}
+
+/// A fixed synthetic cell-code corpus for the matcher-stage sweep.
+fn corpus() -> Vec<String> {
+    (0..64)
+        .map(|j| {
+            format!(
+                "import os\nimport requests\nframe_{j:03} = pd.read_csv('s3://lab-bucket/part-{j:05}')\n\
+                 model.fit(frame_{j:03}, epochs={})\nos.environ.get('JUPYTER_TOKEN')\n",
+                1 + j % 7
+            )
+        })
+        .collect()
+}
+
+fn e2e_config(rules: &[Rule], mode: MatchMode, seed: u64) -> PipelineConfig {
+    let mut cfg = PipelineConfig::small_lab(seed);
+    cfg.deployment = DeploymentSpec {
+        servers: 4,
+        misconfig_rate: 0.0,
+        weak_cred_fraction: 0.1,
+        breached_cred_fraction: 0.02,
+        mfa_fraction: 0.8,
+        decoys: 0,
+        seed,
+    };
+    cfg.monitor.match_mode = mode;
+    // Pre-publish the whole feed at t=0: every rule is available to
+    // every flow, so the sweep measures matching cost, not gating.
+    for r in rules {
+        cfg.monitor.intel.publish(SimTime::ZERO, r.clone());
+    }
+    cfg
+}
+
+/// One realistic multi-line analysis cell (~800 bytes of source). The
+/// feed's CodeSubstring plane scans exactly this text per message.
+fn cell_code(session: usize, i: usize) -> String {
+    format!(
+        "df_{i:02} = pd.read_csv('/srv/data/s{session:02}/run_{i:02}.csv')\n\
+         df_{i:02}['z'] = (df_{i:02}.x - df_{i:02}.x.mean()) / df_{i:02}.x.std()\n\
+         features = df_{i:02}[['z', 'y', 'w']].rolling(window=32).agg(['mean', 'var'])\n\
+         features['lag_1'] = features['z'].shift(1)\n\
+         features['lag_7'] = features['z'].shift(7)\n\
+         train, test = train_test_split(features.dropna(), test_size=0.25, shuffle=False)\n\
+         model = Pipeline([('scale', StandardScaler()), ('reg', Ridge(alpha=0.3))])\n\
+         scores = cross_val_score(model, train, target.loc[train.index], cv=5)\n\
+         residuals = target.loc[test.index] - model.fit(train, target.loc[train.index]).predict(test)\n\
+         ax = residuals.plot.hist(bins=48, alpha=0.6, title='run {i:02} residuals')\n\
+         ax.figure.savefig('/srv/reports/s{session:02}/resid_{i:02}.png', dpi=120)\n\
+         print(f'session {session:02} cell {i:02}: {{scores.mean():.4f}} +/- {{scores.std():.4f}}')\n"
+    )
+}
+
+/// Code-dense interactive sessions: many substantial analysis cells, no
+/// bulk downloads or CPU burns. This is the workload whose payloads the
+/// feed actually scans — volumetric traffic would only pad the baseline
+/// with unmatchable bytes and mask the rule-scaling curve under test.
+fn code_heavy_campaigns(d: &Deployment) -> Vec<(SimTime, Campaign)> {
+    let mut campaigns = Vec::new();
+    for si in 0..d.servers.len() {
+        let user = d.owner_of(si).to_string();
+        for k in 0..6u64 {
+            let mut steps = vec![CampaignStep::AuthLogin {
+                username: user.clone(),
+                src: HostAddr::internal(HostId(1000 + si as u32)),
+                offset: Duration::ZERO,
+            }];
+            for i in 0..60 {
+                steps.push(CampaignStep::Cell {
+                    server: si,
+                    user: user.clone(),
+                    offset: Duration::from_secs(2 + i as u64 * 20),
+                    script: CellScript::pure(&cell_code(si, i)),
+                });
+            }
+            let at = SimTime::from_secs(30 + (si as u64 * 6 + k) * 120);
+            campaigns.push((
+                at,
+                Campaign {
+                    class: None,
+                    name: format!("code-dense-{si}-{k}"),
+                    steps,
+                },
+            ));
+        }
+    }
+    campaigns
+}
+
+/// Everything observable about the alert sequence, for the identical-
+/// output assertion between modes.
+fn fingerprint(out: &RunOutcome) -> Vec<(SimTime, AttackClass, Option<u32>, String, u64)> {
+    out.report
+        .alerts
+        .iter()
+        .map(|a| {
+            (
+                a.time,
+                a.class,
+                a.server_id,
+                a.detail.clone(),
+                a.confidence.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    let seed = ja_bench::seed_from_args();
+    let tiny = ja_bench::flag_from_args("--tiny");
+    let json = ja_bench::flag_from_args("--json");
+    let rule_counts: &[usize] = if tiny { &[8, 64] } else { &[8, 64, 512, 4096] };
+    let max_rules = *rule_counts.last().expect("non-empty sweep");
+    println!("=== E7-rulescale: signature matching vs rule count (seed {seed}) ===\n");
+
+    // ---- Matcher stage: raw corpus scan throughput. ----
+    let payloads = corpus();
+    let corpus_bytes: usize = payloads.iter().map(String::len).sum();
+    println!("--- matcher stage: {corpus_bytes}-byte corpus, CodeSubstring plane ---\n");
+    println!(
+        "{:<8} {:>14} {:>16} {:>10}",
+        "rules", "naive (MB/s)", "compiled (MB/s)", "speedup"
+    );
+    let mut matcher_rows: Vec<MatcherRow> = Vec::new();
+    for &n in rule_counts {
+        let mut rs = RuleSet::new();
+        for r in synth_rules(n) {
+            rs.add(r);
+        }
+        let naive = rs.compiled(MatchMode::Naive);
+        let compiled = rs.compiled(MatchMode::Compiled);
+        // Equal results before equal timings.
+        for p in &payloads {
+            let ids = |v: Vec<&Rule>| v.iter().map(|r| r.id.clone()).collect::<Vec<_>>();
+            assert_eq!(
+                ids(naive.match_code(p)),
+                ids(compiled.match_code(p)),
+                "matcher modes disagree at {n} rules"
+            );
+        }
+        // Keep per-point naive work roughly constant so every timing is
+        // well above clock resolution.
+        let passes = (4 * max_rules / n).max(4);
+        let timed = |c: &ja_monitor::matcher::CompiledRuleSet| {
+            ja_bench::best_of(3, || {
+                let started = std::time::Instant::now();
+                let mut hits = 0usize;
+                for _ in 0..passes {
+                    for p in &payloads {
+                        hits += c.match_code(p).len();
+                    }
+                }
+                std::hint::black_box(hits);
+                started.elapsed().as_secs_f64()
+            })
+        };
+        let naive_secs = timed(&naive);
+        let compiled_secs = timed(&compiled);
+        let mb = (corpus_bytes * passes) as f64 / 1e6;
+        let speedup = naive_secs / compiled_secs;
+        println!(
+            "{:<8} {:>14.1} {:>16.1} {:>9.2}x",
+            n,
+            mb / naive_secs,
+            mb / compiled_secs,
+            speedup
+        );
+        matcher_rows.push(MatcherRow {
+            rules: n,
+            corpus_bytes,
+            naive_mb_per_sec: finite(mb / naive_secs),
+            compiled_mb_per_sec: finite(mb / compiled_secs),
+            compiled_speedup: finite(speedup),
+        });
+    }
+    println!(
+        "\n(compiled throughput should stay flat 8 → {max_rules} while naive falls ~linearly:"
+    );
+    println!(" the automaton scans each payload once regardless of rule count.)");
+
+    // ---- End-to-end: the real streamed pipeline, feed pre-published. ----
+    println!("\n--- end-to-end: fused streamed pipeline, hot-reload feed at size N ---\n");
+    println!(
+        "{:<8} {:>9} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "rules",
+        "segments",
+        "alerts",
+        "naive (s)",
+        "cmpl (s)",
+        "naive sg/s",
+        "cmpl sg/s",
+        "speedup"
+    );
+    let reps = if tiny { 2 } else { 3 };
+    let mut pipeline_rows: Vec<PipelineRow> = Vec::new();
+    for &n in rule_counts {
+        let rules = synth_rules(n);
+        let run = |mode: MatchMode| -> (f64, RunOutcome) {
+            let mut p = Pipeline::new(e2e_config(&rules, mode, seed));
+            let campaigns = code_heavy_campaigns(p.deployment());
+            let started = std::time::Instant::now();
+            let out = p.run_campaigns_streamed(campaigns, seed);
+            (started.elapsed().as_secs_f64(), out)
+        };
+        // Interleave the modes rep by rep (alternating order) so
+        // allocator/cache state and throttle windows don't bias one
+        // side; keep the best wall clock of each.
+        let mut naive_secs = f64::MAX;
+        let mut compiled_secs = f64::MAX;
+        let mut segments = 0u64;
+        let mut alerts = 0usize;
+        for rep in 0..reps {
+            let order = if rep % 2 == 0 {
+                [MatchMode::Naive, MatchMode::Compiled]
+            } else {
+                [MatchMode::Compiled, MatchMode::Naive]
+            };
+            let mut prints: Vec<(MatchMode, Vec<_>)> = Vec::new();
+            for mode in order {
+                let (secs, out) = run(mode);
+                match mode {
+                    MatchMode::Naive => naive_secs = naive_secs.min(secs),
+                    MatchMode::Compiled => compiled_secs = compiled_secs.min(secs),
+                }
+                segments = out.monitor_stats.segments;
+                alerts = out.report.alerts.len();
+                prints.push((mode, fingerprint(&out)));
+            }
+            // The two modes must be indistinguishable in output before
+            // their timings are comparable.
+            assert_eq!(
+                prints[0].1, prints[1].1,
+                "match modes diverged at {n} rules (rep {rep})"
+            );
+        }
+        let tput = |secs: f64| segments as f64 / secs;
+        let speedup = naive_secs / compiled_secs;
+        println!(
+            "{:<8} {:>9} {:>8} {:>12.3} {:>12.3} {:>12.0} {:>12.0} {:>9.2}x",
+            n,
+            segments,
+            alerts,
+            naive_secs,
+            compiled_secs,
+            tput(naive_secs),
+            tput(compiled_secs),
+            speedup
+        );
+        pipeline_rows.push(PipelineRow {
+            rules: n,
+            segments,
+            alerts,
+            naive_secs: finite(naive_secs),
+            compiled_secs: finite(compiled_secs),
+            naive_segments_per_sec: finite(tput(naive_secs)),
+            compiled_segments_per_sec: finite(tput(compiled_secs)),
+            compiled_speedup: finite(speedup),
+        });
+    }
+    println!("\n(both modes produce bit-identical alerts at every point — asserted above before");
+    println!(" timing. naive cost grows with the feed; compiled pays one automaton pass per");
+    println!(" payload plus one atomic epoch check per flow.)");
+
+    if json {
+        let report = BenchReport {
+            seed,
+            tiny,
+            matcher: matcher_rows,
+            pipeline: pipeline_rows,
+        };
+        let out = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_E7.json", &out).expect("write BENCH_E7.json");
+        println!("\nwrote BENCH_E7.json");
+    }
+}

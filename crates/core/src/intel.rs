@@ -24,6 +24,12 @@
 //!    raise [`AlertSource::HoneypotIntel`](ja_monitor::alerts::AlertSource)
 //!    alerts mid-stream, and nothing matches retroactively.
 //!
+//! Each publish bumps the feed's generation epoch; monitor shards key
+//! their compiled Aho-Corasick snapshot on it
+//! ([`ja_monitor::matcher::FeedCache`]), so between publishes the
+//! per-flow intel cost is one atomic load — no lock, no rescan — and a
+//! publish triggers exactly one recompile per shard.
+//!
 //! [`DeploymentSpec::decoys`]: ja_kernelsim::deployment::DeploymentSpec::decoys
 //! [`Pipeline::run_streamed`]: crate::pipeline::Pipeline::run_streamed
 
@@ -146,8 +152,12 @@ impl IntelLoop {
         if self.seen_tokens.insert(token.clone()) {
             self.seq += 1;
             self.bus.publish(ev.time, rule.clone());
-            self.feed
+            let inserted = self
+                .feed
                 .publish(ev.time + self.bus.propagation_delay, rule);
+            // Token-dedup guarantees a fresh id, so every publish must
+            // bump the feed epoch (one shard recompile each).
+            debug_assert!(inserted, "duplicate rule id escaped token dedup");
         }
     }
 

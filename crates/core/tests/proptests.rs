@@ -439,6 +439,77 @@ proptest! {
         );
     }
 
+    /// Compiled signature matching is invisible end-to-end even with a
+    /// *live* intel feed: a streamed wave run that captures honeypot
+    /// traffic and hot-publishes rules mid-capture produces
+    /// bit-identical alerts, incidents and published-rule sets whether
+    /// the monitors match naively or via the generation-cached
+    /// automata — sequentially and across random shard/producer counts
+    /// on `run_campaigns_streamed_parallel`.
+    #[test]
+    fn live_intel_matcher_mode_is_invisible(
+        seed in 0u64..2048,
+        decoys in 1usize..4,
+        shards in 1usize..5,
+        producers in 1usize..9,
+        prop_secs in 0u64..1_000,
+    ) {
+        use ja_monitor::matcher::MatchMode;
+        use ja_netsim::rng::SimRng;
+        let intel_cfg = ja_core::intel::IntelConfig {
+            propagation: Duration::from_secs(prop_secs),
+            realism: 1.0,
+            ..Default::default()
+        };
+        let run = |mode: MatchMode, par: Option<(usize, usize)>| {
+            let mut cfg = tiny_config(seed);
+            cfg.deployment.decoys = decoys;
+            cfg.intel = Some(intel_cfg.clone());
+            cfg.monitor.match_mode = mode;
+            if let Some((s, p)) = par {
+                cfg.shards = Some(s);
+                cfg.producers = Some(p);
+            }
+            let mut p = Pipeline::new(cfg);
+            let mut rng = SimRng::new(seed);
+            let wave = ja_core::intel::build_wave(
+                p.deployment(),
+                &intel_cfg,
+                &ja_core::intel::WaveSpec::default(),
+                &mut rng,
+            );
+            let campaigns = vec![(SimTime::from_secs(30), wave.campaign)];
+            if par.is_some() {
+                p.run_campaigns_streamed_parallel(campaigns, seed)
+            } else {
+                p.run_campaigns_streamed(campaigns, seed)
+            }
+        };
+        let naive_seq = run(MatchMode::Naive, None);
+        let compiled_seq = run(MatchMode::Compiled, None);
+        let compiled_par = run(MatchMode::Compiled, Some((shards, producers)));
+        let naive_par = run(MatchMode::Naive, Some((shards, producers)));
+        prop_assert_eq!(alert_fingerprint(&naive_seq), alert_fingerprint(&compiled_seq));
+        prop_assert_eq!(alert_fingerprint(&naive_seq), alert_fingerprint(&compiled_par));
+        prop_assert_eq!(alert_fingerprint(&naive_seq), alert_fingerprint(&naive_par));
+        prop_assert_eq!(
+            incident_fingerprint(&naive_seq),
+            incident_fingerprint(&compiled_par)
+        );
+        // The mode must not change what the intel loop learned either.
+        let published = |o: &RunOutcome| -> Vec<(String, SimTime)> {
+            o.intel
+                .as_ref()
+                .unwrap()
+                .published
+                .iter()
+                .map(|pr| (pr.rule.id.clone(), pr.available_at))
+                .collect()
+        };
+        prop_assert_eq!(published(&naive_seq), published(&compiled_seq));
+        prop_assert_eq!(published(&naive_seq), published(&compiled_par));
+    }
+
     /// OSCRP closure is total and deduplicated for every avenue.
     #[test]
     fn oscrp_closure_total(class in arb_class()) {

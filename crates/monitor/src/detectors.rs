@@ -8,7 +8,8 @@
 use crate::alerts::{Alert, AlertSource};
 use crate::analyzers::FlowAnalysis;
 use crate::features::FlowFeatures;
-use crate::rules::{Pattern, Rule, RuleOrigin, RuleSet};
+use crate::matcher::{CompiledRuleSet, FeedCache, MatchMode};
+use crate::rules::{Pattern, Rule, RuleOrigin};
 use ja_attackgen::AttackClass;
 use ja_kernelsim::config::MisconfigClass;
 use ja_kernelsim::hub::{AuthEvent, AuthOutcome};
@@ -59,11 +60,12 @@ impl Default for Thresholds {
 }
 
 /// Per-flow detectors: bulk exfil, beaconing, mining shape, plus
-/// signature matches against visible content.
+/// signature matches against visible content — a single automaton pass
+/// per payload via the pre-compiled rule set.
 pub fn per_flow(
     features: &FlowFeatures,
     analysis: &FlowAnalysis,
-    rules: &RuleSet,
+    rules: &CompiledRuleSet,
     th: &Thresholds,
 ) -> Vec<Alert> {
     let mut alerts = Vec::new();
@@ -141,21 +143,17 @@ pub fn per_flow(
     // `HoneypotIntel` in reports rather than blending into `Network`.
     if let Some(hs) = &analysis.handshake {
         for rule in rules.match_url(&hs.target) {
-            alerts.push(rule_hit(
-                features,
-                rule,
-                format!("rule {} on URL {}", rule.id, hs.target),
-            ));
+            alerts.push(rule_hit(features, rule, || {
+                format!("rule {} on URL {}", rule.id, hs.target)
+            }));
         }
     }
     for msg in &analysis.kernel_msgs {
         if let Some(code) = &msg.code {
             for rule in rules.match_code(code) {
-                alerts.push(rule_hit(
-                    features,
-                    rule,
-                    format!("rule {} in cell code", rule.id),
-                ));
+                alerts.push(rule_hit(features, rule, || {
+                    format!("rule {} in cell code", rule.id)
+                }));
             }
         }
         // Protocol anomaly: unsigned kernel traffic on a visible flow.
@@ -186,8 +184,10 @@ fn rule_alert_source(rule: &Rule) -> AlertSource {
 
 /// The alert one rule match raises on one flow — shared by the static
 /// rule set and the hot-reload feed paths, so provenance attribution
-/// and attribution fields stay in one place.
-fn rule_hit(features: &FlowFeatures, rule: &Rule, detail: String) -> Alert {
+/// and attribution fields stay in one place. The detail is built
+/// lazily (only a confirmed hit pays the `format!` allocation), so a
+/// zero-match flow allocates nothing on the signature path.
+fn rule_hit<D: FnOnce() -> String>(features: &FlowFeatures, rule: &Rule, detail: D) -> Alert {
     Alert::new(
         features.start,
         rule.class,
@@ -195,7 +195,7 @@ fn rule_hit(features: &FlowFeatures, rule: &Rule, detail: String) -> Alert {
         rule_alert_source(rule),
     )
     .with_host(features.tuple.src)
-    .with_detail(detail)
+    .with_detail(detail())
 }
 
 /// Match the hot-reloadable rule feed against a flow's visible content:
@@ -203,39 +203,94 @@ fn rule_hit(features: &FlowFeatures, rule: &Rule, detail: String) -> Alert {
 /// alerts), and only network-plane patterns apply here — code
 /// substrings against recovered kernel messages and URL substrings
 /// against the upgrade target. Port and cmdline patterns belong to the
-/// static detectors and the audit plane respectively. Rules are
-/// borrowed under the feed's read guard, never cloned.
+/// static detectors and the audit plane respectively.
+///
+/// In [`MatchMode::Compiled`] the cache's generation-stamped snapshot
+/// is consulted: each payload is scanned once by the cached automata,
+/// hits are re-ordered to the naive (publish-order) sequence and then
+/// time-gated against the cached `available_at` instants — so output
+/// is bit-identical to the naive walk. [`MatchMode::Naive`] preserves
+/// the original per-flow read lock + linear scan as the measurable
+/// baseline.
 pub fn feed_rule_hits(
     features: &FlowFeatures,
     analysis: &FlowAnalysis,
-    feed: &crate::rules::RuleFeed,
+    cache: &mut FeedCache,
 ) -> Vec<Alert> {
     let mut alerts = Vec::new();
-    feed.for_each_available(features.start, |rule| match &rule.pattern {
-        Pattern::CodeSubstring(s) => {
-            for msg in &analysis.kernel_msgs {
-                if msg.code.as_deref().is_some_and(|c| c.contains(s.as_str())) {
-                    alerts.push(rule_hit(
-                        features,
-                        rule,
-                        format!("rule {} in cell code", rule.id),
-                    ));
+    if cache.mode() == MatchMode::Naive {
+        cache
+            .feed()
+            .for_each_available(features.start, |rule| match &rule.pattern {
+                Pattern::CodeSubstring(s) => {
+                    for msg in &analysis.kernel_msgs {
+                        if msg.code.as_deref().is_some_and(|c| c.contains(s.as_str())) {
+                            alerts.push(rule_hit(features, rule, || {
+                                format!("rule {} in cell code", rule.id)
+                            }));
+                        }
+                    }
                 }
-            }
-        }
-        Pattern::UrlSubstring(s) => {
-            if let Some(hs) = &analysis.handshake {
-                if hs.target.contains(s.as_str()) {
-                    alerts.push(rule_hit(
-                        features,
-                        rule,
-                        format!("rule {} on URL {}", rule.id, hs.target),
-                    ));
+                Pattern::UrlSubstring(s) => {
+                    if let Some(hs) = &analysis.handshake {
+                        if hs.target.contains(s.as_str()) {
+                            alerts.push(rule_hit(features, rule, || {
+                                format!("rule {} on URL {}", rule.id, hs.target)
+                            }));
+                        }
+                    }
                 }
-            }
+                Pattern::DstPort(_) | Pattern::CmdlineSubstring(_) => {}
+            });
+        return alerts;
+    }
+    cache.refresh();
+    if cache.is_empty() {
+        return alerts;
+    }
+    let (compiled, avail) = cache.parts();
+    // Collect (rule index, payload index) hit pairs from one automaton
+    // pass per payload, then sort: the naive walk emits rule-major
+    // (publish order), payload-minor, and a feed rule matches exactly
+    // one plane, so this ordering reproduces it bit-identically.
+    let mut scratch = Vec::new();
+    let mut ids = Vec::new();
+    let mut hits: Vec<(u32, u32)> = Vec::new();
+    if let Some(hs) = &analysis.handshake {
+        ids.clear();
+        compiled.url_hit_indices(&hs.target, &mut scratch, &mut ids);
+        hits.extend(ids.iter().map(|&r| (r, 0)));
+    }
+    for (mi, msg) in analysis.kernel_msgs.iter().enumerate() {
+        if let Some(code) = &msg.code {
+            ids.clear();
+            compiled.code_hit_indices(code, &mut scratch, &mut ids);
+            hits.extend(ids.iter().map(|&r| (r, mi as u32)));
         }
-        Pattern::DstPort(_) | Pattern::CmdlineSubstring(_) => {}
-    });
+    }
+    if hits.is_empty() {
+        return alerts;
+    }
+    hits.sort_unstable();
+    for (r, _) in hits {
+        // Time-gate *after* the automaton pass: the snapshot compiles
+        // every published rule, availability filters the hits.
+        if avail[r as usize] > features.start {
+            continue;
+        }
+        let rule = compiled.rule(r);
+        alerts.push(match &rule.pattern {
+            Pattern::UrlSubstring(_) => rule_hit(features, rule, || {
+                let target = analysis
+                    .handshake
+                    .as_ref()
+                    .map(|hs| hs.target.as_str())
+                    .unwrap_or_default();
+                format!("rule {} on URL {}", rule.id, target)
+            }),
+            _ => rule_hit(features, rule, || format!("rule {} in cell code", rule.id)),
+        });
+    }
     alerts
 }
 
@@ -464,6 +519,11 @@ mod tests {
         HostAddr::internal(HostId(11))
     }
 
+    /// The builtin rules, compiled the way the engine runs them.
+    fn builtin() -> CompiledRuleSet {
+        crate::rules::RuleSet::builtin().compiled(MatchMode::Compiled)
+    }
+
     #[test]
     fn bulk_exfil_detected() {
         let f = feat(
@@ -479,7 +539,7 @@ mod tests {
             false,
         );
         let th = Thresholds::default();
-        let alerts = per_flow(&f, &empty_analysis(), &RuleSet::builtin(), &th);
+        let alerts = per_flow(&f, &empty_analysis(), &builtin(), &th);
         assert!(alerts
             .iter()
             .any(|a| a.class == AttackClass::DataExfiltration && a.confidence > 0.8));
@@ -500,12 +560,7 @@ mod tests {
             0.5,
             false,
         );
-        let alerts = per_flow(
-            &f,
-            &empty_analysis(),
-            &RuleSet::builtin(),
-            &Thresholds::default(),
-        );
+        let alerts = per_flow(&f, &empty_analysis(), &builtin(), &Thresholds::default());
         assert!(alerts.is_empty(), "{alerts:?}");
     }
 
@@ -523,12 +578,7 @@ mod tests {
             0.05,
             false,
         );
-        let alerts = per_flow(
-            &f,
-            &empty_analysis(),
-            &RuleSet::builtin(),
-            &Thresholds::default(),
-        );
+        let alerts = per_flow(&f, &empty_analysis(), &builtin(), &Thresholds::default());
         assert!(alerts
             .iter()
             .any(|a| a.class == AttackClass::DataExfiltration));
@@ -548,12 +598,7 @@ mod tests {
             0.02,
             false,
         );
-        let alerts = per_flow(
-            &f,
-            &empty_analysis(),
-            &RuleSet::builtin(),
-            &Thresholds::default(),
-        );
+        let alerts = per_flow(&f, &empty_analysis(), &builtin(), &Thresholds::default());
         assert!(alerts
             .iter()
             .any(|a| a.class == AttackClass::Cryptomining && a.confidence > 0.8));
@@ -573,12 +618,7 @@ mod tests {
             0.02,
             false,
         );
-        let alerts = per_flow(
-            &f,
-            &empty_analysis(),
-            &RuleSet::builtin(),
-            &Thresholds::default(),
-        );
+        let alerts = per_flow(&f, &empty_analysis(), &builtin(), &Thresholds::default());
         let mining: Vec<_> = alerts
             .iter()
             .filter(|a| a.class == AttackClass::Cryptomining)

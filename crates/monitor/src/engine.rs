@@ -13,6 +13,7 @@ use crate::alerts::Alert;
 use crate::analyzers::{analyze_flow, FlowAnalysis};
 use crate::detectors::{self, Thresholds};
 use crate::features::FlowFeatures;
+use crate::matcher::{CompiledRuleSet, FeedCache, MatchMode};
 use crate::reassembly::FlowBuf;
 use crate::rules::{RuleFeed, RuleSet};
 use crate::streaming::{StreamingConfig, StreamingMonitor};
@@ -41,6 +42,10 @@ pub struct MonitorConfig {
     pub inspect_secrets: HashMap<HostAddr, Vec<u8>>,
     /// Map server address → server id for attribution.
     pub server_ids: HashMap<HostAddr, u32>,
+    /// How signature rules execute: compiled automata (default) or the
+    /// naive linear scans, kept as a measurable baseline for the
+    /// `e7_rulescale` bench and the equivalence property tests.
+    pub match_mode: MatchMode,
 }
 
 impl Default for MonitorConfig {
@@ -51,6 +56,7 @@ impl Default for MonitorConfig {
             thresholds: Thresholds::default(),
             inspect_secrets: HashMap::new(),
             server_ids: HashMap::new(),
+            match_mode: MatchMode::default(),
         }
     }
 }
@@ -133,23 +139,32 @@ impl Monitor {
         alert
     }
 
+    /// Compile this monitor's static rule set for its configured match
+    /// mode. Each [`StreamingMonitor`] (one per shard) builds its own.
+    pub(crate) fn compile_rules(&self) -> CompiledRuleSet {
+        CompiledRuleSet::compile(&self.config.rules, self.config.match_mode)
+    }
+
+    /// A fresh generation-cached view of this monitor's intel feed.
+    pub(crate) fn feed_cache(&self) -> FeedCache {
+        FeedCache::new(self.config.intel.clone(), self.config.match_mode)
+    }
+
     pub(crate) fn flow_work(
         &self,
         id: u64,
         buf: &FlowBuf,
+        rules: &CompiledRuleSet,
+        intel: &mut FeedCache,
     ) -> Option<(FlowFeatures, FlowAnalysis, Vec<Alert>)> {
         let ff = FlowFeatures::from_flow(id, buf)?;
         let analysis = analyze_flow(FlowId(id), buf, self.secret_for(buf));
-        let mut alerts =
-            detectors::per_flow(&ff, &analysis, &self.config.rules, &self.config.thresholds);
+        let mut alerts = detectors::per_flow(&ff, &analysis, rules, &self.config.thresholds);
         // Hot-reloaded intel: only rules that had propagated before this
-        // flow began may match it (no retroactive alerts).
+        // flow began may match it (no retroactive alerts). The guard is
+        // a lock-free epoch check, so an idle feed costs nothing.
         if !self.config.intel.is_empty() {
-            alerts.extend(detectors::feed_rule_hits(
-                &ff,
-                &analysis,
-                &self.config.intel,
-            ));
+            alerts.extend(detectors::feed_rule_hits(&ff, &analysis, intel));
         }
         Some((ff, analysis, alerts))
     }

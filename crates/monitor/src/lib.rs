@@ -31,6 +31,7 @@ pub mod analyzers;
 pub mod detectors;
 pub mod engine;
 pub mod features;
+pub mod matcher;
 pub mod reassembly;
 pub mod rules;
 pub mod streaming;
@@ -38,4 +39,5 @@ pub mod streaming;
 pub use alerts::{Alert, AlertSource};
 pub use engine::{Monitor, MonitorConfig, MonitorStats};
 pub use features::FlowFeatures;
+pub use matcher::{CompiledRuleSet, FeedCache, MatchMode, PatternMatcher};
 pub use streaming::{FanoutSpec, StreamingConfig, StreamingMonitor};

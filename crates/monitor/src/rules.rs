@@ -16,6 +16,8 @@
 
 use ja_attackgen::AttackClass;
 use ja_netsim::time::SimTime;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// What a rule matches on.
@@ -68,14 +70,29 @@ pub struct TimedRule {
     pub rule: Rule,
 }
 
+/// Shared feed state behind the lock: published rules in publish order
+/// plus an id index for O(1) re-publish dedup.
+#[derive(Debug, Default)]
+struct FeedInner {
+    rules: Vec<TimedRule>,
+    ids: HashSet<String>,
+}
+
 /// A hot-reloadable rule feed: the publisher half (the pipeline's
 /// honeypot intel loop) pushes [`TimedRule`]s while the subscriber half
 /// (every streaming-monitor shard) consults it per analyzed flow.
 /// Clones share state, so one handle can feed any number of worker
 /// threads; publishing mid-capture is exactly the hot-reload path.
+///
+/// Every successful publish bumps a lock-free **epoch** counter.
+/// Subscribers ([`crate::matcher::FeedCache`]) key their compiled
+/// snapshot on it: an unchanged epoch means the cached automaton is
+/// current and the per-flow cost is one atomic load — no read lock, no
+/// scan.
 #[derive(Clone, Debug, Default)]
 pub struct RuleFeed {
-    inner: Arc<RwLock<Vec<TimedRule>>>,
+    inner: Arc<RwLock<FeedInner>>,
+    epoch: Arc<AtomicU64>,
 }
 
 impl RuleFeed {
@@ -84,28 +101,43 @@ impl RuleFeed {
         Self::default()
     }
 
-    /// Publish a rule that becomes usable at `available_at`.
-    /// Re-publishing an id already in the feed is a no-op.
-    pub fn publish(&self, available_at: SimTime, rule: Rule) {
-        let mut rules = self.inner.write().expect("rule feed poisoned");
-        if !rules.iter().any(|t| t.rule.id == rule.id) {
-            rules.push(TimedRule { available_at, rule });
+    /// Publish a rule that becomes usable at `available_at`, bumping
+    /// the feed epoch. Re-publishing an id already in the feed is a
+    /// no-op (and leaves the epoch untouched). Returns whether the rule
+    /// was newly inserted.
+    pub fn publish(&self, available_at: SimTime, rule: Rule) -> bool {
+        let mut inner = self.inner.write().expect("rule feed poisoned");
+        if !inner.ids.insert(rule.id.clone()) {
+            return false;
         }
+        inner.rules.push(TimedRule { available_at, rule });
+        // Bumped while holding the write lock, so a subscriber that
+        // observes the new epoch and then snapshots is guaranteed to
+        // see this rule.
+        self.epoch.fetch_add(1, Ordering::Release);
+        true
     }
 
     /// Number of published rules (available or not).
     pub fn len(&self) -> usize {
-        self.inner.read().expect("rule feed poisoned").len()
+        self.inner.read().expect("rule feed poisoned").rules.len()
     }
 
-    /// Is the feed empty?
+    /// Is the feed empty? Lock-free: rules are never removed, so the
+    /// feed is empty exactly while the epoch is still zero.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.epoch() == 0
+    }
+
+    /// The feed's generation stamp: incremented on every successful
+    /// publish, never otherwise. Lock-free.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
     }
 
     /// All published rules with their availability times.
     pub fn snapshot(&self) -> Vec<TimedRule> {
-        self.inner.read().expect("rule feed poisoned").clone()
+        self.inner.read().expect("rule feed poisoned").rules.clone()
     }
 
     /// Rules a monitor may apply to a flow that began at `at`: only
@@ -122,7 +154,7 @@ impl RuleFeed {
     /// flow that began at `at` — the allocation-free variant of
     /// [`RuleFeed::rules_at`] the per-flow hot path uses.
     pub fn for_each_available<F: FnMut(&Rule)>(&self, at: SimTime, mut f: F) {
-        for t in self.inner.read().expect("rule feed poisoned").iter() {
+        for t in self.inner.read().expect("rule feed poisoned").rules.iter() {
             if t.available_at <= at {
                 f(&t.rule);
             }
@@ -130,10 +162,15 @@ impl RuleFeed {
     }
 }
 
-/// A rule set with match helpers.
+/// A rule set with (naive, linear-scan) match helpers. The hot paths
+/// run a [`crate::matcher::CompiledRuleSet`] built from this set; the
+/// scans here remain the reference implementation the equivalence
+/// property tests pin the compiled matcher against.
 #[derive(Clone, Debug, Default)]
 pub struct RuleSet {
     rules: Vec<Rule>,
+    /// Id index for O(1) add-dedup.
+    ids: HashSet<String>,
 }
 
 impl RuleSet {
@@ -210,9 +247,19 @@ impl RuleSet {
     /// Add a rule (honeypot intel path).
     pub fn add(&mut self, rule: Rule) {
         // Id-dedup: re-learning an existing signature is a no-op.
-        if !self.rules.iter().any(|r| r.id == rule.id) {
+        if self.ids.insert(rule.id.clone()) {
             self.rules.push(rule);
         }
+    }
+
+    /// The rules, in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Compile this set for single-pass matching.
+    pub fn compiled(&self, mode: crate::matcher::MatchMode) -> crate::matcher::CompiledRuleSet {
+        crate::matcher::CompiledRuleSet::compile(self, mode)
     }
 
     /// Number of rules.

@@ -128,6 +128,12 @@ pub(crate) struct StreamSummary {
 pub struct StreamingMonitor<'m> {
     monitor: &'m Monitor,
     cfg: StreamingConfig,
+    /// This shard's compiled static rules: built once per engine, so a
+    /// flow's signature pass is one automaton walk per payload.
+    rules: crate::matcher::CompiledRuleSet,
+    /// This shard's generation-cached intel snapshot: recompiled only
+    /// when a publisher bumped the feed epoch.
+    intel: crate::matcher::FeedCache,
     live: HashMap<u64, LiveFlow>,
     summary: StreamSummary,
     /// Newest capture timestamp seen on any flow (eviction clock).
@@ -142,6 +148,8 @@ impl<'m> StreamingMonitor<'m> {
         StreamingMonitor {
             monitor,
             cfg,
+            rules: monitor.compile_rules(),
+            intel: monitor.feed_cache(),
             live: HashMap::new(),
             summary: StreamSummary::default(),
             watermark: SimTime::ZERO,
@@ -222,7 +230,10 @@ impl<'m> StreamingMonitor<'m> {
         let Some(lf) = self.live.remove(&id) else {
             return;
         };
-        let Some((ff, analysis, alerts)) = self.monitor.flow_work(id, &lf.buf) else {
+        let Some((ff, analysis, alerts)) =
+            self.monitor
+                .flow_work(id, &lf.buf, &self.rules, &mut self.intel)
+        else {
             return;
         };
         let stats = &mut self.summary.stats;

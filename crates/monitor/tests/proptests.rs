@@ -1,11 +1,16 @@
 //! Property tests: the sensor's reassembly matches ground truth under
 //! arbitrary traffic and perturbation; detectors never panic on
-//! arbitrary feature inputs.
+//! arbitrary feature inputs; the compiled signature matcher is
+//! bit-identical to the naive scans it replaced.
 
+use ja_attackgen::AttackClass;
+use ja_monitor::analyzers::{FlowAnalysis, ParsedKernelMsg, Visibility};
 use ja_monitor::detectors::{self, Thresholds};
 use ja_monitor::engine::Monitor;
 use ja_monitor::features::FlowFeatures;
+use ja_monitor::matcher::{FeedCache, MatchMode, PatternMatcher};
 use ja_monitor::reassembly::Reassembler;
+use ja_monitor::rules::{Pattern, Rule, RuleFeed, RuleOrigin, RuleSet};
 use ja_monitor::streaming::{StreamingConfig, StreamingMonitor};
 use ja_netsim::addr::{FiveTuple, HostAddr, HostId};
 use ja_netsim::network::Network;
@@ -13,6 +18,7 @@ use ja_netsim::rng::SimRng;
 use ja_netsim::segment::{Direction, SegFlags, SegmentRecord};
 use ja_netsim::time::{Duration, SimTime};
 use ja_netsim::trace::Trace;
+use ja_websocket::handshake::UpgradeRequest;
 use proptest::prelude::*;
 
 /// Ground-truth stream content: byte at absolute offset `p`.
@@ -239,7 +245,8 @@ proptest! {
             up_entropy_bits: 8.0,
         };
         let th = Thresholds::default();
-        let rules = ja_monitor::rules::RuleSet::builtin();
+        let rules = ja_monitor::rules::RuleSet::builtin()
+            .compiled(ja_monitor::matcher::MatchMode::Compiled);
         let alerts = detectors::per_flow(&ff, &analysis, &rules, &th);
         for a in &alerts {
             prop_assert!((0.0..=1.0).contains(&a.confidence));
@@ -247,6 +254,223 @@ proptest! {
         let cross = detectors::cross_flow(&[ff], &th);
         for a in &cross {
             prop_assert!((0.0..=1.0).contains(&a.confidence));
+        }
+    }
+}
+
+/// Substring fragments the generators below share: adversarial for an
+/// automaton (prefix/suffix/overlap-heavy alphabet) plus multi-byte
+/// UTF-8, so failure-link and output-propagation bugs surface.
+fn arb_pattern() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just(String::new()),
+        "[ab]{1,4}",
+        "[ab]{1,4}",
+        "[a-e]{1,10}",
+        "[a-e]{1,10}",
+        "[a-eé ]{1,6}",
+        Just("🦀é".to_string()),
+    ]
+}
+
+fn arb_haystack() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[ab]{0,40}",
+        "[ab]{0,40}",
+        "[a-e]{0,60}",
+        "[a-e]{0,60}",
+        "[a-fé🦀 ]{0,40}",
+    ]
+}
+
+/// Everything observable about an alert, for exact (content + order)
+/// sequence comparison.
+type FeedAlertKey = (
+    SimTime,
+    AttackClass,
+    ja_monitor::alerts::AlertSource,
+    Option<HostAddr>,
+    u64,
+    String,
+);
+
+fn feed_fingerprint(alerts: &[ja_monitor::Alert]) -> Vec<FeedAlertKey> {
+    alerts
+        .iter()
+        .map(|a| {
+            (
+                a.time,
+                a.class,
+                a.source,
+                a.host,
+                a.confidence.to_bits(),
+                a.detail.clone(),
+            )
+        })
+        .collect()
+}
+
+/// A flow observation for the feed-matching path: start time, visible
+/// cell code per kernel message, optional upgrade target.
+fn feed_flow(
+    start_secs: u64,
+    codes: &[String],
+    url: &Option<String>,
+) -> (FlowFeatures, FlowAnalysis) {
+    let ff = FlowFeatures {
+        flow_id: 7,
+        tuple: FiveTuple::new(
+            HostAddr::internal(HostId(3)),
+            40_001,
+            HostAddr::external(9),
+            443,
+        ),
+        duration_secs: 5.0,
+        bytes_up: 1000,
+        bytes_down: 1000,
+        asymmetry: 0.0,
+        sends_up: 2,
+        mean_gap_secs: 0.0,
+        gap_cv: 0.0,
+        reset: false,
+        crosses_perimeter: true,
+        start: SimTime::from_secs(start_secs),
+    };
+    let analysis = FlowAnalysis {
+        handshake: url
+            .as_ref()
+            .map(|target| UpgradeRequest::new(target, "hub:8000", 11)),
+        kernel_msgs: codes
+            .iter()
+            .map(|c| ParsedKernelMsg {
+                msg_type: None,
+                code: Some(c.clone()),
+                signed: true,
+                payload_len: c.len(),
+            })
+            .collect(),
+        opaque_ws_messages: 0,
+        visibility: Visibility::FullContent,
+        up_entropy_bits: 4.0,
+    };
+    (ff, analysis)
+}
+
+proptest! {
+    /// The automaton reports exactly the patterns a `str::contains`
+    /// sweep reports, for arbitrary (overlapping, duplicated, empty,
+    /// multi-byte) pattern vectors and haystacks — the foundation every
+    /// higher equivalence result rests on.
+    #[test]
+    fn pattern_matcher_matches_contains_scan(
+        patterns in proptest::collection::vec(arb_pattern(), 0..12),
+        haystacks in proptest::collection::vec(arb_haystack(), 1..8),
+    ) {
+        let ac = PatternMatcher::build(&patterns);
+        prop_assert_eq!(ac.pattern_count(), patterns.len());
+        for hay in &haystacks {
+            let want: Vec<u32> = patterns
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| hay.contains(p.as_str()))
+                .map(|(i, _)| i as u32)
+                .collect();
+            prop_assert_eq!(ac.find(hay.as_bytes()), want, "haystack {:?} vs {:?}", hay, &patterns);
+        }
+    }
+
+    /// A compiled rule set answers every plane query — code, URL,
+    /// cmdline, port — with exactly the rules (same order) the naive
+    /// `RuleSet` scans return, in both execution modes, for random
+    /// multi-plane rule sets.
+    #[test]
+    fn compiled_ruleset_matches_naive_ruleset(
+        specs in proptest::collection::vec((0u8..4, arb_pattern(), 0u16..8), 0..24),
+        haystacks in proptest::collection::vec(arb_haystack(), 1..6),
+    ) {
+        let mut rs = RuleSet::new();
+        for (i, (plane, text, port)) in specs.iter().enumerate() {
+            let pattern = match plane {
+                0 => Pattern::CodeSubstring(text.clone()),
+                1 => Pattern::UrlSubstring(text.clone()),
+                2 => Pattern::CmdlineSubstring(text.clone()),
+                _ => Pattern::DstPort(*port),
+            };
+            rs.add(Rule {
+                id: format!("prop-{i:03}"),
+                class: AttackClass::ALL[i % AttackClass::ALL.len()],
+                pattern,
+                confidence: 0.5,
+                origin: if i % 2 == 0 { RuleOrigin::Builtin } else { RuleOrigin::HoneypotIntel },
+            });
+        }
+        let ids = |v: Vec<&Rule>| -> Vec<String> { v.iter().map(|r| r.id.clone()).collect() };
+        for mode in [MatchMode::Compiled, MatchMode::Naive] {
+            let compiled = rs.compiled(mode);
+            prop_assert_eq!(compiled.len(), rs.len());
+            for hay in &haystacks {
+                prop_assert_eq!(ids(compiled.match_code(hay)), ids(rs.match_code(hay)));
+                prop_assert_eq!(ids(compiled.match_url(hay)), ids(rs.match_url(hay)));
+                prop_assert_eq!(ids(compiled.match_cmdline(hay)), ids(rs.match_cmdline(hay)));
+            }
+            for port in 0u16..8 {
+                prop_assert_eq!(ids(compiled.match_port(port)), ids(rs.match_port(port)));
+            }
+        }
+    }
+
+    /// The generation-cached compiled feed path emits the identical
+    /// alert sequence (content *and* order) to the per-flow locked
+    /// naive walk, across random rule sets, payloads, publish schedules
+    /// and flow start times — including re-publishes mid-stream, which
+    /// exercise the epoch-triggered recompile.
+    #[test]
+    fn feed_cache_matches_naive_walk_across_publish_schedules(
+        publishes in proptest::collection::vec(
+            (0u64..2_000, any::<bool>(), arb_pattern()), 0..20),
+        split in 0usize..20,
+        queries in proptest::collection::vec(
+            (0u64..2_500,
+             proptest::collection::vec(arb_haystack(), 0..4),
+             proptest::option::of(arb_haystack())), 1..5),
+    ) {
+        let feed = RuleFeed::new();
+        let mut naive = FeedCache::new(feed.clone(), MatchMode::Naive);
+        let mut compiled = FeedCache::new(feed.clone(), MatchMode::Compiled);
+        let publish = |range: &[(u64, bool, String)], base: usize| {
+            for (i, (at, is_url, text)) in range.iter().enumerate() {
+                feed.publish(SimTime::from_secs(*at), Rule {
+                    id: format!("hp-prop-{:03}", base + i),
+                    class: AttackClass::ALL[(base + i) % AttackClass::ALL.len()],
+                    pattern: if *is_url {
+                        Pattern::UrlSubstring(text.clone())
+                    } else {
+                        Pattern::CodeSubstring(text.clone())
+                    },
+                    confidence: 0.75,
+                    origin: RuleOrigin::HoneypotIntel,
+                });
+            }
+        };
+        let split = split.min(publishes.len());
+        // First wave of rules, then queries, then more rules (an epoch
+        // bump the compiled cache must notice), then the same queries:
+        // stale-cache bugs and recompile bugs both surface as diffs.
+        publish(&publishes[..split], 0);
+        for round in 0..2 {
+            for (start, codes, url) in &queries {
+                let (ff, analysis) = feed_flow(*start, codes, url);
+                let a = detectors::feed_rule_hits(&ff, &analysis, &mut naive);
+                let b = detectors::feed_rule_hits(&ff, &analysis, &mut compiled);
+                prop_assert_eq!(
+                    feed_fingerprint(&a),
+                    feed_fingerprint(&b),
+                    "round {} start {}",
+                    round,
+                    start
+                );
+            }
+            publish(&publishes[split..], split);
         }
     }
 }
