@@ -109,7 +109,7 @@ impl Campaign {
 }
 
 /// Ground-truth label for scoring: a labeled activity window.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct GroundTruth {
     /// Class (None = benign).
     pub class: Option<AttackClass>,

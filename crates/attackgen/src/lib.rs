@@ -50,10 +50,12 @@ pub mod zeroday;
 
 pub use campaign::{Campaign, CampaignStep, GroundTruth};
 pub use parallel::{run_parallel, ParallelOutcome};
-pub use stream::{ScenarioItem, ScenarioStream, StreamKey};
+pub use stream::{CampaignProgress, ScenarioItem, ScenarioStream, StreamKey, StreamSnapshot};
 
 /// The attack classes of the paper's taxonomy (Fig. 1 / Fig. 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AttackClass {
     /// File encryption for extortion.
     Ransomware,

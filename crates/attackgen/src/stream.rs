@@ -52,7 +52,7 @@ use ja_kernelsim::hub::AuthEvent;
 use ja_kernelsim::server::ClientConn;
 use ja_netsim::addr::{HostAddr, HostId};
 use ja_netsim::events::EventQueue;
-use ja_netsim::network::Network;
+use ja_netsim::network::{Network, NetworkSnapshot};
 use ja_netsim::rng::{split_seed, SimRng};
 use ja_netsim::segment::SegmentRecord;
 use ja_netsim::time::{Duration, SimTime};
@@ -137,6 +137,48 @@ struct Pending {
 const KIND_SEGMENT: u8 = 0;
 const KIND_AUTH: u8 = 1;
 const KIND_SYS: u8 = 2;
+
+/// Serializable progress of one campaign inside a [`StreamSnapshot`].
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CampaignProgress {
+    /// Global campaign index.
+    pub gci: u64,
+    /// Steps not yet executed.
+    pub remaining: u64,
+    /// Latest simulated instant any step of this campaign reached.
+    pub last_activity: SimTime,
+    /// Server indices touched so far.
+    pub touched: Vec<u64>,
+    /// Client sessions currently open.
+    pub open_conns: u64,
+    /// Raw xoshiro256++ state of the campaign's private RNG (4 words).
+    pub rng: Vec<u64>,
+}
+
+/// Serializable scheduler state of a [`ScenarioStream`] at a watermark —
+/// the ja-attackgen layer of the service checkpoint contract. Captures
+/// per-campaign RNG/scope progress and the network allocation counters;
+/// equality between the checkpointed snapshot and a replayed stream's
+/// snapshot at the same watermark proves the replay converged.
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StreamSnapshot {
+    /// Per-campaign execution progress, in plan order.
+    pub campaigns: Vec<CampaignProgress>,
+    /// Network flow/port allocation counters.
+    pub net: NetworkSnapshot,
+    /// Per-server sys-event sequence numbers.
+    pub sys_seq: Vec<u64>,
+    /// Campaigns retired so far.
+    pub retired: u64,
+    /// Items buffered awaiting the watermark.
+    pub pending: u64,
+    /// Items released but not yet consumed.
+    pub ready: u64,
+    /// Latest simulated instant reached.
+    pub end: SimTime,
+    /// True once every campaign retired and the queue drained.
+    pub finished: bool,
+}
 
 /// Lazy, pull-based scenario executor (see module docs).
 pub struct ScenarioStream<'d> {
@@ -318,6 +360,38 @@ impl<'d> ScenarioStream<'d> {
     /// Ground-truth labels of campaigns that have retired so far.
     pub fn retired_ground_truth(&self) -> impl Iterator<Item = &GroundTruth> {
         self.retired.iter().map(|(_, g)| g)
+    }
+
+    /// Capture the scheduler + per-campaign execution state as a
+    /// serializable snapshot: campaign progress (steps remaining, RNG
+    /// stream position, open sessions, servers touched), the network
+    /// allocation counters, per-server sys sequence numbers, and the
+    /// watermark machinery. Two streams that executed the same item
+    /// prefix produce equal snapshots, so a restored service verifies
+    /// its deterministic replay against the checkpointed snapshot
+    /// instead of trusting it blindly.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            campaigns: self
+                .campaigns
+                .iter()
+                .map(|run| CampaignProgress {
+                    gci: run.gci as u64,
+                    remaining: run.remaining as u64,
+                    last_activity: run.last_activity,
+                    touched: run.touched.iter().map(|&s| s as u64).collect(),
+                    open_conns: run.conns.len() as u64,
+                    rng: run.rng.state().to_vec(),
+                })
+                .collect(),
+            net: self.net.snapshot(),
+            sys_seq: self.sys_seq.clone(),
+            retired: self.retired.len() as u64,
+            pending: self.pending.len() as u64,
+            ready: self.ready.len() as u64,
+            end: self.end,
+            finished: self.finished,
+        }
     }
 
     /// Latest simulated instant reached.
@@ -720,5 +794,28 @@ mod tests {
         assert!(seen_partial, "first campaign should retire mid-stream");
         let (labels, _) = stream.into_labels();
         assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_equal_at_equal_watermark_and_serde_round_trips() {
+        let run_to = |items: usize| {
+            let mut d = Deployment::build(&DeploymentSpec::small_lab(36));
+            let campaigns = mixed_campaigns(&d);
+            let mut stream = ScenarioStream::new(&mut d, campaigns, 9);
+            for _ in 0..items {
+                stream.next_item();
+            }
+            stream.snapshot()
+        };
+        let a = run_to(40);
+        let b = run_to(40);
+        assert_eq!(a, b, "same prefix must snapshot identically");
+        let c = run_to(41);
+        assert_ne!(a, c, "different watermarks must be distinguishable");
+
+        use serde::{Deserialize, Serialize};
+        let json = serde_json::to_string(&a).unwrap();
+        let back = StreamSnapshot::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, a);
     }
 }

@@ -11,7 +11,7 @@ use ja_monitor::alerts::{Alert, AlertSource};
 use ja_netsim::time::{Duration, SimTime};
 
 /// One classified incident.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Incident {
     /// Attack class.
     pub class: AttackClass,

@@ -84,8 +84,11 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Build a dataset from a scenario, anonymizing with `site_key`.
-    pub fn from_scenario(out: &ScenarioOutput, site_key: &[u8]) -> Self {
+    /// Build a dataset from a scenario's raw streams plus its labels,
+    /// anonymizing with `site_key`. Labels are a separate parameter
+    /// because the pipeline moves them out of the retained raw output
+    /// and onto [`crate::pipeline::ScenarioArtifacts`].
+    pub fn from_scenario(out: &ScenarioOutput, labels: &[GroundTruth], site_key: &[u8]) -> Self {
         let anon = Anonymizer::new(site_key);
         let flows = out
             .trace
@@ -121,8 +124,7 @@ impl Dataset {
                 outcome: format!("{:?}", a.outcome).to_lowercase(),
             })
             .collect();
-        let labels = out
-            .ground_truth
+        let labels = labels
             .iter()
             .map(|g: &GroundTruth| LabelRecord {
                 class: g.class.map(|c| c.label().to_string()),
@@ -174,7 +176,7 @@ mod tests {
     #[test]
     fn export_is_complete_and_round_trips() {
         let out = scenario();
-        let ds = Dataset::from_scenario(&out, b"site-key");
+        let ds = Dataset::from_scenario(&out, &out.ground_truth, b"site-key");
         assert!(!ds.flows.is_empty());
         assert!(!ds.events.is_empty());
         assert!(!ds.auth.is_empty());
@@ -194,7 +196,7 @@ mod tests {
             .collect::<std::collections::HashSet<_>>()
             .into_iter()
             .collect();
-        let ds = Dataset::from_scenario(&out, b"site-key");
+        let ds = Dataset::from_scenario(&out, &out.ground_truth, b"site-key");
         let json = ds.to_json();
         for u in real_users {
             assert!(!json.contains(&format!("\"{u}\"")), "leaked {u}");
@@ -204,7 +206,7 @@ mod tests {
     #[test]
     fn labels_preserve_attack_class() {
         let out = scenario();
-        let ds = Dataset::from_scenario(&out, b"k");
+        let ds = Dataset::from_scenario(&out, &out.ground_truth, b"k");
         assert!(ds
             .labels
             .iter()

@@ -43,7 +43,7 @@ use ja_honeypot::{Decoy, IntelBus};
 use ja_kernelsim::actions::{Action, CellScript};
 use ja_kernelsim::deployment::Deployment;
 use ja_kernelsim::events::SysEventKind;
-use ja_monitor::rules::{Pattern, RuleFeed};
+use ja_monitor::rules::{FeedCheckpoint, Pattern, RuleFeed};
 use ja_netsim::addr::HostAddr;
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
@@ -177,6 +177,63 @@ impl IntelLoop {
             decoys: self.decoys,
         }
     }
+
+    /// Serializable copy of the loop's full durable state. Restoring it
+    /// (possibly in another process) yields a loop that observes the
+    /// remainder of a stream exactly as this one would have.
+    pub(crate) fn snapshot(&self) -> IntelSnapshot {
+        // The dedup set iterates in hash order; sort so equal states
+        // serialize identically (checkpoint digests rely on it).
+        let mut seen_tokens: Vec<String> = self.seen_tokens.iter().cloned().collect();
+        seen_tokens.sort_unstable();
+        IntelSnapshot {
+            decoy_base: self.decoy_base,
+            decoys: self.decoys.clone(),
+            bus: self.bus.clone(),
+            feed: self.feed.checkpoint(),
+            seen_tokens,
+            triage_class: self.triage_class,
+            seq: self.seq as u64,
+        }
+    }
+
+    /// Rebuild a loop from a checkpointed state instead of starting
+    /// fresh — the service epoch loop's way of carrying learned
+    /// signatures (and their dedup history) across epochs and restarts.
+    pub(crate) fn restore(snap: &IntelSnapshot) -> Self {
+        IntelLoop {
+            decoy_base: snap.decoy_base,
+            decoys: snap.decoys.clone(),
+            bus: snap.bus.clone(),
+            feed: RuleFeed::restore(&snap.feed),
+            seen_tokens: snap.seen_tokens.iter().cloned().collect(),
+            triage_class: snap.triage_class,
+            seq: snap.seq as usize,
+        }
+    }
+}
+
+/// Checkpointed state of the honeypot intel loop: the decoy fleet's
+/// capture books, the bus's publish history, the hot-reload feed
+/// contents (rules + generation epoch), and the payload-dedup set.
+/// Everything `IntelLoop` needs to resume mid-service without
+/// re-learning or double-publishing a signature.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct IntelSnapshot {
+    /// First decoy server id (production ids are below it).
+    pub decoy_base: u32,
+    /// The decoy fleet, capture books included.
+    pub decoys: Vec<Decoy>,
+    /// The intel bus: propagation delay plus publish history.
+    pub bus: IntelBus,
+    /// Hot-reload feed contents and generation epoch.
+    pub feed: FeedCheckpoint,
+    /// Payload tokens already signed, sorted (dedup across epochs).
+    pub seen_tokens: Vec<String>,
+    /// The triage class assigned to captured payloads.
+    pub triage_class: AttackClass,
+    /// Next signature sequence number.
+    pub seq: u64,
 }
 
 /// What the intel loop did during one streamed run.
@@ -420,5 +477,49 @@ mod tests {
         assert_eq!(out.first_available, Some(SimTime::from_secs(310)));
         assert_eq!(out.decoys[0].captures.len(), 1);
         assert_eq!(out.decoys[1].captures.len(), 2);
+    }
+
+    #[test]
+    fn intel_snapshot_round_trips_and_keeps_dedup_across_restore() {
+        use ja_kernelsim::events::{SysEvent, SysEventKind};
+        let d = site(2);
+        let mut il = IntelLoop::new(&IntelConfig::default(), &d);
+        let exec = |server_id: u32, t: u64, code: &str| {
+            ScenarioItem::Sys(SysEvent {
+                time: SimTime::from_secs(t),
+                server_id,
+                user: "svc-decoy-0".into(),
+                kind: SysEventKind::CellExecute {
+                    kernel_id: 0,
+                    code: code.into(),
+                },
+            })
+        };
+        il.observe(&exec(4, 10, "evil_dropper_v1()"));
+        il.observe(&exec(5, 20, "evil_dropper_v2()"));
+        let snap = il.snapshot();
+        // Serde round trip through JSON preserves the snapshot exactly.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: IntelSnapshot =
+            serde::Deserialize::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back.seen_tokens, snap.seen_tokens);
+        assert_eq!(back.seq, snap.seq);
+        assert_eq!(back.feed.epoch, snap.feed.epoch);
+        assert_eq!(back.feed.rules.len(), 2);
+
+        // A restored loop dedups payloads learned before the restore
+        // (no re-publish) but still learns genuinely new ones.
+        let mut restored = IntelLoop::restore(&back);
+        assert_eq!(restored.feed().len(), 2);
+        let epoch_before = restored.feed().epoch();
+        restored.observe(&exec(4, 30, "evil_dropper_v1()"));
+        assert_eq!(restored.feed().len(), 2, "old payload re-published");
+        assert_eq!(restored.feed().epoch(), epoch_before);
+        restored.observe(&exec(4, 40, "evil_dropper_v3()"));
+        assert_eq!(restored.feed().len(), 3);
+        let out = restored.into_outcome();
+        // Capture books carried over plus the two new interactions.
+        assert_eq!(out.captures, 4);
+        assert_eq!(out.published.len(), 3);
     }
 }

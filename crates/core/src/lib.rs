@@ -34,10 +34,15 @@ pub mod oscrp;
 pub mod pipeline;
 pub mod report;
 pub mod risk;
+pub mod service;
 pub mod taxonomy;
 
 pub use intel::{build_wave, IntelConfig, IntelOutcome, WaveSpec};
 pub use metrics::{score, ClassScore, Scoreboard};
 pub use oscrp::{Concern, Consequence};
 pub use pipeline::{Pipeline, PipelineConfig};
+pub use service::{
+    MixSource, PlanSource, QueueSource, RestoreError, ServiceCheckpoint, ServiceConfig,
+    ServiceError, SocService,
+};
 pub use taxonomy::Taxonomy;

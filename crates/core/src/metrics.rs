@@ -29,7 +29,7 @@ impl Default for ScoringConfig {
 }
 
 /// Per-class score.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct ClassScore {
     /// Campaigns of this class in ground truth.
     pub campaigns: usize,
@@ -141,6 +141,73 @@ impl Scoreboard {
             self.total_fp()
         ));
         out
+    }
+}
+
+impl Scoreboard {
+    /// Fold another scoreboard into this one: counts add, and
+    /// per-class mean latency is re-weighted by each side's detected
+    /// campaigns, so merging per-epoch boards equals scoring the
+    /// concatenated run. An empty board (the [`Default`]) adopts the
+    /// other side's rows.
+    pub fn merge(&mut self, other: &Scoreboard) {
+        if self.classes.is_empty() {
+            self.classes = other.classes.clone();
+            return;
+        }
+        for (class, theirs) in &other.classes {
+            match self.classes.iter_mut().find(|(c, _)| c == class) {
+                Some((_, ours)) => {
+                    let detected = ours.detected + theirs.detected;
+                    if detected > 0 {
+                        ours.mean_latency_secs = (ours.mean_latency_secs * ours.detected as f64
+                            + theirs.mean_latency_secs * theirs.detected as f64)
+                            / detected as f64;
+                    }
+                    ours.campaigns += theirs.campaigns;
+                    ours.detected = detected;
+                    ours.tp_alerts += theirs.tp_alerts;
+                    ours.fp_alerts += theirs.fp_alerts;
+                }
+                None => self.classes.push((*class, theirs.clone())),
+            }
+        }
+    }
+}
+
+// The vendored serde derive cannot express `Vec<(AttackClass,
+// ClassScore)>` (tuples are outside its dialect), so the checkpoint
+// encoding is hand-written: an array of `{"class": ..., "score": ...}`
+// rows in board order.
+impl serde::Serialize for Scoreboard {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(
+            self.classes
+                .iter()
+                .map(|(class, score)| {
+                    serde::Value::Object(vec![
+                        ("class".to_string(), class.to_value()),
+                        ("score".to_string(), score.to_value()),
+                    ])
+                })
+                .collect(),
+        )
+    }
+}
+
+impl serde::Deserialize for Scoreboard {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let rows = value
+            .as_array()
+            .ok_or_else(|| serde::DeError::custom("expected scoreboard array"))?;
+        let mut classes = Vec::with_capacity(rows.len());
+        for row in rows {
+            classes.push((
+                AttackClass::from_value(&row["class"])?,
+                ClassScore::from_value(&row["score"])?,
+            ));
+        }
+        Ok(Scoreboard { classes })
     }
 }
 

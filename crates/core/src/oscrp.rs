@@ -5,7 +5,9 @@
 use ja_attackgen::AttackClass;
 
 /// OSCRP concerns (middle row of Fig. 3).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Concern {
     /// Data is encrypted, deleted or corrupted.
     InaccessibleOrIncorrectData,
@@ -35,7 +37,9 @@ impl Concern {
 
 /// OSCRP consequences (bottom row of Fig. 3): to science, and to
 /// facilities & humans.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum Consequence {
     /// Results cannot be reproduced.
     IrreproducibleResults,

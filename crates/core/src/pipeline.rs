@@ -25,13 +25,13 @@
 //!   on the same seed — only the retained raw streams differ.
 
 use crate::classify::{incidents, Incident};
-use crate::intel::{IntelConfig, IntelLoop, IntelOutcome};
+use crate::intel::{IntelConfig, IntelLoop, IntelOutcome, IntelSnapshot};
 use crate::metrics::{score, ScoringConfig};
 use crate::report::Report;
 use ja_attackgen::campaign::{execute, Campaign, GroundTruth, ScenarioOutput};
 use ja_attackgen::mixer::build_attack;
 use ja_attackgen::parallel::{run_parallel, ParallelOutcome};
-use ja_attackgen::stream::{ScenarioItem, ScenarioStream};
+use ja_attackgen::stream::{ScenarioItem, ScenarioStream, StreamSnapshot};
 use ja_attackgen::AttackClass;
 use ja_audit::detectors::AuditDetector;
 use ja_audit::tracer::Tracer;
@@ -39,6 +39,7 @@ use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
 use ja_kernelsim::events::SysEvent;
 use ja_kernelsim::hub::AuthEvent;
 use ja_monitor::engine::{Monitor, MonitorConfig, MonitorStats};
+use ja_monitor::streaming::MonitorShardSnapshot;
 use ja_monitor::streaming::{FanoutSpec, StreamingConfig};
 use ja_netsim::rng::SimRng;
 use ja_netsim::time::{Duration, SimTime};
@@ -119,9 +120,12 @@ pub struct ScenarioArtifacts {
 }
 
 impl ScenarioArtifacts {
-    fn from_batch(out: ScenarioOutput) -> Self {
+    fn from_batch(mut out: ScenarioOutput) -> Self {
+        // The labels live on the artifact; moving them out (instead of
+        // cloning per run) leaves `raw` holding only the observation
+        // streams, which is all its accessors expose.
         ScenarioArtifacts {
-            ground_truth: out.ground_truth.clone(),
+            ground_truth: std::mem::take(&mut out.ground_truth),
             end: out.end,
             raw: Some(out),
         }
@@ -164,6 +168,48 @@ pub struct RunOutcome {
     pub intel: Option<IntelOutcome>,
     /// The consolidated report.
     pub report: Report,
+}
+
+/// Layer state captured at one watermark of an epoch feed — what the
+/// service persists (and later verifies) when it checkpoints
+/// mid-stream. The item count and the layer snapshots all describe the
+/// instant *after* the `items`-th item was routed.
+pub(crate) struct EpochWatermark {
+    /// How many scenario items had been produced.
+    pub items: u64,
+    /// Producer-side state — only observable on the inline
+    /// (single-producer) path, where the feeding thread owns the
+    /// [`ScenarioStream`].
+    pub stream: Option<StreamSnapshot>,
+    /// Monitor engine state — only observable when the sink is a
+    /// single inline shard (sharded routers keep worker state on
+    /// other threads).
+    pub shard: Option<MonitorShardSnapshot>,
+    /// Intel-loop state, when the loop is live.
+    pub intel: Option<IntelSnapshot>,
+}
+
+/// Observation hooks an always-on driver (the SOC service) threads
+/// through one epoch's fused pump. The pump calls
+/// [`EpochObserver::on_item`] for every scenario item *before* routing
+/// it; returning `true` requests a watermark capture, delivered to
+/// [`EpochObserver::at_watermark`] immediately *after* the item is
+/// routed.
+pub(crate) trait EpochObserver {
+    /// One scenario item is about to be routed; `count` is 1-based.
+    fn on_item(&mut self, count: u64, item: &ScenarioItem) -> bool;
+    /// A requested watermark capture.
+    fn at_watermark(&mut self, mark: EpochWatermark);
+}
+
+/// Observer used by the one-shot entry points: no watermarks.
+pub(crate) struct NoopObserver;
+
+impl EpochObserver for NoopObserver {
+    fn on_item(&mut self, _count: u64, _item: &ScenarioItem) -> bool {
+        false
+    }
+    fn at_watermark(&mut self, _mark: EpochWatermark) {}
 }
 
 /// What to run.
@@ -251,7 +297,7 @@ impl Pipeline {
     /// Build the campaign schedule (benign + attacks) a plan describes —
     /// exactly like the mixer, but through explicit steps so callers
     /// can also pass custom campaigns via `run_campaigns*`.
-    fn build_campaigns(&self, plan: &CampaignPlan) -> Vec<(SimTime, Campaign)> {
+    pub(crate) fn build_campaigns(&self, plan: &CampaignPlan) -> Vec<(SimTime, Campaign)> {
         let mut rng = SimRng::new(plan.seed);
         let mut campaigns: Vec<(SimTime, Campaign)> = Vec::new();
         // Benign workload and targeted attacks run on production
@@ -305,7 +351,7 @@ impl Pipeline {
     }
 
     /// How many monitor shards the configuration asks for.
-    fn shard_count(&self) -> usize {
+    pub(crate) fn shard_count(&self) -> usize {
         match (self.config.shards, self.config.parallel) {
             (Some(n), _) => n.max(1),
             (None, true) => rayon::current_num_threads().max(1),
@@ -314,7 +360,7 @@ impl Pipeline {
     }
 
     /// How many scenario producer threads the configuration asks for.
-    fn producer_count(&self) -> usize {
+    pub(crate) fn producer_count(&self) -> usize {
         match (self.config.producers, self.config.parallel) {
             (Some(n), _) => n.max(1),
             (None, true) => rayon::current_num_threads().max(1),
@@ -374,60 +420,47 @@ impl Pipeline {
         )
     }
 
+    /// A fresh per-run intel loop, when one is configured.
+    fn fresh_intel(&self) -> Option<IntelLoop> {
+        self.config
+            .intel
+            .as_ref()
+            .map(|cfg| IntelLoop::new(cfg, &self.deployment))
+    }
+
+    /// The monitor for one streamed run/epoch. When an intel loop is
+    /// live its feed handle replaces the configured one, so signatures
+    /// the loop learns hot-reload into this monitor's shards (the feed
+    /// is a shared handle — cloning it shares state, it does not copy
+    /// rules). Both streamed paths and the service epochs wire through
+    /// here; this used to be duplicated per path.
+    fn monitor_wired(&self, intel: Option<&IntelLoop>) -> Monitor {
+        let mut mcfg = self.fleet_monitor_config();
+        if let Some(il) = intel {
+            mcfg.intel = il.feed().clone();
+        }
+        Monitor::new(mcfg)
+    }
+
     /// Run explicit campaigns with the producer fused into the
     /// streaming monitor: each item the lazy scenario stream yields is
     /// routed — segment to the (sharded) streaming engine, kernel event
     /// to the bounded tracer, auth event to the auth analyzer — the
     /// moment it is produced. Peak memory is bounded by concurrently
     /// live campaigns and flows, not capture size.
+    ///
+    /// The honeypot intel loop gets fresh per-run state so signatures
+    /// learned in this run never leak across runs. The always-on
+    /// service drives the same pump with a *persistent* loop instead.
     pub fn run_campaigns_streamed(
         &mut self,
         campaigns: Vec<(SimTime, Campaign)>,
         seed: u64,
     ) -> RunOutcome {
-        // The honeypot intel loop gets fresh per-run state; its feed
-        // replaces the configured one so signatures learned in this run
-        // hot-reload into this run's monitor shards (and never leak
-        // across runs).
-        let mut intel_loop = self
-            .config
-            .intel
-            .as_ref()
-            .map(|cfg| IntelLoop::new(cfg, &self.deployment));
-        let mut mcfg = self.fleet_monitor_config();
-        if let Some(il) = &intel_loop {
-            mcfg.intel = il.feed().clone();
-        }
-        let monitor = Monitor::new(mcfg);
-        let shards = self.shard_count();
-        let mut tracer = Tracer::new(self.config.tracer_capacity);
-        let mut auth_log: Vec<AuthEvent> = Vec::new();
-        let mut stream = ScenarioStream::new(&mut self.deployment, campaigns, seed ^ 0xA0D17);
-        let (mut alerts, monitor_stats) =
-            monitor.analyze_stream(shards, StreamingConfig::close_evict(), |sink| {
-                while let Some(item) = stream.next_item() {
-                    if let Some(il) = intel_loop.as_mut() {
-                        il.observe(&item);
-                    }
-                    match item {
-                        ScenarioItem::Segment(rec) => sink.accept(rec),
-                        ScenarioItem::Auth(ev) => auth_log.push(ev),
-                        ScenarioItem::Sys(ev) => tracer.ingest(ev),
-                    }
-                }
-            });
-        let (ground_truth, end) = stream.into_labels();
-        alerts.extend(monitor.analyze_auth(&auth_log));
-        let audit_alerts = Self::drain_audit(&mut tracer);
-        let audit_completeness = tracer.completeness();
-        alerts.extend(audit_alerts);
-        self.finish_run(
-            alerts,
-            ScenarioArtifacts::from_streamed(ground_truth, end),
-            monitor_stats,
-            audit_completeness,
-            intel_loop.map(IntelLoop::into_outcome),
-        )
+        let mut intel = self.fresh_intel();
+        let mut out = self.pump_epoch_inline(campaigns, seed, intel.as_mut(), &mut NoopObserver);
+        out.intel = intel.map(IntelLoop::into_outcome);
+        out
     }
 
     /// Run explicit campaigns with parallel scenario producers fused
@@ -443,22 +476,103 @@ impl Pipeline {
         campaigns: Vec<(SimTime, Campaign)>,
         seed: u64,
     ) -> RunOutcome {
-        let mut intel_loop = self
-            .config
-            .intel
-            .as_ref()
-            .map(|cfg| IntelLoop::new(cfg, &self.deployment));
-        let mut mcfg = self.fleet_monitor_config();
-        if let Some(il) = &intel_loop {
-            mcfg.intel = il.feed().clone();
+        let mut intel = self.fresh_intel();
+        let mut out = self.pump_epoch_parallel(campaigns, seed, intel.as_mut(), &mut NoopObserver);
+        out.intel = intel.map(IntelLoop::into_outcome);
+        out
+    }
+
+    /// One fused streamed pass over explicit campaigns, dispatching to
+    /// the inline or parallel-producer pump on the configured producer
+    /// count — the epoch body the always-on service runs. The caller
+    /// owns the intel loop (so it can persist across epochs) and the
+    /// observer (watermark checkpoints / resume verification).
+    pub(crate) fn pump_epoch(
+        &mut self,
+        campaigns: Vec<(SimTime, Campaign)>,
+        seed: u64,
+        intel: Option<&mut IntelLoop>,
+        observer: &mut dyn EpochObserver,
+    ) -> RunOutcome {
+        if self.producer_count() > 1 {
+            self.pump_epoch_parallel(campaigns, seed, intel, observer)
+        } else {
+            self.pump_epoch_inline(campaigns, seed, intel, observer)
         }
-        let monitor = Monitor::new(mcfg);
+    }
+
+    /// The single-producer pump body shared by
+    /// [`Pipeline::run_campaigns_streamed`] and the service epochs.
+    pub(crate) fn pump_epoch_inline(
+        &mut self,
+        campaigns: Vec<(SimTime, Campaign)>,
+        seed: u64,
+        mut intel: Option<&mut IntelLoop>,
+        observer: &mut dyn EpochObserver,
+    ) -> RunOutcome {
+        let monitor = self.monitor_wired(intel.as_deref());
+        let shards = self.shard_count();
+        let mut tracer = Tracer::new(self.config.tracer_capacity);
+        let mut auth_log: Vec<AuthEvent> = Vec::new();
+        let mut stream = ScenarioStream::new(&mut self.deployment, campaigns, seed ^ 0xA0D17);
+        let mut count = 0u64;
+        let (mut alerts, monitor_stats) =
+            monitor.analyze_stream(shards, StreamingConfig::close_evict(), |sink| {
+                while let Some(item) = stream.next_item() {
+                    if let Some(il) = intel.as_mut() {
+                        il.observe(&item);
+                    }
+                    count += 1;
+                    let capture = observer.on_item(count, &item);
+                    match item {
+                        ScenarioItem::Segment(rec) => sink.accept(rec),
+                        ScenarioItem::Auth(ev) => auth_log.push(ev),
+                        ScenarioItem::Sys(ev) => tracer.ingest(ev),
+                    }
+                    if capture {
+                        observer.at_watermark(EpochWatermark {
+                            items: count,
+                            stream: Some(stream.snapshot()),
+                            shard: sink.shard_snapshot(),
+                            intel: intel.as_deref().map(IntelLoop::snapshot),
+                        });
+                    }
+                }
+            });
+        let (ground_truth, end) = stream.into_labels();
+        alerts.extend(monitor.analyze_auth(&auth_log));
+        let audit_alerts = Self::drain_audit(&mut tracer);
+        let audit_completeness = tracer.completeness();
+        alerts.extend(audit_alerts);
+        self.finish_run(
+            alerts,
+            ScenarioArtifacts::from_streamed(ground_truth, end),
+            monitor_stats,
+            audit_completeness,
+            None,
+        )
+    }
+
+    /// The parallel-producer pump body shared by
+    /// [`Pipeline::run_campaigns_streamed_parallel`] and the service
+    /// epochs. Watermarks carry no producer/shard snapshots here —
+    /// that state lives on other threads — so checkpoint verification
+    /// on this path rests on the feed digest alone.
+    pub(crate) fn pump_epoch_parallel(
+        &mut self,
+        campaigns: Vec<(SimTime, Campaign)>,
+        seed: u64,
+        mut intel: Option<&mut IntelLoop>,
+        observer: &mut dyn EpochObserver,
+    ) -> RunOutcome {
+        let monitor = self.monitor_wired(intel.as_deref());
         let shards = self.shard_count();
         let producers = self.producer_count();
         let mut tracer = Tracer::new(self.config.tracer_capacity);
         let mut auth_log: Vec<AuthEvent> = Vec::new();
         let deployment = &mut self.deployment;
         let mut produced: Option<ParallelOutcome> = None;
+        let mut count = 0u64;
         let (mut alerts, monitor_stats) = monitor.analyze_stream_batched(
             FanoutSpec::with_shards(shards),
             StreamingConfig::close_evict(),
@@ -469,13 +583,23 @@ impl Pipeline {
                     seed ^ 0xA0D17,
                     producers,
                     |item| {
-                        if let Some(il) = intel_loop.as_mut() {
+                        if let Some(il) = intel.as_mut() {
                             il.observe(&item);
                         }
+                        count += 1;
+                        let capture = observer.on_item(count, &item);
                         match item {
                             ScenarioItem::Segment(rec) => sink.accept(rec),
                             ScenarioItem::Auth(ev) => auth_log.push(ev),
                             ScenarioItem::Sys(ev) => tracer.ingest(ev),
+                        }
+                        if capture {
+                            observer.at_watermark(EpochWatermark {
+                                items: count,
+                                stream: None,
+                                shard: None,
+                                intel: intel.as_deref().map(IntelLoop::snapshot),
+                            });
                         }
                     },
                 ));
@@ -491,7 +615,7 @@ impl Pipeline {
             ScenarioArtifacts::from_streamed(produced.ground_truth, produced.end),
             monitor_stats,
             audit_completeness,
-            intel_loop.map(IntelLoop::into_outcome),
+            None,
         )
     }
 
@@ -637,6 +761,18 @@ impl FleetOutcome {
             }
         }
         (detected, campaigns)
+    }
+
+    /// One fleet-wide report folded from every run via
+    /// [`Report::merge`]: alerts in global time order, incidents
+    /// concatenated, scoreboards folded. Equivalent to aggregating the
+    /// runs in one batch (see the merge test in `report.rs`).
+    pub fn merged_report(&self) -> Report {
+        let mut merged = Report::default();
+        for r in &self.runs {
+            merged.merge(r.outcome.report.clone());
+        }
+        merged
     }
 
     /// Mean macro-recall across scored runs.
@@ -854,6 +990,42 @@ mod tests {
                 .sum::<usize>()
         );
         assert!(fleet.render().contains("lab-b"));
+    }
+
+    #[test]
+    fn fleet_merged_report_equals_per_run_aggregation() {
+        let fleet = Pipeline::run_fleet(vec![
+            FleetJob::new(
+                "lab-a",
+                PipelineConfig::small_lab(61),
+                CampaignPlan::single(AttackClass::Ransomware),
+            ),
+            FleetJob::new(
+                "lab-b",
+                PipelineConfig::small_lab(62),
+                CampaignPlan::single(AttackClass::Cryptomining),
+            )
+            .with_streaming(),
+        ]);
+        let merged = fleet.merged_report();
+        assert_eq!(merged.alerts_total(), fleet.total_alerts());
+        assert_eq!(
+            merged.incidents_total(),
+            fleet
+                .runs
+                .iter()
+                .map(|r| r.outcome.report.incidents_total())
+                .sum::<usize>()
+        );
+        // Fleet runs share a simulated clock, so the merged alert
+        // stream must be globally time-ordered even though the runs
+        // overlap.
+        assert!(merged.alerts.windows(2).all(|w| w[0].time <= w[1].time));
+        // The folded scoreboard counts every campaign once.
+        let board = merged.scoreboard.as_ref().unwrap();
+        let campaigns: usize = board.classes.iter().map(|(_, s)| s.campaigns).sum();
+        let (_, fleet_campaigns) = fleet.detection_totals();
+        assert_eq!(campaigns, fleet_campaigns);
     }
 
     fn alert_keys(out: &RunOutcome) -> Vec<(SimTime, AttackClass, String, f64)> {

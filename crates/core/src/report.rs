@@ -7,7 +7,7 @@ use crate::risk;
 use ja_monitor::alerts::{Alert, AlertSource};
 
 /// A consolidated run report.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct Report {
     /// All alerts, time-ordered.
     pub alerts: Vec<Alert>,
@@ -21,6 +21,34 @@ impl Report {
     /// Total alert count.
     pub fn alerts_total(&self) -> usize {
         self.alerts.len()
+    }
+
+    /// Fold another report into this one incrementally: alerts are
+    /// merged preserving time order (linear when `other` starts after
+    /// this report ends, as service epochs do), incidents concatenate,
+    /// and scoreboards fold via [`Scoreboard::merge`]. Merging N
+    /// per-run reports is equivalent to aggregating the N runs in one
+    /// batch — the fleet and service loops both rely on that.
+    pub fn merge(&mut self, other: Report) {
+        if self
+            .alerts
+            .last()
+            .zip(other.alerts.first())
+            .is_some_and(|(a, b)| a.time > b.time)
+        {
+            // Out-of-order inputs (fleet runs share a clock): stable
+            // merge keeps the overall time order.
+            self.alerts.extend(other.alerts);
+            self.alerts.sort_by_key(|a| a.time);
+        } else {
+            self.alerts.extend(other.alerts);
+        }
+        self.incidents.extend(other.incidents);
+        match (&mut self.scoreboard, other.scoreboard) {
+            (Some(ours), Some(theirs)) => ours.merge(&theirs),
+            (slot @ None, theirs @ Some(_)) => *slot = theirs,
+            _ => {}
+        }
     }
 
     /// Alerts from one plane.
@@ -145,5 +173,78 @@ mod tests {
         let r = Report::default();
         assert_eq!(r.alerts_total(), 0);
         assert!(r.render().contains("alerts: 0"));
+    }
+
+    #[test]
+    fn merge_equals_batch_aggregation() {
+        use crate::metrics::{score, ScoringConfig};
+        use ja_attackgen::campaign::GroundTruth;
+
+        // Two "epochs" with disjoint time ranges, each with its own
+        // ground truth and alert set.
+        let mk_alert = |secs, class, conf| {
+            Alert::new(SimTime::from_secs(secs), class, conf, AlertSource::Network).with_server(0)
+        };
+        let gt = |class, name: &str, start, end| GroundTruth {
+            class: Some(class),
+            name: name.to_string(),
+            servers: vec![0],
+            start: SimTime::from_secs(start),
+            end: SimTime::from_secs(end),
+        };
+        let alerts_a = vec![
+            mk_alert(10, AttackClass::Ransomware, 0.9),
+            mk_alert(20, AttackClass::Cryptomining, 0.8),
+        ];
+        let gt_a = vec![gt(AttackClass::Ransomware, "r1", 5, 50)];
+        let alerts_b = vec![
+            mk_alert(100, AttackClass::Ransomware, 0.7),
+            mk_alert(110, AttackClass::DataExfiltration, 0.95),
+        ];
+        let gt_b = vec![
+            gt(AttackClass::Ransomware, "r2", 95, 150),
+            gt(AttackClass::DataExfiltration, "x1", 90, 140),
+        ];
+        let cfg = ScoringConfig::default();
+        let window = Duration::from_secs(60);
+
+        let part = |alerts: &Vec<Alert>, truth: &[GroundTruth]| Report {
+            alerts: alerts.clone(),
+            incidents: incidents(alerts, window),
+            scoreboard: Some(score(alerts.iter(), truth, &cfg)),
+        };
+        let mut merged = part(&alerts_a, &gt_a);
+        merged.merge(part(&alerts_b, &gt_b));
+
+        // Batch over the concatenation. Incident merging is windowed,
+        // and the epochs are further apart than the window, so the
+        // concatenated incident list is the batch incident list.
+        let all_alerts: Vec<Alert> = alerts_a.iter().chain(&alerts_b).cloned().collect();
+        let all_gt: Vec<GroundTruth> = gt_a.iter().chain(&gt_b).cloned().collect();
+        let batch = part(&all_alerts, &all_gt);
+
+        assert_eq!(merged.alerts_total(), batch.alerts_total());
+        assert!(merged
+            .alerts
+            .iter()
+            .zip(&batch.alerts)
+            .all(|(a, b)| a.time == b.time && a.class == b.class));
+        assert_eq!(merged.incidents_total(), batch.incidents_total());
+        let (m, b) = (
+            merged.scoreboard.as_ref().unwrap(),
+            batch.scoreboard.as_ref().unwrap(),
+        );
+        for class in AttackClass::ALL {
+            let (ms, bs) = (m.class(class), b.class(class));
+            assert_eq!(ms.campaigns, bs.campaigns, "{class:?}");
+            assert_eq!(ms.detected, bs.detected, "{class:?}");
+            assert_eq!(ms.tp_alerts, bs.tp_alerts, "{class:?}");
+            assert_eq!(ms.fp_alerts, bs.fp_alerts, "{class:?}");
+            assert!(
+                (ms.mean_latency_secs - bs.mean_latency_secs).abs() < 1e-9,
+                "{class:?}"
+            );
+        }
+        assert!((m.macro_recall() - b.macro_recall()).abs() < 1e-9);
     }
 }

@@ -5,7 +5,8 @@ use ja_netsim::rng::SimRng;
 use ja_netsim::time::SimTime;
 
 /// What an attacker did to a decoy.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+#[serde(tag = "kind")]
 pub enum Interaction {
     /// TCP probe only.
     Probe,
@@ -22,7 +23,7 @@ pub enum Interaction {
 }
 
 /// A captured interaction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Capture {
     /// When.
     pub time: SimTime,
@@ -33,7 +34,7 @@ pub struct Capture {
 }
 
 /// A decoy instance.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Decoy {
     /// Fleet-unique id.
     pub id: u32,

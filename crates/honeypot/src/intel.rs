@@ -5,7 +5,7 @@ use ja_monitor::rules::{Rule, RuleSet};
 use ja_netsim::time::{Duration, SimTime};
 
 /// A published rule with its availability time.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct PublishedRule {
     /// When the decoy captured the underlying payload.
     pub learned_at: SimTime,
@@ -16,7 +16,7 @@ pub struct PublishedRule {
 }
 
 /// The sharing bus.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct IntelBus {
     /// Triage + distribution latency.
     pub propagation_delay: Duration,

@@ -5,7 +5,9 @@ use ja_netsim::addr::HostAddr;
 use ja_netsim::time::SimTime;
 
 /// Which subsystem raised the alert.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum AlertSource {
     /// Network monitor (this crate).
     Network,
@@ -18,7 +20,7 @@ pub enum AlertSource {
 }
 
 /// One alert.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Alert {
     /// When the triggering activity was observed.
     pub time: SimTime,

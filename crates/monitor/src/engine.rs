@@ -46,6 +46,13 @@ pub struct MonitorConfig {
     /// naive linear scans, kept as a measurable baseline for the
     /// `e7_rulescale` bench and the equivalence property tests.
     pub match_mode: MatchMode,
+    /// Degraded-mode load shedding: per-flow alerts with confidence
+    /// strictly below this floor are dropped at the shard (before
+    /// attribution, incident merging, and scoring) and counted in
+    /// [`MonitorStats::shed_alerts`]. `0.0` (the default) sheds
+    /// nothing. The SOC service raises the floor while a shard is
+    /// behind and lowers it back on recovery.
+    pub confidence_floor: f64,
 }
 
 impl Default for MonitorConfig {
@@ -57,6 +64,7 @@ impl Default for MonitorConfig {
             inspect_secrets: HashMap::new(),
             server_ids: HashMap::new(),
             match_mode: MatchMode::default(),
+            confidence_floor: 0.0,
         }
     }
 }
@@ -91,6 +99,10 @@ pub struct MonitorStats {
     /// eviction keeps it bounded by concurrency, not capture size. For
     /// the sharded path it is the sum of per-shard peaks.
     pub peak_live_flows: u64,
+    /// Per-flow alerts dropped by the degraded-mode confidence floor
+    /// ([`MonitorConfig::confidence_floor`]). Zero unless the service
+    /// put the monitor in degraded mode.
+    pub shed_alerts: u64,
     /// Wall-clock seconds spent in analysis.
     pub elapsed_secs: f64,
 }
@@ -226,7 +238,7 @@ impl Monitor {
 /// ids are `(campaign << 32) | counter`, so for power-of-two shard
 /// counts a plain modulo would land every campaign's first flow on
 /// shard 0.
-pub(crate) fn shard_of(flow_id: u64, n: usize) -> usize {
+pub fn shard_of(flow_id: u64, n: usize) -> usize {
     ((flow_id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 33) % n as u64) as usize
 }
 

@@ -37,7 +37,7 @@ pub mod rules;
 pub mod streaming;
 
 pub use alerts::{Alert, AlertSource};
-pub use engine::{Monitor, MonitorConfig, MonitorStats};
+pub use engine::{shard_of, Monitor, MonitorConfig, MonitorStats};
 pub use features::FlowFeatures;
 pub use matcher::{CompiledRuleSet, FeedCache, MatchMode, PatternMatcher};
-pub use streaming::{FanoutSpec, StreamingConfig, StreamingMonitor};
+pub use streaming::{FanoutSpec, MonitorShardSnapshot, StreamingConfig, StreamingMonitor};

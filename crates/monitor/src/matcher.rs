@@ -415,6 +415,13 @@ impl FeedCache {
         self.mode
     }
 
+    /// The feed epoch the cached snapshot was compiled against (`0`
+    /// until the first refresh that observed a publish). Checkpoint
+    /// snapshots record this to verify a restored shard's cache state.
+    pub fn generation(&self) -> u64 {
+        self.seen_epoch
+    }
+
     /// The underlying live feed (the naive baseline reads it directly).
     pub fn feed(&self) -> &RuleFeed {
         &self.feed

@@ -33,10 +33,59 @@ pub enum Pattern {
     CmdlineSubstring(String),
 }
 
+// The vendored serde derive has no tuple-variant dialect, so the
+// checkpoint encoding for `Pattern` is hand-written as an internally
+// tagged object: `{"kind": "...", "s": ...}` / `{"kind": "dst_port",
+// "port": ...}`.
+impl serde::Serialize for Pattern {
+    fn to_value(&self) -> serde::Value {
+        let (kind, key, val) = match self {
+            Pattern::CodeSubstring(s) => ("code_substring", "s", s.to_value()),
+            Pattern::UrlSubstring(s) => ("url_substring", "s", s.to_value()),
+            Pattern::DstPort(p) => ("dst_port", "port", p.to_value()),
+            Pattern::CmdlineSubstring(s) => ("cmdline_substring", "s", s.to_value()),
+        };
+        serde::Value::Object(vec![
+            ("kind".to_string(), serde::Value::String(kind.to_string())),
+            (key.to_string(), val),
+        ])
+    }
+}
+
+impl serde::Deserialize for Pattern {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let kind = value["kind"]
+            .as_str()
+            .ok_or_else(|| serde::DeError::custom("pattern missing kind"))?;
+        let s = || String::from_value(&value["s"]);
+        match kind {
+            "code_substring" => Ok(Pattern::CodeSubstring(s()?)),
+            "url_substring" => Ok(Pattern::UrlSubstring(s()?)),
+            "cmdline_substring" => Ok(Pattern::CmdlineSubstring(s()?)),
+            "dst_port" => u16::from_value(&value["port"]).map(Pattern::DstPort),
+            other => Err(serde::DeError::custom(format!(
+                "unknown pattern kind {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Where a rule came from. Alert attribution follows the origin, so a
 /// report can say which plane (builtin sensor vs honeypot intel loop)
 /// produced a detection.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Clone,
+    Copy,
+    Debug,
+    Default,
+    PartialEq,
+    Eq,
+    Hash,
+    PartialOrd,
+    Ord,
+    serde::Serialize,
+    serde::Deserialize,
+)]
 pub enum RuleOrigin {
     /// Shipped with the production sensor.
     #[default]
@@ -46,7 +95,7 @@ pub enum RuleOrigin {
 }
 
 /// One signature rule.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct Rule {
     /// Unique rule id.
     pub id: String,
@@ -62,7 +111,7 @@ pub struct Rule {
 
 /// A rule plus the earliest simulated instant a production monitor may
 /// use it (learned-at plus propagation delay on the intel bus).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
 pub struct TimedRule {
     /// When production monitors may start matching with this rule.
     pub available_at: SimTime,
@@ -72,10 +121,35 @@ pub struct TimedRule {
 
 /// Shared feed state behind the lock: published rules in publish order
 /// plus an id index for O(1) re-publish dedup.
-#[derive(Debug, Default)]
+#[derive(Default)]
 struct FeedInner {
     rules: Vec<TimedRule>,
     ids: HashSet<String>,
+}
+
+// Manual Debug: the dedup set iterates in hash order, which varies per
+// instance — sort it so equal feeds format identically (service config
+// fingerprints hash the Debug rendering).
+impl std::fmt::Debug for FeedInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<&String> = self.ids.iter().collect();
+        ids.sort_unstable();
+        f.debug_struct("FeedInner")
+            .field("rules", &self.rules)
+            .field("ids", &ids)
+            .finish()
+    }
+}
+
+/// Serializable state of a [`RuleFeed`]: every published rule in publish
+/// order plus the generation stamp. Part of the layer-by-layer service
+/// checkpoint contract.
+#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+pub struct FeedCheckpoint {
+    /// Feed generation at capture time (== successful publishes).
+    pub epoch: u64,
+    /// Published rules with availability times, in publish order.
+    pub rules: Vec<TimedRule>,
 }
 
 /// A hot-reloadable rule feed: the publisher half (the pipeline's
@@ -140,6 +214,36 @@ impl RuleFeed {
         self.inner.read().expect("rule feed poisoned").rules.clone()
     }
 
+    /// Serializable feed contents + generation stamp, for the service
+    /// checkpoint contract. Unlike [`RuleFeed::snapshot`] this also
+    /// carries the epoch, so a restored feed keeps the exact generation
+    /// semantics ([`RuleFeed::is_empty`] is `epoch() == 0`, and
+    /// [`crate::matcher::FeedCache`] keys compiled snapshots on it).
+    pub fn checkpoint(&self) -> FeedCheckpoint {
+        let inner = self.inner.read().expect("rule feed poisoned");
+        FeedCheckpoint {
+            epoch: self.epoch(),
+            rules: inner.rules.clone(),
+        }
+    }
+
+    /// Rebuild a feed from a [`RuleFeed::checkpoint`]: same rules in the
+    /// same publish order, id index reconstructed, epoch restored — so
+    /// subscribers attached to the restored feed compile exactly the
+    /// snapshot subscribers of the original would have.
+    pub fn restore(cp: &FeedCheckpoint) -> Self {
+        let feed = RuleFeed::new();
+        {
+            let mut inner = feed.inner.write().expect("rule feed poisoned");
+            for tr in &cp.rules {
+                inner.ids.insert(tr.rule.id.clone());
+                inner.rules.push(tr.clone());
+            }
+        }
+        feed.epoch.store(cp.epoch, Ordering::Release);
+        feed
+    }
+
     /// Rules a monitor may apply to a flow that began at `at`: only
     /// those whose `available_at` is not after it. Publish order is
     /// preserved, so output is deterministic for a deterministic
@@ -166,11 +270,25 @@ impl RuleFeed {
 /// run a [`crate::matcher::CompiledRuleSet`] built from this set; the
 /// scans here remain the reference implementation the equivalence
 /// property tests pin the compiled matcher against.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Default)]
 pub struct RuleSet {
     rules: Vec<Rule>,
     /// Id index for O(1) add-dedup.
     ids: HashSet<String>,
+}
+
+// Manual Debug for the same reason as [`FeedInner`]: the dedup set's
+// hash order varies per instance, and config fingerprints hash the
+// Debug rendering.
+impl std::fmt::Debug for RuleSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut ids: Vec<&String> = self.ids.iter().collect();
+        ids.sort_unstable();
+        f.debug_struct("RuleSet")
+            .field("rules", &self.rules)
+            .field("ids", &ids)
+            .finish()
+    }
 }
 
 impl RuleSet {
@@ -397,5 +515,46 @@ mod tests {
         let t2 = timed("hp-2-1", "other_token", SimTime::ZERO);
         feed.publish(t2.available_at, t2.rule);
         assert_eq!(handle.rules_at(SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn pattern_serde_round_trips_every_variant() {
+        use serde::{Deserialize, Serialize};
+        for p in [
+            Pattern::CodeSubstring("miner".into()),
+            Pattern::UrlSubstring("/api/kernels?token=".into()),
+            Pattern::DstPort(3333),
+            Pattern::CmdlineSubstring("xmrig".into()),
+        ] {
+            let back = Pattern::from_value(&p.to_value()).unwrap();
+            assert_eq!(back, p);
+        }
+        assert!(Pattern::from_value(&serde::Value::Null).is_err());
+    }
+
+    #[test]
+    fn feed_checkpoint_restores_rules_epoch_and_dedup() {
+        let feed = RuleFeed::new();
+        let t1 = timed("hp-1-1", "evil_token", SimTime::from_secs(10));
+        let t2 = timed("hp-2-1", "other_token", SimTime::from_secs(20));
+        feed.publish(t1.available_at, t1.rule.clone());
+        feed.publish(t2.available_at, t2.rule);
+
+        use serde::{Deserialize, Serialize};
+        let json = serde_json::to_string(&feed.checkpoint()).unwrap();
+        let cp = FeedCheckpoint::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        let restored = RuleFeed::restore(&cp);
+
+        assert_eq!(restored.epoch(), feed.epoch());
+        assert!(!restored.is_empty());
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.rules_at(SimTime::from_secs(15)).len(),
+            feed.rules_at(SimTime::from_secs(15)).len()
+        );
+        // Dedup index was rebuilt: re-publishing a restored id is a
+        // no-op and leaves the epoch untouched.
+        assert!(!restored.publish(SimTime::ZERO, t1.rule));
+        assert_eq!(restored.epoch(), feed.epoch());
     }
 }

@@ -90,11 +90,24 @@ impl StreamingConfig {
 pub trait SegmentSink {
     /// Consume one captured record.
     fn accept(&mut self, rec: SegmentRecord);
+
+    /// This sink's engine-state snapshot, when the sink is a single
+    /// inline [`StreamingMonitor`]. Routers fanning out to shard
+    /// workers return `None` — worker state is not observable from the
+    /// feeding thread (checkpoint verification falls back to the feed
+    /// digest there).
+    fn shard_snapshot(&self) -> Option<MonitorShardSnapshot> {
+        None
+    }
 }
 
 impl SegmentSink for StreamingMonitor<'_> {
     fn accept(&mut self, rec: SegmentRecord) {
         self.push(&rec);
+    }
+
+    fn shard_snapshot(&self) -> Option<MonitorShardSnapshot> {
+        Some(self.snapshot())
     }
 }
 
@@ -121,6 +134,39 @@ pub(crate) struct StreamSummary {
     pub(crate) features: Vec<FlowFeatures>,
     pub(crate) alerts: Vec<Alert>,
     pub(crate) stats: MonitorStats,
+}
+
+/// Serializable live state of one [`StreamingMonitor`] shard at a
+/// watermark: which flows are still being reassembled, the folded
+/// deterministic statistics, and the generation of the compiled intel
+/// snapshot. Equality between a checkpointed snapshot and a replayed
+/// engine's snapshot at the same watermark proves the replay converged
+/// (wall-clock timing is excluded by construction).
+#[derive(Clone, Debug, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MonitorShardSnapshot {
+    /// Eviction clock (newest capture timestamp seen).
+    pub watermark: SimTime,
+    /// Flow ids still live (being reassembled), sorted.
+    pub live_flow_ids: Vec<u64>,
+    /// Segments consumed.
+    pub segments: u64,
+    /// Flows evicted and analyzed.
+    pub flows: u64,
+    /// Payload bytes of analyzed flows.
+    pub bytes: u64,
+    /// Kernel messages recovered from analyzed flows.
+    pub kernel_msgs: u64,
+    /// High-water mark of concurrently live flows.
+    pub peak_live_flows: u64,
+    /// Alerts dropped by the degraded-mode confidence floor.
+    pub shed_alerts: u64,
+    /// Per-flow alerts accumulated and not yet drained.
+    pub pending_alerts: u64,
+    /// Flow feature summaries retained for the cross-flow pass.
+    pub features: u64,
+    /// Feed epoch of the compiled intel snapshot (`0` = nothing
+    /// published when last consulted).
+    pub feed_generation: u64,
 }
 
 /// The incremental monitor engine.
@@ -197,6 +243,31 @@ impl<'m> StreamingMonitor<'m> {
         std::mem::take(&mut self.summary.alerts)
     }
 
+    /// Capture this engine's live-flow + intel-cache state as a
+    /// serializable snapshot — the ja-monitor layer of the service
+    /// checkpoint contract. Wall-clock fields are deliberately absent:
+    /// two engines that consumed the same record prefix produce equal
+    /// snapshots, so a restored service compares the checkpointed
+    /// snapshot against its replayed engine at the same watermark.
+    pub fn snapshot(&self) -> MonitorShardSnapshot {
+        let mut live: Vec<u64> = self.live.keys().copied().collect();
+        live.sort_unstable();
+        let s = &self.summary.stats;
+        MonitorShardSnapshot {
+            watermark: self.watermark,
+            live_flow_ids: live,
+            segments: s.segments,
+            flows: s.flows,
+            bytes: s.bytes,
+            kernel_msgs: s.kernel_msgs,
+            peak_live_flows: s.peak_live_flows,
+            shed_alerts: s.shed_alerts,
+            pending_alerts: self.summary.alerts.len() as u64,
+            features: self.summary.features.len() as u64,
+            feed_generation: self.intel.generation(),
+        }
+    }
+
     /// Evict closed/idle flows according to the watermark.
     fn sweep(&mut self) {
         self.since_sweep = 0;
@@ -230,13 +301,23 @@ impl<'m> StreamingMonitor<'m> {
         let Some(lf) = self.live.remove(&id) else {
             return;
         };
-        let Some((ff, analysis, alerts)) =
+        let Some((ff, analysis, mut alerts)) =
             self.monitor
                 .flow_work(id, &lf.buf, &self.rules, &mut self.intel)
         else {
             return;
         };
+        // Degraded-mode load shedding: drop low-severity per-flow alerts
+        // right at the shard, before attribution and downstream work.
+        let floor = self.monitor.config.confidence_floor;
+        let mut shed = 0u64;
+        if floor > 0.0 {
+            let before = alerts.len();
+            alerts.retain(|a| a.confidence >= floor);
+            shed = (before - alerts.len()) as u64;
+        }
         let stats = &mut self.summary.stats;
+        stats.shed_alerts += shed;
         stats.flows += 1;
         stats.bytes += ff.bytes_up + ff.bytes_down;
         stats.kernel_msgs += analysis.kernel_msgs.len() as u64;
@@ -298,6 +379,7 @@ impl Monitor {
             stats.opaque_flows += p.stats.opaque_flows;
             stats.kernel_msgs += p.stats.kernel_msgs;
             stats.peak_live_flows += p.stats.peak_live_flows;
+            stats.shed_alerts += p.stats.shed_alerts;
             alerts.extend(p.alerts);
             features.extend(p.features);
         }

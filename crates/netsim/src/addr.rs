@@ -46,6 +46,20 @@ impl HostAddr {
     }
 }
 
+// Hand-written checkpoint serde (tuple struct): travels as the raw
+// 32-bit address.
+impl serde::Serialize for HostAddr {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for HostAddr {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        u32::from_value(value).map(HostAddr)
+    }
+}
+
 impl std::fmt::Display for HostAddr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(&self.to_string_dotted())

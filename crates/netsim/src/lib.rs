@@ -40,7 +40,7 @@ pub mod time;
 pub mod trace;
 
 pub use addr::{FiveTuple, HostAddr, HostId};
-pub use network::Network;
+pub use network::{Network, NetworkSnapshot, ScopeCounter};
 pub use rng::SimRng;
 pub use segment::{Direction, SegmentRecord};
 pub use time::{Duration, SimTime};

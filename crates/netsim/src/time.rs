@@ -100,6 +100,33 @@ impl std::ops::Mul<u64> for Duration {
     }
 }
 
+// Tuple structs are outside the vendored derive's dialect, so the
+// checkpoint serde contract is written by hand: both types travel as
+// their raw microsecond count.
+impl serde::Serialize for SimTime {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for SimTime {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        u64::from_value(value).map(SimTime)
+    }
+}
+
+impl serde::Serialize for Duration {
+    fn to_value(&self) -> serde::Value {
+        self.0.to_value()
+    }
+}
+
+impl serde::Deserialize for Duration {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        u64::from_value(value).map(Duration)
+    }
+}
+
 impl std::fmt::Display for SimTime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "t+{:.6}s", self.as_secs_f64())

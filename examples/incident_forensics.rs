@@ -61,7 +61,7 @@ fn main() {
     }
 
     // Share the incident with the community, anonymized.
-    let dataset = Dataset::from_scenario(&out, b"ncsa-site-key");
+    let dataset = Dataset::from_scenario(&out, &out.ground_truth, b"ncsa-site-key");
     let json = dataset.to_json();
     println!(
         "\nanonymized dataset export: {} flows, {} events, {} labels, {} bytes of JSON",

@@ -96,7 +96,7 @@ fn dataset_export_round_trips_from_pipeline_output() {
         .raw
         .as_ref()
         .expect("batch runs retain the raw scenario");
-    let ds = Dataset::from_scenario(raw, b"integration-key");
+    let ds = Dataset::from_scenario(raw, &out.scenario.ground_truth, b"integration-key");
     let back = Dataset::from_json(&ds.to_json()).expect("parses");
     assert_eq!(back.flows.len(), ds.flows.len());
     assert!(ds
