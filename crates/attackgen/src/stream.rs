@@ -813,7 +813,7 @@ mod tests {
         let c = run_to(41);
         assert_ne!(a, c, "different watermarks must be distinguishable");
 
-        use serde::{Deserialize, Serialize};
+        use serde::Deserialize;
         let json = serde_json::to_string(&a).unwrap();
         let back = StreamSnapshot::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back, a);

@@ -34,6 +34,9 @@ struct BenchReport {
     peak_live_flows_min: u64,
     peak_live_flows_max: u64,
     peak_flat: bool,
+    peak_retained_min: u64,
+    peak_retained_max: u64,
+    retained_flat: bool,
     resume_equal: bool,
     resume_replayed_items: u64,
     checkpoint_bytes: usize,
@@ -52,6 +55,7 @@ struct EpochRow {
     items: u64,
     alerts: u64,
     peak_live_flows: u64,
+    peak_retained_bytes: u64,
     degraded: bool,
     checkpoints: u64,
     cumulative_alerts: usize,
@@ -137,12 +141,13 @@ fn main() {
     let source = soak_source(seed, epochs);
     let mut svc = SocService::new(soak_config(servers, seed, cadence));
     println!(
-        "{:<7} {:>9} {:>9} {:>8} {:>10} {:>9} {:>7} {:>11} {:>10}",
+        "{:<7} {:>9} {:>9} {:>8} {:>10} {:>12} {:>9} {:>7} {:>11} {:>10}",
         "epoch",
         "sessions",
         "items",
         "alerts",
         "peak-live",
+        "peak-retain",
         "ckpts",
         "degr",
         "cum-alerts",
@@ -158,12 +163,13 @@ fn main() {
             .expect("queue holds a plan per soak epoch");
         let wall = epoch_started.elapsed().as_secs_f64();
         println!(
-            "{:<7} {:>9} {:>9} {:>8} {:>10} {:>9} {:>7} {:>11} {:>10.3}",
+            "{:<7} {:>9} {:>9} {:>8} {:>10} {:>12} {:>9} {:>7} {:>11} {:>10.3}",
             summary.epoch,
             summary.sessions,
             summary.items,
             summary.alerts,
             summary.peak_live_flows,
+            summary.peak_retained_bytes,
             summary.checkpoints,
             summary.degraded,
             svc.report().alerts.len(),
@@ -175,6 +181,7 @@ fn main() {
             items: summary.items,
             alerts: summary.alerts,
             peak_live_flows: summary.peak_live_flows,
+            peak_retained_bytes: summary.peak_retained_bytes,
             degraded: summary.degraded,
             checkpoints: summary.checkpoints,
             cumulative_alerts: svc.report().alerts.len(),
@@ -199,6 +206,34 @@ fn main() {
     assert!(
         peak_flat,
         "live state grew across the soak: peak {peak_min}..{peak_max}"
+    );
+
+    // Same verdict for retained payload bytes: under incremental
+    // scanning a flow's retention is bounded by the reorder window, not
+    // its stream length, so the high-water mark must sit in the same
+    // constant band every epoch no matter how much traffic has passed.
+    let retained_min = rows
+        .iter()
+        .map(|r| r.peak_retained_bytes)
+        .min()
+        .unwrap_or(0);
+    let retained_max = rows
+        .iter()
+        .map(|r| r.peak_retained_bytes)
+        .max()
+        .unwrap_or(0);
+    let retained_flat = retained_max <= retained_min.saturating_mul(2).max(1);
+    println!(
+        "peak retained bytes: min {retained_min}, max {retained_max} -> {}",
+        if retained_flat {
+            "FLAT (bounded by reorder window)"
+        } else {
+            "GROWING"
+        }
+    );
+    assert!(
+        retained_flat,
+        "retained payload bytes grew across the soak: {retained_min}..{retained_max}"
     );
 
     // Crash-resume twin: run the same soak, "crash" it after the final
@@ -260,6 +295,9 @@ fn main() {
             peak_live_flows_min: peak_min,
             peak_live_flows_max: peak_max,
             peak_flat,
+            peak_retained_min: retained_min,
+            peak_retained_max: retained_max,
+            retained_flat,
             resume_equal,
             resume_replayed_items: revived.stats().replayed_items,
             checkpoint_bytes: chk_json.len(),

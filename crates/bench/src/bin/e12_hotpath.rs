@@ -1,0 +1,416 @@
+//! E12 — capture-plane hot path: zero-copy payloads + single-pass
+//! incremental scanning. The paper's scalability warning ("network
+//! traffic will keep increasing, and a security auditor may add
+//! unsustainable performance overhead") is about per-byte cost: the
+//! pre-change monitor copied every captured byte at least twice (once
+//! materializing the record it handed the analyzer, once retaining it
+//! in the reassembler's contiguous buffer) and held whole flows in
+//! memory until eviction. This harness pits the two engines against
+//! each other on the same long-flow plaintext-WS workload:
+//!
+//! - **eager baseline** — per-record payload re-materialization (what
+//!   every hop cost when records owned `Vec<u8>`) plus
+//!   [`ScanMode::Eager`] full-buffer analysis at eviction;
+//! - **incremental** — records share the generation-time allocation
+//!   ([`PayloadBytes`] refcount bumps) and [`ScanMode::Incremental`]
+//!   scans in-order bytes as they arrive, dropping them immediately.
+//!
+//! Alert **bit-identity is asserted before any timing**: the comparison
+//! is only meaningful because both engines produce the same alert
+//! stream in the same order. Reported per phase: bytes copied per byte
+//! captured (payload-plane materializations over offered payload
+//! bytes), allocations and allocated bytes per segment (counting
+//! global allocator), peak retained flow bytes, and end-to-end MB/s.
+//!
+//! `--tiny` shrinks the workload for CI smoke (CI asserts
+//! `incremental.copies_per_byte < 1.5` and that incremental
+//! allocations/segment stay below the eager baseline). `--json` writes
+//! `BENCH_E12.json`. The full run asserts the headline claims: ≥30%
+//! fewer bytes copied per byte captured and ≥1.3× streamed throughput.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::config::{ServerConfig, TransportMode};
+use ja_kernelsim::server::NotebookServer;
+use ja_monitor::alerts::Alert;
+use ja_monitor::engine::{Monitor, MonitorConfig, MonitorStats, ScanMode};
+use ja_monitor::rules::{Pattern, Rule, RuleOrigin};
+use ja_monitor::streaming::{StreamingConfig, StreamingMonitor};
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::network::Network;
+use ja_netsim::payload::{self, PayloadBytes};
+use ja_netsim::rng::SimRng;
+use ja_netsim::segment::SegmentRecord;
+use ja_netsim::time::{Duration, SimTime};
+
+/// Counting shim over the system allocator: every allocation on the
+/// measured path increments these process-wide counters. `unsafe` is
+/// confined to forwarding; the accounting itself is atomic loads/adds.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+/// The whole `BENCH_E12.json` payload.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    seed: u64,
+    tiny: bool,
+    sessions: usize,
+    cells_per_session: usize,
+    segments: usize,
+    payload_bytes: u64,
+    identical_alerts: bool,
+    alerts: usize,
+    eager: PhaseRow,
+    incremental: PhaseRow,
+    copy_reduction: f64,
+    throughput_ratio: Option<f64>,
+    retained_ratio: f64,
+}
+
+/// One engine configuration's measured numbers.
+#[derive(serde::Serialize)]
+struct PhaseRow {
+    wall_secs: Option<f64>,
+    mb_per_sec: Option<f64>,
+    copied_bytes: u64,
+    copies_per_byte: f64,
+    allocs: u64,
+    allocs_per_segment: f64,
+    alloc_bytes: u64,
+    peak_retained_bytes: u64,
+}
+
+/// `None` for non-finite values so the JSON carries `null`, never
+/// `NaN`/`inf`.
+fn finite(x: f64) -> Option<f64> {
+    x.is_finite().then_some(x)
+}
+
+/// Long-flow plaintext-WS workload: each session is one WebSocket flow
+/// carrying `cells` large cells (~`code_kb` KiB of source each, plus a
+/// comparable stdout blob coming back), so a single flow's stream
+/// length dwarfs the reorder window the jitter perturbation creates.
+/// Every cell carries the hostile token the published intel rule
+/// matches, and the upgrade URL carries a token for the URL-plane rule.
+fn long_flow_records(
+    sessions: usize,
+    cells: usize,
+    code_kb: usize,
+    seed: u64,
+) -> Vec<SegmentRecord> {
+    let mut net = Network::new();
+    let mut scfg = ServerConfig::hardened();
+    scfg.transport = TransportMode::PlainWs;
+    scfg.token_in_url = true;
+    let mut srv = NotebookServer::new(1, scfg, seed);
+    srv.provision_user("miner", SimTime::ZERO);
+    srv.start_kernel("miner", SimTime::ZERO);
+    let filler = "x = compute_block(nonce); ".repeat(code_kb * 1024 / 26 + 1);
+    for i in 0..sessions {
+        let at = SimTime::from_secs(120 * (i as u64 + 1));
+        let mut conn = srv.connect(
+            &mut net,
+            at,
+            HostAddr::internal(HostId(300 + i as u32)),
+            "miner",
+            0,
+        );
+        let mut t = at + Duration::from_millis(40);
+        for c in 0..cells {
+            let code = format!("# cell {c}\nsubprocess.Popen('/tmp/.stratum_kworkerd')\n{filler}");
+            let script = CellScript::new(
+                &code,
+                vec![Action::Print {
+                    text: filler.clone(),
+                }],
+            );
+            t = srv.run_cell(&mut net, t, &mut conn, &script) + Duration::from_millis(25);
+        }
+        conn.close(&mut net, t + Duration::from_secs(1));
+    }
+    let mut rng = SimRng::new(seed ^ 0xe12);
+    net.into_trace()
+        .perturb(&mut rng, 0.0, Duration::from_millis(5))
+        .into_records()
+}
+
+/// The signatures the honeypot-intel loop would publish: one code-plane
+/// and one URL-plane rule, both firing on this workload so signature
+/// scanning is on the measured path.
+fn hot_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "e12-code".into(),
+            class: ja_attackgen::AttackClass::Cryptomining,
+            pattern: Pattern::CodeSubstring(".stratum_kworkerd".into()),
+            confidence: 0.9,
+            origin: RuleOrigin::HoneypotIntel,
+        },
+        Rule {
+            id: "e12-url".into(),
+            class: ja_attackgen::AttackClass::AccountTakeover,
+            pattern: Pattern::UrlSubstring("token=".into()),
+            confidence: 0.6,
+            origin: RuleOrigin::HoneypotIntel,
+        },
+    ]
+}
+
+struct PhaseOut {
+    alerts: Vec<Alert>,
+    stats: MonitorStats,
+    wall: f64,
+    copied: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+}
+
+/// One full streamed run. `rematerialize` reproduces the pre-change
+/// per-hop cost: every record handed to the monitor owns a fresh copy
+/// of its payload, exactly what `Vec<u8>`-owning records forced on
+/// every channel hop before the payload plane was refcounted.
+fn run_phase(records: &[SegmentRecord], scan_mode: ScanMode, rematerialize: bool) -> PhaseOut {
+    let cfg = MonitorConfig {
+        scan_mode,
+        ..Default::default()
+    };
+    let m = Monitor::new(cfg);
+    for rule in hot_rules() {
+        m.config.intel.publish(SimTime::ZERO, rule);
+    }
+    payload::reset_copy_metrics();
+    let (a0, b0) = alloc_snapshot();
+    let started = std::time::Instant::now();
+    let mut sm = StreamingMonitor::new(&m, StreamingConfig::close_evict());
+    if rematerialize {
+        for r in records {
+            let mut owned = r.clone();
+            owned.payload = PayloadBytes::copy_from(&r.payload);
+            sm.push(&owned);
+        }
+    } else {
+        for r in records {
+            sm.push(r);
+        }
+    }
+    let (alerts, stats) = sm.finish();
+    let wall = started.elapsed().as_secs_f64();
+    let (a1, b1) = alloc_snapshot();
+    PhaseOut {
+        alerts,
+        stats,
+        wall,
+        copied: payload::copied_bytes(),
+        allocs: a1 - a0,
+        alloc_bytes: b1 - b0,
+    }
+}
+
+type AlertKey = (
+    SimTime,
+    ja_attackgen::AttackClass,
+    u64,
+    Option<u32>,
+    Option<String>,
+    String,
+);
+
+fn fingerprint(alerts: &[Alert]) -> Vec<AlertKey> {
+    alerts
+        .iter()
+        .map(|a| {
+            (
+                a.time,
+                a.class,
+                a.confidence.to_bits(),
+                a.server_id,
+                a.user.clone(),
+                a.detail.clone(),
+            )
+        })
+        .collect()
+}
+
+fn phase_row(p: &PhaseOut, payload_bytes: u64, segments: usize, wall: f64) -> PhaseRow {
+    PhaseRow {
+        wall_secs: finite(wall),
+        mb_per_sec: finite(payload_bytes as f64 / wall / 1e6),
+        copied_bytes: p.copied,
+        copies_per_byte: p.copied as f64 / payload_bytes as f64,
+        allocs: p.allocs,
+        allocs_per_segment: p.allocs as f64 / segments as f64,
+        alloc_bytes: p.alloc_bytes,
+        peak_retained_bytes: p.stats.peak_retained_bytes,
+    }
+}
+
+fn main() {
+    let seed = ja_bench::seed_from_args();
+    let tiny = ja_bench::flag_from_args("--tiny");
+    let json = ja_bench::flag_from_args("--json");
+    let (sessions, cells, code_kb, reps) = if tiny { (3, 2, 8, 2) } else { (8, 6, 160, 3) };
+    println!("=== E12: capture-plane hot path ({sessions} long flows, seed {seed}) ===\n");
+
+    let records = long_flow_records(sessions, cells, code_kb, seed);
+    let payload_bytes: u64 = records.iter().map(|r| r.payload.len() as u64).sum();
+    println!(
+        "workload: {} segments, {:.1} MB payload across {sessions} flows",
+        records.len(),
+        payload_bytes as f64 / 1e6
+    );
+
+    // Bit-identity gate: the perf comparison below is meaningless unless
+    // both engines agree byte-for-byte on the alert stream first.
+    let eager0 = run_phase(&records, ScanMode::Eager, true);
+    let incr0 = run_phase(&records, ScanMode::Incremental, false);
+    let identical = fingerprint(&eager0.alerts) == fingerprint(&incr0.alerts)
+        && eager0.stats.flows == incr0.stats.flows
+        && eager0.stats.kernel_msgs == incr0.stats.kernel_msgs;
+    assert!(
+        identical,
+        "eager and incremental engines diverged: {} vs {} alerts",
+        eager0.alerts.len(),
+        incr0.alerts.len()
+    );
+    assert!(
+        !eager0.alerts.is_empty(),
+        "workload produced no alerts; the signature path is not being measured"
+    );
+    println!(
+        "bit-identity: {} alerts, {} kernel msgs, {} flows -> IDENTICAL across engines\n",
+        eager0.alerts.len(),
+        eager0.stats.kernel_msgs,
+        eager0.stats.flows
+    );
+
+    // Timed phases: best-of-n wall clock; copy/alloc counters are
+    // deterministic per run and read from the final repetition.
+    let mut eager = eager0;
+    let mut eager_wall = eager.wall;
+    for _ in 1..reps {
+        eager = run_phase(&records, ScanMode::Eager, true);
+        eager_wall = eager_wall.min(eager.wall);
+    }
+    let mut incr = incr0;
+    let mut incr_wall = incr.wall;
+    for _ in 1..reps {
+        incr = run_phase(&records, ScanMode::Incremental, false);
+        incr_wall = incr_wall.min(incr.wall);
+    }
+
+    let erow = phase_row(&eager, payload_bytes, records.len(), eager_wall);
+    let irow = phase_row(&incr, payload_bytes, records.len(), incr_wall);
+    println!(
+        "{:<13} {:>11} {:>10} {:>12} {:>13} {:>12}",
+        "engine", "copies/byte", "allocs/seg", "peak-retain", "wall (s)", "MB/s"
+    );
+    for (name, row) in [("eager", &erow), ("incremental", &irow)] {
+        println!(
+            "{:<13} {:>11.3} {:>10.2} {:>12} {:>13.3} {:>12.1}",
+            name,
+            row.copies_per_byte,
+            row.allocs_per_segment,
+            row.peak_retained_bytes,
+            row.wall_secs.unwrap_or(f64::NAN),
+            row.mb_per_sec.unwrap_or(f64::NAN),
+        );
+    }
+
+    let copy_reduction = 1.0 - irow.copies_per_byte / erow.copies_per_byte;
+    let throughput_ratio = eager_wall / incr_wall;
+    let retained_ratio = irow.peak_retained_bytes as f64 / erow.peak_retained_bytes as f64;
+    println!(
+        "\nbytes copied per byte captured: {:.3} -> {:.3} ({:.0}% fewer)",
+        erow.copies_per_byte,
+        irow.copies_per_byte,
+        copy_reduction * 100.0
+    );
+    println!(
+        "streamed throughput: {:.1} -> {:.1} MB/s ({throughput_ratio:.2}x)",
+        erow.mb_per_sec.unwrap_or(f64::NAN),
+        irow.mb_per_sec.unwrap_or(f64::NAN)
+    );
+    println!(
+        "peak retained flow bytes: {} -> {} ({:.1}% of eager; bounded by the reorder window, not flow length)",
+        erow.peak_retained_bytes,
+        irow.peak_retained_bytes,
+        retained_ratio * 100.0
+    );
+
+    // The headline claims. Copy accounting and retention are
+    // deterministic, so they hold in every mode; wall-clock throughput
+    // is only asserted on the full-size run (the tiny CI workload is
+    // too small for stable timing — CI checks the deterministic
+    // metrics from the JSON instead).
+    assert!(
+        copy_reduction >= 0.30,
+        "copy reduction {copy_reduction:.3} below the 30% floor"
+    );
+    assert!(
+        irow.peak_retained_bytes < erow.peak_retained_bytes,
+        "incremental retention not below eager"
+    );
+    assert!(
+        irow.allocs_per_segment < erow.allocs_per_segment,
+        "incremental allocations/segment not below eager baseline"
+    );
+    if !tiny {
+        assert!(
+            throughput_ratio >= 1.3,
+            "throughput ratio {throughput_ratio:.2} below the 1.3x floor"
+        );
+    }
+
+    if json {
+        let report = BenchReport {
+            seed,
+            tiny,
+            sessions,
+            cells_per_session: cells,
+            segments: records.len(),
+            payload_bytes,
+            identical_alerts: identical,
+            alerts: eager.alerts.len(),
+            eager: erow,
+            incremental: irow,
+            copy_reduction,
+            throughput_ratio: finite(throughput_ratio),
+            retained_ratio,
+        };
+        let out = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write("BENCH_E12.json", &out).expect("write BENCH_E12.json");
+        println!("\nwrote BENCH_E12.json");
+    }
+}

@@ -335,16 +335,23 @@ impl Pipeline {
     }
 
     /// The monitor configuration for this deployment: the configured
-    /// rules/thresholds wired with fleet knowledge (server attribution
-    /// and, when granted, TLS-inspection secrets). Shared by the batch
-    /// and streamed paths.
+    /// rules/thresholds wired with fleet knowledge (server attribution,
+    /// TLS-inspection secrets when granted, and full-capture audit
+    /// tracing for decoys). Shared by the batch and streamed paths.
     fn fleet_monitor_config(&self) -> MonitorConfig {
         let mut mcfg = self.config.monitor.clone();
-        for srv in &self.deployment.servers {
+        for (idx, srv) in self.deployment.servers.iter().enumerate() {
             mcfg.server_ids.insert(srv.addr, srv.id);
             if self.config.tls_inspection {
                 mcfg.inspect_secrets
                     .insert(srv.addr, srv.transport_secret.clone());
+            }
+            // Decoy traffic is forensic evidence (the intel loop mines
+            // it for signatures): the monitor keeps those flows'
+            // payloads fully buffered to eviction instead of letting
+            // the incremental scanner drop consumed bytes.
+            if self.deployment.is_decoy(idx) {
+                mcfg.audit_trace_hosts.insert(srv.addr);
             }
         }
         mcfg

@@ -407,6 +407,11 @@ pub struct EpochSummary {
     pub alerts: u64,
     /// Peak concurrently-live monitor flows this epoch.
     pub peak_live_flows: u64,
+    /// Peak payload bytes the monitor retained across live flows this
+    /// epoch — bounded by the reorder window under incremental
+    /// scanning, so it must stay flat across a soak even when
+    /// individual flows are long.
+    pub peak_retained_bytes: u64,
     /// Did the epoch run in degraded mode?
     pub degraded: bool,
     /// Mid-epoch checkpoints taken.
@@ -799,6 +804,7 @@ impl SocService {
             items: driver.items,
             alerts: epoch_alerts,
             peak_live_flows: outcome.monitor_stats.peak_live_flows,
+            peak_retained_bytes: outcome.monitor_stats.peak_retained_bytes,
             degraded,
             checkpoints: driver.taken,
             verified_resume: driver.resume_verified,

@@ -80,13 +80,8 @@ pub fn analyze_flow(flow_id: FlowId, buf: &FlowBuf, inspect_secret: Option<&[u8]
     let up_entropy_bits = ByteStats::from_bytes(up_raw).shannon_bits();
     match parsed {
         Some((handshake, kernel_msgs, opaque_ws_messages)) => {
-            let visibility = if kernel_msgs.iter().any(|m| m.msg_type.is_some()) {
-                Visibility::FullContent
-            } else if handshake.is_some() || opaque_ws_messages > 0 {
-                Visibility::FramingOnly
-            } else {
-                Visibility::Opaque
-            };
+            let visibility =
+                classify_visibility(&kernel_msgs, handshake.is_some(), opaque_ws_messages);
             FlowAnalysis {
                 handshake,
                 kernel_msgs,
@@ -138,35 +133,64 @@ fn parse_ws_side(bytes: &[u8], out: &mut Vec<ParsedKernelMsg>, opaque: &mut usiz
         let Ok(Some(msg)) = asm.push(frame) else {
             continue;
         };
-        let body = match &msg {
-            Message::Binary(b) => b.as_slice(),
-            Message::Text(t) => t.as_bytes(),
-            _ => continue,
-        };
-        match WireMessage::decode(body) {
-            Ok(Some((wire, _))) => {
-                let msg_type = wire.msg_type();
-                let code = (msg_type == Some(MsgType::ExecuteRequest))
-                    .then(|| {
-                        serde_json::from_str::<serde_json::Value>(&wire.content)
-                            .ok()
-                            .and_then(|v| v["code"].as_str().map(str::to_string))
-                    })
-                    .flatten();
-                out.push(ParsedKernelMsg {
-                    msg_type,
-                    code,
-                    signed: !wire.signature.is_empty(),
-                    payload_len: wire.payload_len(),
-                });
-            }
-            _ => *opaque += 1,
+        observe_ws_message(&msg, out, opaque);
+    }
+}
+
+/// Interpret one assembled WebSocket message as a kernel-protocol
+/// message: push a [`ParsedKernelMsg`] when the body decodes, count it
+/// opaque when it does not, skip control messages. Shared between the
+/// eager full-buffer path above and the incremental
+/// [`crate::scan::FlowScanner`] so both interpret identically.
+pub(crate) fn observe_ws_message(
+    msg: &Message,
+    out: &mut Vec<ParsedKernelMsg>,
+    opaque: &mut usize,
+) {
+    let body = match msg {
+        Message::Binary(b) => b.as_slice(),
+        Message::Text(t) => t.as_bytes(),
+        _ => return,
+    };
+    match WireMessage::decode(body) {
+        Ok(Some((wire, _))) => {
+            let msg_type = wire.msg_type();
+            let code = (msg_type == Some(MsgType::ExecuteRequest))
+                .then(|| {
+                    serde_json::from_str::<serde_json::Value>(&wire.content)
+                        .ok()
+                        .and_then(|v| v["code"].as_str().map(str::to_string))
+                })
+                .flatten();
+            out.push(ParsedKernelMsg {
+                msg_type,
+                code,
+                signed: !wire.signature.is_empty(),
+                payload_len: wire.payload_len(),
+            });
         }
+        _ => *opaque += 1,
+    }
+}
+
+/// Classify how deep the analyzers saw, from what a parse recovered.
+/// Shared between [`analyze_flow`] and the incremental scanner.
+pub(crate) fn classify_visibility(
+    kernel_msgs: &[ParsedKernelMsg],
+    has_handshake: bool,
+    opaque_ws_messages: usize,
+) -> Visibility {
+    if kernel_msgs.iter().any(|m| m.msg_type.is_some()) {
+        Visibility::FullContent
+    } else if has_handshake || opaque_ws_messages > 0 {
+        Visibility::FramingOnly
+    } else {
+        Visibility::Opaque
     }
 }
 
 /// Find the end of an HTTP header block (index just past CRLFCRLF).
-fn find_double_crlf(buf: &[u8]) -> Option<usize> {
+pub(crate) fn find_double_crlf(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 

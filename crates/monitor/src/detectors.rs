@@ -10,6 +10,7 @@ use crate::analyzers::FlowAnalysis;
 use crate::features::FlowFeatures;
 use crate::matcher::{CompiledRuleSet, FeedCache, MatchMode};
 use crate::rules::{Pattern, Rule, RuleOrigin};
+use crate::scan::ScanHits;
 use ja_attackgen::AttackClass;
 use ja_kernelsim::config::MisconfigClass;
 use ja_kernelsim::hub::{AuthEvent, AuthOutcome};
@@ -275,6 +276,91 @@ pub fn feed_rule_hits(
     for (r, _) in hits {
         // Time-gate *after* the automaton pass: the snapshot compiles
         // every published rule, availability filters the hits.
+        if avail[r as usize] > features.start {
+            continue;
+        }
+        let rule = compiled.rule(r);
+        alerts.push(match &rule.pattern {
+            Pattern::UrlSubstring(_) => rule_hit(features, rule, || {
+                let target = analysis
+                    .handshake
+                    .as_ref()
+                    .map(|hs| hs.target.as_str())
+                    .unwrap_or_default();
+                format!("rule {} on URL {}", rule.id, target)
+            }),
+            _ => rule_hit(features, rule, || format!("rule {} in cell code", rule.id)),
+        });
+    }
+    alerts
+}
+
+/// [`feed_rule_hits`] for a flow the incremental scanner analyzed:
+/// signature hits were already collected message-by-message as bytes
+/// arrived (single pass, under the feed generation current at arrival)
+/// and only need re-validation here. If the feed epoch moved between a
+/// payload's arrival and the flow's eviction, that payload is rescanned
+/// from the retained parsed string under the eviction-time snapshot —
+/// exactly the snapshot the eager path consults — so output stays
+/// bit-identical to [`feed_rule_hits`] across mid-flow publishes.
+pub(crate) fn feed_rule_hits_scanned(
+    features: &FlowFeatures,
+    analysis: &FlowAnalysis,
+    cache: &mut FeedCache,
+    scanned: &ScanHits,
+) -> Vec<Alert> {
+    if cache.mode() == MatchMode::Naive {
+        // Naive mode never pre-scans (the scanner stores no hits); the
+        // reference walk needs only the parsed artifacts, which the
+        // scanner retains.
+        return feed_rule_hits(features, analysis, cache);
+    }
+    let mut alerts = Vec::new();
+    cache.refresh();
+    if cache.is_empty() {
+        return alerts;
+    }
+    let generation = cache.generation();
+    let (compiled, avail) = cache.parts();
+    // Assemble the same (rule index, payload index) pairs the eager
+    // automaton pass produces: stored hits are ascending rule indices
+    // (pattern ids map to rule indices order-preservingly), and a
+    // fresh rescan yields the identical list.
+    let mut scratch = Vec::new();
+    let mut ids = Vec::new();
+    let mut hits: Vec<(u32, u32)> = Vec::new();
+    if let Some(hs) = &analysis.handshake {
+        match &scanned.url {
+            Some((gen, cached)) if *gen == generation => {
+                hits.extend(cached.iter().map(|&r| (r, 0)));
+            }
+            _ => {
+                ids.clear();
+                compiled.url_hit_indices(&hs.target, &mut scratch, &mut ids);
+                hits.extend(ids.iter().map(|&r| (r, 0)));
+            }
+        }
+    }
+    for (mi, msg) in analysis.kernel_msgs.iter().enumerate() {
+        let Some(code) = &msg.code else {
+            continue;
+        };
+        match scanned.per_msg.get(mi) {
+            Some(Some((gen, cached))) if *gen == generation => {
+                hits.extend(cached.iter().map(|&r| (r, mi as u32)));
+            }
+            _ => {
+                ids.clear();
+                compiled.code_hit_indices(code, &mut scratch, &mut ids);
+                hits.extend(ids.iter().map(|&r| (r, mi as u32)));
+            }
+        }
+    }
+    if hits.is_empty() {
+        return alerts;
+    }
+    hits.sort_unstable();
+    for (r, _) in hits {
         if avail[r as usize] > features.start {
             continue;
         }

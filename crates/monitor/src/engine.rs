@@ -12,18 +12,41 @@
 use crate::alerts::Alert;
 use crate::analyzers::{analyze_flow, FlowAnalysis};
 use crate::detectors::{self, Thresholds};
-use crate::features::FlowFeatures;
+use crate::features::{FlowFeatures, RateAcc};
 use crate::matcher::{CompiledRuleSet, FeedCache, MatchMode};
 use crate::reassembly::FlowBuf;
 use crate::rules::{RuleFeed, RuleSet};
+use crate::scan::FlowScanner;
 use crate::streaming::{StreamingConfig, StreamingMonitor};
 use ja_kernelsim::hub::AuthEvent;
-use ja_netsim::addr::HostAddr;
+use ja_netsim::addr::{FiveTuple, HostAddr};
 use ja_netsim::flow::FlowId;
 use ja_netsim::segment::SegmentRecord;
 use ja_netsim::trace::Trace;
 use rayon::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+
+/// Which analysis path the streaming engine runs for flows that
+/// qualify for single-pass scanning (see the private `scan` module for
+/// the qualification rules — TLS-inspected and audit-traced flows
+/// always take the eager path regardless of mode).
+///
+/// Both modes produce bit-identical alerts and statistics — the
+/// equivalence property tests drive them against each other over
+/// random captures — so [`ScanMode::Eager`] exists as the measurable
+/// reference, not as a behavioural option.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ScanMode {
+    /// Retain every delivered byte; parse and scan the full buffers at
+    /// eviction (the original path, kept as the baseline the
+    /// `e12_hotpath` bench and the proptests compare against).
+    Eager,
+    /// Analyze in-order bytes as the reassembler delivers them and
+    /// drop them immediately; per-flow retention is bounded by the
+    /// reorder window instead of flow length.
+    #[default]
+    Incremental,
+}
 
 /// Monitor configuration.
 #[derive(Clone, Debug)]
@@ -46,6 +69,14 @@ pub struct MonitorConfig {
     /// naive linear scans, kept as a measurable baseline for the
     /// `e7_rulescale` bench and the equivalence property tests.
     pub match_mode: MatchMode,
+    /// Whether qualifying flows are analyzed single-pass as bytes
+    /// arrive ([`ScanMode::Incremental`], the default) or buffered in
+    /// full and analyzed at eviction ([`ScanMode::Eager`]).
+    pub scan_mode: ScanMode,
+    /// Hosts whose flows are captured in full for forensic audit
+    /// (e.g. honeypot decoys): their payload buffers are always
+    /// retained to eviction, never dropped by the incremental scanner.
+    pub audit_trace_hosts: HashSet<HostAddr>,
     /// Degraded-mode load shedding: per-flow alerts with confidence
     /// strictly below this floor are dropped at the shard (before
     /// attribution, incident merging, and scoring) and counted in
@@ -64,6 +95,8 @@ impl Default for MonitorConfig {
             inspect_secrets: HashMap::new(),
             server_ids: HashMap::new(),
             match_mode: MatchMode::default(),
+            scan_mode: ScanMode::default(),
+            audit_trace_hosts: HashSet::new(),
             confidence_floor: 0.0,
         }
     }
@@ -73,6 +106,12 @@ impl MonitorConfig {
     /// Grant TLS inspection for a server.
     pub fn with_inspection(mut self, addr: HostAddr, secret: Vec<u8>) -> Self {
         self.inspect_secrets.insert(addr, secret);
+        self
+    }
+
+    /// Capture `addr`'s flows in full for forensic audit.
+    pub fn with_audit_trace(mut self, addr: HostAddr) -> Self {
+        self.audit_trace_hosts.insert(addr);
         self
     }
 }
@@ -103,6 +142,15 @@ pub struct MonitorStats {
     /// ([`MonitorConfig::confidence_floor`]). Zero unless the service
     /// put the monitor in degraded mode.
     pub shed_alerts: u64,
+    /// High-water mark of raw payload bytes retained across all live
+    /// flows (reassembly buffers + reorder pendings + incremental
+    /// decoder buffers). Under [`ScanMode::Incremental`] this is
+    /// bounded by the reorder window of concurrently-live flows; under
+    /// [`ScanMode::Eager`] it tracks total live flow volume. For the
+    /// sharded path it is the sum of per-shard peaks. Deterministic
+    /// (no wall-clock input), so it participates in checkpoint
+    /// verification.
+    pub peak_retained_bytes: u64,
     /// Wall-clock seconds spent in analysis.
     pub elapsed_secs: f64,
 }
@@ -129,6 +177,19 @@ impl Monitor {
     /// Monitor with the given config.
     pub fn new(config: MonitorConfig) -> Self {
         Monitor { config }
+    }
+
+    /// May a flow with this tuple be analyzed single-pass with early
+    /// byte-drop? Decided once, from the flow's first record: flows
+    /// that might need their full raw buffers later — TLS-inspected
+    /// hosts (decrypt-and-reparse fallback) and audit-traced hosts
+    /// (forensic capture) — always take the eager path.
+    pub(crate) fn scan_eligible(&self, tuple: &FiveTuple) -> bool {
+        self.config.scan_mode == ScanMode::Incremental
+            && !self.config.inspect_secrets.contains_key(&tuple.dst)
+            && !self.config.inspect_secrets.contains_key(&tuple.src)
+            && !self.config.audit_trace_hosts.contains(&tuple.dst)
+            && !self.config.audit_trace_hosts.contains(&tuple.src)
     }
 
     pub(crate) fn secret_for(&self, buf: &FlowBuf) -> Option<&[u8]> {
@@ -177,6 +238,31 @@ impl Monitor {
         // a lock-free epoch check, so an idle feed costs nothing.
         if !self.config.intel.is_empty() {
             alerts.extend(detectors::feed_rule_hits(&ff, &analysis, intel));
+        }
+        Some((ff, analysis, alerts))
+    }
+
+    /// [`Monitor::flow_work`] for a flow the incremental scanner
+    /// followed byte-by-byte: features come from the fold-as-you-go
+    /// [`RateAcc`], analysis and signature hits from the scanner —
+    /// the flow's raw bytes are already gone. Output is bit-identical
+    /// to [`Monitor::flow_work`] on the same (fully retained) flow.
+    pub(crate) fn scanned_flow_work(
+        &self,
+        id: u64,
+        buf: &FlowBuf,
+        scanner: FlowScanner,
+        acc: &RateAcc,
+        rules: &CompiledRuleSet,
+        intel: &mut FeedCache,
+    ) -> Option<(FlowFeatures, FlowAnalysis, Vec<Alert>)> {
+        let ff = acc.finish(id, buf)?;
+        let (analysis, hits) = scanner.finalize();
+        let mut alerts = detectors::per_flow(&ff, &analysis, rules, &self.config.thresholds);
+        if !self.config.intel.is_empty() {
+            alerts.extend(detectors::feed_rule_hits_scanned(
+                &ff, &analysis, intel, &hits,
+            ));
         }
         Some((ff, analysis, alerts))
     }

@@ -37,42 +37,89 @@ pub struct FlowFeatures {
 
 impl FlowFeatures {
     /// Extract features from a reconstructed flow.
+    ///
+    /// Internally replays the flow's segment metadata through
+    /// [`RateAcc`] — the same accumulator the incremental scanner folds
+    /// segment-by-segment — so the eager and single-pass paths share
+    /// one float pipeline and agree bit for bit.
     pub fn from_flow(flow_id: u64, buf: &FlowBuf) -> Option<FlowFeatures> {
+        let mut acc = RateAcc::new();
+        for (&t, &s) in buf.up_times.iter().zip(&buf.up_sizes) {
+            acc.on_up(t, s);
+        }
+        for (&t, &s) in buf.down_times.iter().zip(&buf.down_sizes) {
+            acc.on_down(t, s);
+        }
+        acc.finish(flow_id, buf)
+    }
+
+    /// Periodicity heuristic: several sends with low gap variance.
+    pub fn looks_periodic(&self) -> bool {
+        self.sends_up >= 5 && self.mean_gap_secs > 1.0 && self.gap_cv < 0.3
+    }
+}
+
+/// Incremental rate/volume feature accumulator: the single-pass
+/// equivalent of [`FlowFeatures::from_flow`]'s whole-flow loops. Feed
+/// every *new* (non-duplicate) payload-bearing segment in arrival
+/// order; retention is one burst timestamp per application write
+/// instead of a timestamp and size per segment.
+#[derive(Debug, Default, Clone)]
+pub struct RateAcc {
+    first_up: Option<SimTime>,
+    last_up: Option<SimTime>,
+    last_down: Option<SimTime>,
+    bytes_up: u64,
+    bytes_down: u64,
+    // Burst starts: consecutive upstream segments closer than 1 ms are
+    // one application write.
+    burst_times: Vec<f64>,
+    prev_seg: Option<f64>,
+}
+
+impl RateAcc {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one new upstream payload segment.
+    pub fn on_up(&mut self, t: SimTime, wire_len: u32) {
+        self.first_up.get_or_insert(t);
+        self.last_up = Some(t);
+        self.bytes_up += wire_len as u64;
+        let ts = t.as_secs_f64();
+        // Chain on the gap to the previous *segment*: a multi-MSS
+        // application write is one burst no matter how long it runs.
+        if self.prev_seg.map(|p| ts - p >= 1e-3).unwrap_or(true) {
+            self.burst_times.push(ts);
+        }
+        self.prev_seg = Some(ts);
+    }
+
+    /// Fold one new downstream payload segment.
+    pub fn on_down(&mut self, t: SimTime, wire_len: u32) {
+        self.last_down = Some(t);
+        self.bytes_down += wire_len as u64;
+    }
+
+    /// Finalize into flow features. Flow identity and open/close
+    /// metadata come from the (possibly byte-dropped) `buf`.
+    pub fn finish(&self, flow_id: u64, buf: &FlowBuf) -> Option<FlowFeatures> {
         let tuple = buf.tuple?;
-        let start = buf
-            .opened
-            .or_else(|| buf.up_times.first().copied())
-            .unwrap_or(SimTime::ZERO);
-        let last = [
-            buf.closed,
-            buf.up_times.last().copied(),
-            buf.down_times.last().copied(),
-        ]
-        .into_iter()
-        .flatten()
-        .max()
-        .unwrap_or(start);
-        let bytes_up: u64 = buf.up_sizes.iter().map(|&s| s as u64).sum();
-        let bytes_down: u64 = buf.down_sizes.iter().map(|&s| s as u64).sum();
+        let start = buf.opened.or(self.first_up).unwrap_or(SimTime::ZERO);
+        let last = [buf.closed, self.last_up, self.last_down]
+            .into_iter()
+            .flatten()
+            .max()
+            .unwrap_or(start);
+        let (bytes_up, bytes_down) = (self.bytes_up, self.bytes_down);
         let asymmetry = if bytes_up + bytes_down == 0 {
             0.0
         } else {
             (bytes_up as f64 - bytes_down as f64) / (bytes_up + bytes_down) as f64
         };
-        // Gap statistics over "bursts": consecutive upstream segments
-        // closer than 1 ms are one application write.
-        let mut burst_times: Vec<f64> = Vec::new();
-        let mut prev_seg: Option<f64> = None;
-        for &t in &buf.up_times {
-            let ts = t.as_secs_f64();
-            // Chain on the gap to the previous *segment*: a multi-MSS
-            // application write is one burst no matter how long it runs.
-            if prev_seg.map(|p| ts - p >= 1e-3).unwrap_or(true) {
-                burst_times.push(ts);
-            }
-            prev_seg = Some(ts);
-        }
-        let gaps: Vec<f64> = burst_times.windows(2).map(|w| w[1] - w[0]).collect();
+        let gaps: Vec<f64> = self.burst_times.windows(2).map(|w| w[1] - w[0]).collect();
         let (mean_gap_secs, gap_cv) = if gaps.is_empty() {
             (0.0, 0.0)
         } else {
@@ -88,18 +135,13 @@ impl FlowFeatures {
             bytes_up,
             bytes_down,
             asymmetry,
-            sends_up: burst_times.len(),
+            sends_up: self.burst_times.len(),
             mean_gap_secs,
             gap_cv,
             reset: buf.reset,
             crosses_perimeter: tuple.crosses_perimeter(),
             start,
         })
-    }
-
-    /// Periodicity heuristic: several sends with low gap variance.
-    pub fn looks_periodic(&self) -> bool {
-        self.sends_up >= 5 && self.mean_gap_secs > 1.0 && self.gap_cv < 0.3
     }
 }
 
@@ -221,19 +263,17 @@ mod tests {
         }
         net.close(t, f, false);
         let trace = net.into_trace();
-        let mut recs = trace.records().to_vec();
-        let dups: Vec<_> = recs
-            .iter()
-            .filter(|r| !r.payload.is_empty())
-            .cloned()
-            .collect();
-        recs.extend(dups);
-        let mut noisy_trace = ja_netsim::trace::Trace::new(recs);
-        noisy_trace.sort();
+        // Replay with every payload segment retransmitted once, via an
+        // index sort over borrowed records — no cloned record vector.
+        let mut replay: Vec<&ja_netsim::SegmentRecord> = trace.records().iter().collect();
+        replay.extend(trace.records().iter().filter(|r| !r.payload.is_empty()));
+        replay.sort_by_key(|r| r.time);
         let mut clean = Reassembler::new();
         clean.feed_trace(&trace);
         let mut noisy = Reassembler::new();
-        noisy.feed_trace(&noisy_trace);
+        for r in replay {
+            noisy.feed(r);
+        }
         let cf = FlowFeatures::from_flow(0, &clean.flows()[&0]).unwrap();
         let nf = FlowFeatures::from_flow(0, &noisy.flows()[&0]).unwrap();
         assert_eq!(cf.bytes_up, nf.bytes_up);

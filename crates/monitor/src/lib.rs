@@ -34,10 +34,11 @@ pub mod features;
 pub mod matcher;
 pub mod reassembly;
 pub mod rules;
+mod scan;
 pub mod streaming;
 
 pub use alerts::{Alert, AlertSource};
-pub use engine::{shard_of, Monitor, MonitorConfig, MonitorStats};
+pub use engine::{shard_of, Monitor, MonitorConfig, MonitorStats, ScanMode};
 pub use features::FlowFeatures;
-pub use matcher::{CompiledRuleSet, FeedCache, MatchMode, PatternMatcher};
+pub use matcher::{CompiledRuleSet, FeedCache, MatchMode, MatcherState, PatternMatcher};
 pub use streaming::{FanoutSpec, MonitorShardSnapshot, StreamingConfig, StreamingMonitor};

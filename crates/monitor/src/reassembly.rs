@@ -7,6 +7,7 @@
 //! prefix downstream and accounting gaps.
 
 use ja_netsim::addr::FiveTuple;
+use ja_netsim::payload::{self, PayloadBytes};
 use ja_netsim::segment::{Direction, SegmentRecord};
 use ja_netsim::time::SimTime;
 use std::collections::{BTreeMap, HashMap};
@@ -25,22 +26,50 @@ pub enum SegmentDisposition {
 }
 
 /// One direction of one flow, as reconstructed by the sensor.
-#[derive(Debug, Default)]
+///
+/// Out-of-order segments are stashed as zero-copy [`PayloadBytes`]
+/// slices of the captured record — the reorder window costs refcounts,
+/// not copies. When `retain_data` is off (incremental scanning of a
+/// flow that qualifies for early byte-drop), delivered in-order bytes
+/// are handed to the caller's `delivered` sink and **not** appended to
+/// `data`, so retention is bounded by the reorder window instead of
+/// the flow length.
+#[derive(Debug)]
 pub struct StreamState {
-    /// Delivered contiguous bytes.
+    /// Delivered contiguous bytes (empty when `retain_data` is off).
     pub data: Vec<u8>,
+    /// Keep delivered bytes in `data` (the eager/full-buffer default).
+    retain_data: bool,
     /// Next expected offset.
     next: u64,
     /// Out-of-order segments waiting for the gap to fill.
-    pending: BTreeMap<u64, Vec<u8>>,
+    pending: BTreeMap<u64, PayloadBytes>,
     /// Duplicate segments seen.
     pub duplicates: u64,
     /// Bytes currently stuck behind a gap.
     pub pending_bytes: u64,
 }
 
+impl Default for StreamState {
+    fn default() -> Self {
+        StreamState {
+            data: Vec::new(),
+            retain_data: true,
+            next: 0,
+            pending: BTreeMap::new(),
+            duplicates: 0,
+            pending_bytes: 0,
+        }
+    }
+}
+
 impl StreamState {
-    fn insert(&mut self, offset: u64, payload: &[u8]) -> SegmentDisposition {
+    fn insert(
+        &mut self,
+        offset: u64,
+        payload: &PayloadBytes,
+        mut delivered: Option<&mut Vec<PayloadBytes>>,
+    ) -> SegmentDisposition {
         if payload.is_empty() {
             return SegmentDisposition::New;
         }
@@ -49,16 +78,15 @@ impl StreamState {
             self.duplicates += 1;
             return SegmentDisposition::Duplicate;
         }
-        // Trim any already-delivered prefix.
+        // Trim any already-delivered prefix (zero-copy suffix view).
         let (offset, payload) = if offset < self.next {
             let skip = (self.next - offset) as usize;
-            (self.next, &payload[skip..])
+            (self.next, payload.slice_from(skip))
         } else {
-            (offset, payload)
+            (offset, payload.clone())
         };
         if offset == self.next {
-            self.data.extend_from_slice(payload);
-            self.next += payload.len() as u64;
+            self.deliver(payload, &mut delivered);
             // Drain pending that is now contiguous.
             while let Some((&off, _)) = self.pending.first_key_value() {
                 if off > self.next {
@@ -72,8 +100,7 @@ impl StreamState {
                     continue;
                 }
                 let skip = (self.next - off) as usize;
-                self.data.extend_from_slice(&bytes[skip..]);
-                self.next = end;
+                self.deliver(bytes.slice_from(skip), &mut delivered);
             }
             SegmentDisposition::New
         } else {
@@ -91,10 +118,25 @@ impl StreamState {
             for &(a, b) in &fresh {
                 let lo = (a - offset) as usize;
                 let hi = (b - offset) as usize;
-                self.pending.insert(a, payload[lo..hi].to_vec());
+                self.pending.insert(a, payload.slice(lo..hi));
                 self.pending_bytes += b - a;
             }
             SegmentDisposition::New
+        }
+    }
+
+    /// Hand one in-order chunk downstream: advance the stream cursor,
+    /// append to `data` when retaining (a counted, unavoidable copy of
+    /// the full-buffer path), and surface the zero-copy view to the
+    /// caller's sink.
+    fn deliver(&mut self, chunk: PayloadBytes, delivered: &mut Option<&mut Vec<PayloadBytes>>) {
+        self.next += chunk.len() as u64;
+        if self.retain_data {
+            payload::count_copied(chunk.len() as u64);
+            self.data.extend_from_slice(&chunk);
+        }
+        if let Some(sink) = delivered {
+            sink.push(chunk);
         }
     }
 
@@ -123,11 +165,44 @@ impl StreamState {
     pub fn has_gap(&self) -> bool {
         !self.pending.is_empty()
     }
+
+    /// Total delivered in-order bytes (whether or not they were
+    /// retained in `data`).
+    pub fn delivered_len(&self) -> u64 {
+        self.next
+    }
+
+    /// Bytes this direction currently holds onto: the retained
+    /// contiguous buffer plus unique bytes stuck behind a gap.
+    pub fn retained_bytes(&self) -> u64 {
+        self.data.len() as u64 + self.pending_bytes
+    }
+
+    /// Stop retaining delivered bytes in `data`. Only callable before
+    /// any byte has been delivered — a flow's retention mode is decided
+    /// when it is first seen, never mid-stream.
+    pub fn drop_delivered(&mut self) {
+        debug_assert!(self.data.is_empty(), "retention mode must be set up front");
+        self.retain_data = false;
+    }
+}
+
+/// Which direction(s) of a flow gained new stream bytes from one
+/// absorbed record. Callers folding features incrementally mirror the
+/// `*_times`/`*_sizes` bookkeeping off this.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsorbOutcome {
+    /// The record contributed new upstream bytes (not a duplicate).
+    pub up_new: bool,
+    /// The record contributed new downstream bytes.
+    pub down_new: bool,
 }
 
 /// Reconstructed view of one flow.
 #[derive(Debug, Default)]
 pub struct FlowBuf {
+    /// Lean single-pass mode: see [`FlowBuf::set_lean`].
+    lean: bool,
     /// Five-tuple (set on first record).
     pub tuple: Option<FiveTuple>,
     /// Client→server stream.
@@ -158,6 +233,31 @@ impl FlowBuf {
     /// duplicates update `duplicates` but do not inflate the features
     /// the volumetric detectors read.
     pub fn absorb(&mut self, rec: &SegmentRecord) {
+        self.absorb_into(rec, None, None);
+    }
+
+    /// [`FlowBuf::absorb`] with delivered-chunk sinks: every in-order
+    /// byte the record unlocks (including drained pendings) is pushed
+    /// to the matching direction's sink as a zero-copy slice, in stream
+    /// order. The incremental scanner feeds on these; the returned
+    /// outcome tells the caller which direction (if any) gained new
+    /// stream bytes, for folding rate features in the same pass.
+    pub fn absorb_with(
+        &mut self,
+        rec: &SegmentRecord,
+        up_sink: &mut Vec<PayloadBytes>,
+        down_sink: &mut Vec<PayloadBytes>,
+    ) -> AbsorbOutcome {
+        self.absorb_into(rec, Some(up_sink), Some(down_sink))
+    }
+
+    fn absorb_into(
+        &mut self,
+        rec: &SegmentRecord,
+        up_sink: Option<&mut Vec<PayloadBytes>>,
+        down_sink: Option<&mut Vec<PayloadBytes>>,
+    ) -> AbsorbOutcome {
+        let mut outcome = AbsorbOutcome::default();
         self.tuple.get_or_insert(rec.tuple);
         if rec.flags.syn {
             self.opened.get_or_insert(rec.time);
@@ -169,20 +269,49 @@ impl FlowBuf {
         if rec.wire_len > 0 {
             match rec.dir {
                 Direction::ToResponder => {
-                    if self.up.insert(rec.stream_offset, &rec.payload) == SegmentDisposition::New {
-                        self.up_times.push(rec.time);
-                        self.up_sizes.push(rec.wire_len);
+                    if self.up.insert(rec.stream_offset, &rec.payload, up_sink)
+                        == SegmentDisposition::New
+                    {
+                        outcome.up_new = true;
+                        if !self.lean {
+                            self.up_times.push(rec.time);
+                            self.up_sizes.push(rec.wire_len);
+                        }
                     }
                 }
                 Direction::ToInitiator => {
-                    if self.down.insert(rec.stream_offset, &rec.payload) == SegmentDisposition::New
+                    if self.down.insert(rec.stream_offset, &rec.payload, down_sink)
+                        == SegmentDisposition::New
                     {
-                        self.down_times.push(rec.time);
-                        self.down_sizes.push(rec.wire_len);
+                        outcome.down_new = true;
+                        if !self.lean {
+                            self.down_times.push(rec.time);
+                            self.down_sizes.push(rec.wire_len);
+                        }
                     }
                 }
             }
         }
+        outcome
+    }
+
+    /// Put the flow in lean single-pass mode: stop retaining delivered
+    /// bytes in both directions' `data` buffers *and* stop growing the
+    /// per-segment `*_times`/`*_sizes` vectors — the caller folds rate
+    /// features through [`crate::features::RateAcc`] from
+    /// [`FlowBuf::absorb_with`] outcomes instead. Only valid before
+    /// the first record is absorbed; `FlowFeatures::from_flow` must not
+    /// be used on a lean flow.
+    pub fn set_lean(&mut self) {
+        self.lean = true;
+        self.up.drop_delivered();
+        self.down.drop_delivered();
+    }
+
+    /// Bytes this flow currently retains across both directions
+    /// (contiguous buffers plus reorder-window pendings).
+    pub fn retained_bytes(&self) -> u64 {
+        self.up.retained_bytes() + self.down.retained_bytes()
     }
 }
 
@@ -231,6 +360,14 @@ mod tests {
     use ja_netsim::network::Network;
     use ja_netsim::rng::SimRng;
     use ja_netsim::time::Duration;
+
+    fn pb(bytes: &[u8]) -> PayloadBytes {
+        PayloadBytes::copy_from(bytes)
+    }
+
+    fn ins(st: &mut StreamState, offset: u64, bytes: &[u8]) -> SegmentDisposition {
+        st.insert(offset, &pb(bytes), None)
+    }
 
     fn capture(mss: usize, payload: &[u8]) -> ja_netsim::trace::Trace {
         let mut net = Network::new().with_mss(mss);
@@ -305,12 +442,12 @@ mod tests {
     #[test]
     fn overlap_trimmed() {
         let mut st = StreamState::default();
-        st.insert(0, &[1, 2, 3, 4]);
+        ins(&mut st, 0, &[1, 2, 3, 4]);
         // Overlapping retransmit covering [2, 6).
-        st.insert(2, &[3, 4, 5, 6]);
+        ins(&mut st, 2, &[3, 4, 5, 6]);
         assert_eq!(st.data, vec![1, 2, 3, 4, 5, 6]);
         // Fully-covered duplicate.
-        st.insert(0, &[1, 2]);
+        ins(&mut st, 0, &[1, 2]);
         assert_eq!(st.duplicates, 1);
     }
 
@@ -319,17 +456,17 @@ mod tests {
         let mut st = StreamState::default();
         // Repacketized retransmissions at an already-pending offset:
         // the longer payload wins and `pending_bytes` tracks the delta.
-        st.insert(10, &[10, 11]);
+        ins(&mut st, 10, &[10, 11]);
         assert_eq!(st.pending_bytes, 2);
-        st.insert(10, &[10, 11, 12, 13, 14]);
+        ins(&mut st, 10, &[10, 11, 12, 13, 14]);
         assert_eq!(st.pending_bytes, 5);
         // A shorter retransmission must never truncate captured bytes.
-        st.insert(10, &[10, 11, 12]);
+        ins(&mut st, 10, &[10, 11, 12]);
         assert_eq!(st.pending_bytes, 5);
         assert_eq!(st.duplicates, 1);
         // Fill the gap: every stashed byte drains, none goes stale or
         // is lost.
-        st.insert(0, &(0u8..10).collect::<Vec<_>>());
+        ins(&mut st, 0, &(0u8..10).collect::<Vec<_>>());
         assert_eq!(st.data, (0u8..15).collect::<Vec<_>>());
         assert_eq!(st.pending_bytes, 0);
         assert!(!st.has_gap());
@@ -340,21 +477,21 @@ mod tests {
         let mut st = StreamState::default();
         // While the gap is open, `pending_bytes` must gauge *unique*
         // stashed bytes even when stashes partially overlap.
-        st.insert(10, &(10u8..20).collect::<Vec<_>>());
+        ins(&mut st, 10, &(10u8..20).collect::<Vec<_>>());
         assert_eq!(st.pending_bytes, 10);
         // [15, 25) overlaps [10, 20): only [20, 25) is new.
         assert_eq!(
-            st.insert(15, &(15u8..25).collect::<Vec<_>>()),
+            ins(&mut st, 15, &(15u8..25).collect::<Vec<_>>()),
             SegmentDisposition::New
         );
         assert_eq!(st.pending_bytes, 15);
         // [5, 30) straddles everything stashed: [5, 10) and [25, 30).
         assert_eq!(
-            st.insert(5, &(5u8..30).collect::<Vec<_>>()),
+            ins(&mut st, 5, &(5u8..30).collect::<Vec<_>>()),
             SegmentDisposition::New
         );
         assert_eq!(st.pending_bytes, 25);
-        st.insert(0, &(0u8..5).collect::<Vec<_>>());
+        ins(&mut st, 0, &(0u8..5).collect::<Vec<_>>());
         assert_eq!(st.data, (0u8..30).collect::<Vec<_>>());
         assert_eq!(st.pending_bytes, 0);
         assert!(!st.has_gap());
@@ -365,20 +502,23 @@ mod tests {
         let mut st = StreamState::default();
         // Stash [10, 20) behind a gap, then retransmit subsets at
         // shifted offsets: no new bytes, so both are duplicates.
-        st.insert(10, &(10u8..20).collect::<Vec<_>>());
-        assert_eq!(st.insert(12, &[12, 13, 14]), SegmentDisposition::Duplicate);
+        ins(&mut st, 10, &(10u8..20).collect::<Vec<_>>());
         assert_eq!(
-            st.insert(15, &(15u8..20).collect::<Vec<_>>()),
+            ins(&mut st, 12, &[12, 13, 14]),
+            SegmentDisposition::Duplicate
+        );
+        assert_eq!(
+            ins(&mut st, 15, &(15u8..20).collect::<Vec<_>>()),
             SegmentDisposition::Duplicate
         );
         assert_eq!(st.duplicates, 2);
         assert_eq!(st.pending_bytes, 10);
         // A shifted segment reaching past the stash carries new bytes.
         assert_eq!(
-            st.insert(15, &(15u8..25).collect::<Vec<_>>()),
+            ins(&mut st, 15, &(15u8..25).collect::<Vec<_>>()),
             SegmentDisposition::New
         );
-        st.insert(0, &(0u8..10).collect::<Vec<_>>());
+        ins(&mut st, 0, &(0u8..10).collect::<Vec<_>>());
         assert_eq!(st.data, (0u8..25).collect::<Vec<_>>());
         assert_eq!(st.pending_bytes, 0);
         assert!(!st.has_gap());
@@ -390,17 +530,17 @@ mod tests {
         let trace = capture(20, &data);
         let mut clean = Reassembler::new();
         clean.feed_trace(&trace);
-        // Retransmit every upstream payload segment once.
-        let mut recs = trace.records().to_vec();
-        let dups: Vec<_> = recs
+        // Retransmit every upstream payload segment once — borrowed
+        // replay, no cloned record vector.
+        let dups: Vec<_> = trace
+            .records()
             .iter()
             .filter(|r| !r.payload.is_empty() && r.dir == Direction::ToResponder)
-            .cloned()
             .collect();
         assert!(!dups.is_empty());
-        recs.extend(dups);
         let mut noisy = Reassembler::new();
-        for r in &recs {
+        noisy.feed_trace(&trace);
+        for r in dups {
             noisy.feed(r);
         }
         let (c, n) = (&clean.flows()[&0], &noisy.flows()[&0]);
@@ -414,10 +554,10 @@ mod tests {
     #[test]
     fn pending_coalesces_on_fill() {
         let mut st = StreamState::default();
-        st.insert(10, &[10, 11]);
-        st.insert(5, &[5, 6, 7, 8, 9]);
+        ins(&mut st, 10, &[10, 11]);
+        ins(&mut st, 5, &[5, 6, 7, 8, 9]);
         assert!(st.has_gap() || st.data.is_empty());
-        st.insert(0, &[0, 1, 2, 3, 4]);
+        ins(&mut st, 0, &[0, 1, 2, 3, 4]);
         assert_eq!(st.data, (0u8..12).collect::<Vec<_>>());
         assert!(!st.has_gap());
     }

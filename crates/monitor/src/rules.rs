@@ -540,7 +540,7 @@ mod tests {
         feed.publish(t1.available_at, t1.rule.clone());
         feed.publish(t2.available_at, t2.rule);
 
-        use serde::{Deserialize, Serialize};
+        use serde::Deserialize;
         let json = serde_json::to_string(&feed.checkpoint()).unwrap();
         let cp = FeedCheckpoint::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
         let restored = RuleFeed::restore(&cp);

@@ -1,0 +1,362 @@
+//! Single-pass incremental flow scanning — analyze bytes as they
+//! arrive, then drop them.
+//!
+//! The eager path ([`crate::analyzers::analyze_flow`]) retains every
+//! delivered byte of a flow until eviction and only then parses and
+//! scans the full buffers front to back, so peak memory tracks flow
+//! *length*. [`FlowScanner`] runs the same analyzer chain — HTTP
+//! upgrade → WebSocket framing → Jupyter wire → signature matching →
+//! rate features — over the in-order chunks the reassembler delivers,
+//! as it delivers them. A flow that qualifies for early byte-drop (see
+//! below) then retains only:
+//!
+//! - the reorder window (out-of-order pendings, zero-copy slices),
+//! - unconsumed decoder buffers (partial frame/message, pre-handshake
+//!   header bytes),
+//! - parsed artifacts (kernel messages, handshake, feature
+//!   accumulators) — which the eager path retains too.
+//!
+//! # When a flow qualifies for early byte-drop
+//!
+//! A flow's bytes may be dropped after scanning only if no later stage
+//! can ever need the full raw buffer again:
+//!
+//! - **TLS-inspected flows don't qualify**: hosts in
+//!   `inspect_secrets` trigger the decrypt-and-reparse fallback, which
+//!   needs the complete ciphertext of both directions.
+//! - **Audit-traced flows don't qualify**: hosts in
+//!   `audit_trace_hosts` (e.g. honeypot decoys) are captured in full
+//!   for forensics.
+//! - Everything else (the overwhelming majority of traffic) qualifies;
+//!   retention is bounded by the reorder window, not flow length.
+//!
+//! The decision is made once, when the flow's first record arrives —
+//! never mid-stream.
+//!
+//! # Bit-identity with the eager path
+//!
+//! Every divergence the chunked replay could introduce is pinned to
+//! the eager semantics, and the equivalence proptests drive both paths
+//! over random splits/reorderings/duplicates:
+//!
+//! - The upstream header is buffered until the first CRLFCRLF, so the
+//!   header search and UTF-8/parse validation see exactly the bytes
+//!   the eager full-buffer search sees.
+//! - The eager path feeds a whole side to the frame decoder in one
+//!   call, so a decode error drops *every* frame of that side and
+//!   counts one opaque unit. The scanner mirrors that: on the first
+//!   decode error it clears the side's accumulated messages and
+//!   freezes the side at exactly one opaque count.
+//! - Kernel messages are emitted upstream-side first, then
+//!   downstream — arrival interleaving never changes the output order.
+//! - Signature hits are matched at message arrival under the intel
+//!   generation current *then*, and re-validated at eviction: if the
+//!   feed epoch moved since, the retained code string is rescanned
+//!   under the eviction-time snapshot — exactly the snapshot the eager
+//!   path would have used.
+
+use crate::analyzers::{
+    classify_visibility, find_double_crlf, observe_ws_message, FlowAnalysis, ParsedKernelMsg,
+    Visibility,
+};
+use crate::matcher::{FeedCache, MatchMode};
+use ja_crypto::entropy::ByteStats;
+use ja_netsim::payload::PayloadBytes;
+use ja_websocket::codec::{FrameDecoder, MessageAssembler};
+use ja_websocket::handshake::UpgradeRequest;
+
+/// Signature hits collected incrementally, with the feed generation
+/// they were scanned under. Consumed by
+/// [`crate::detectors::feed_rule_hits`], which re-validates the
+/// generation at eviction time.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ScanHits {
+    /// URL-plane rule indices for the handshake target, with the
+    /// generation they are valid for.
+    pub(crate) url: Option<(u64, Vec<u32>)>,
+    /// Code-plane rule indices per kernel message (parallel to
+    /// `FlowAnalysis::kernel_msgs`; `None` for messages without code).
+    pub(crate) per_msg: Vec<Option<(u64, Vec<u32>)>>,
+}
+
+/// One direction's protocol position.
+#[derive(Debug)]
+enum SidePhase {
+    /// Buffering bytes until the first CRLFCRLF (the HTTP header end).
+    /// `searched` is how far the CRLFCRLF scan has advanced, so each
+    /// byte is examined once across chunk arrivals.
+    Header { buf: Vec<u8>, searched: usize },
+    /// Header consumed; decoding WebSocket frames from the remainder.
+    Ws {
+        dec: FrameDecoder,
+        asm: MessageAssembler,
+        /// A decode error froze this side (eager drops the whole side).
+        failed: bool,
+    },
+    /// The upstream header failed UTF-8 or upgrade-request validation:
+    /// the whole flow is non-WebSocket (eager `try_parse` → `None`).
+    Rejected,
+}
+
+impl Default for SidePhase {
+    fn default() -> Self {
+        SidePhase::Header {
+            buf: Vec::new(),
+            searched: 0,
+        }
+    }
+}
+
+/// One direction's scan state: phase machine plus the per-side message
+/// list (kept separate so output order is upstream-then-downstream
+/// regardless of arrival interleaving, and so a decode failure can
+/// retract the side wholesale).
+#[derive(Debug, Default)]
+struct SideScan {
+    phase: SidePhase,
+    msgs: Vec<ParsedKernelMsg>,
+    /// Parallel to `msgs`: incremental code-plane hits (generation,
+    /// ascending rule indices), `None` when the message has no code or
+    /// matching is naive-mode.
+    hits: Vec<Option<(u64, Vec<u32>)>>,
+    opaque: usize,
+}
+
+impl SideScan {
+    /// Bytes this side is buffering (pre-handshake header bytes plus
+    /// undecoded frame/message fragments).
+    fn buffered(&self) -> u64 {
+        match &self.phase {
+            SidePhase::Header { buf, .. } => buf.len() as u64,
+            SidePhase::Ws { dec, asm, .. } => (dec.buffered() + asm.buffered()) as u64,
+            SidePhase::Rejected => 0,
+        }
+    }
+}
+
+/// Incremental analyzer for one flow. Feed the reassembler's in-order
+/// chunks as they are delivered; finalize at eviction.
+#[derive(Debug, Default)]
+pub(crate) struct FlowScanner {
+    up: SideScan,
+    down: SideScan,
+    /// Upstream byte histogram (entropy feature) — fed every delivered
+    /// upstream byte, mirroring the eager scan of `up.data`.
+    stats: ByteStats,
+    handshake: Option<UpgradeRequest>,
+    /// URL-plane hits for the handshake target (generation, indices).
+    url_hits: Option<(u64, Vec<u32>)>,
+    /// The upstream header was rejected — the flow is non-WebSocket.
+    rejected: bool,
+}
+
+impl FlowScanner {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one delivered upstream chunk.
+    pub(crate) fn feed_up(&mut self, chunk: &PayloadBytes, intel: &mut FeedCache) {
+        self.stats.update(chunk);
+        if self.rejected {
+            return;
+        }
+        // Split borrows: the phase machine needs `&mut self.up` while
+        // header validation sets flow-level fields, so drive the up
+        // side with explicit stages.
+        if let SidePhase::Header { buf, searched } = &mut self.up.phase {
+            buf.extend_from_slice(chunk);
+            let Some(header_end) = scan_crlfcrlf(buf, searched) else {
+                return;
+            };
+            // Validate exactly as the eager path: UTF-8 over the header
+            // (CRLFCRLF included), then upgrade-request parse. Failure
+            // rejects the whole flow.
+            let parsed = std::str::from_utf8(&buf[..header_end])
+                .ok()
+                .and_then(UpgradeRequest::parse);
+            let Some(hs) = parsed else {
+                self.rejected = true;
+                self.up.phase = SidePhase::Rejected;
+                return;
+            };
+            self.url_hits = scan_url_plane(&hs.target, intel);
+            self.handshake = Some(hs);
+            let rest = buf[header_end..].to_vec();
+            self.up.phase = SidePhase::Ws {
+                dec: FrameDecoder::new(),
+                asm: MessageAssembler::new(),
+                failed: false,
+            };
+            feed_ws(&mut self.up, &rest, intel);
+            return;
+        }
+        feed_ws(&mut self.up, chunk, intel);
+    }
+
+    /// Feed one delivered downstream chunk.
+    pub(crate) fn feed_down(&mut self, chunk: &PayloadBytes, intel: &mut FeedCache) {
+        if self.rejected {
+            return;
+        }
+        if let SidePhase::Header { buf, searched } = &mut self.down.phase {
+            buf.extend_from_slice(chunk);
+            // The eager path applies no validation to the downstream
+            // header (the 101 response) — everything after its CRLFCRLF
+            // is frame data.
+            let Some(header_end) = scan_crlfcrlf(buf, searched) else {
+                return;
+            };
+            let rest = buf[header_end..].to_vec();
+            self.down.phase = SidePhase::Ws {
+                dec: FrameDecoder::new(),
+                asm: MessageAssembler::new(),
+                failed: false,
+            };
+            feed_ws(&mut self.down, &rest, intel);
+            return;
+        }
+        feed_ws(&mut self.down, chunk, intel);
+    }
+
+    /// Bytes the scanner itself is buffering (both sides' header and
+    /// codec buffers). Together with the reassembler's pendings this is
+    /// the flow's whole raw-byte retention.
+    pub(crate) fn buffered(&self) -> u64 {
+        self.up.buffered() + self.down.buffered()
+    }
+
+    /// Finalize into the same shape the eager analyzer produces, plus
+    /// the incrementally-collected signature hits.
+    pub(crate) fn finalize(self) -> (FlowAnalysis, ScanHits) {
+        let up_entropy_bits = self.stats.shannon_bits();
+        // No upstream handshake ⇒ the eager `try_parse` returns None ⇒
+        // everything is opaque (messages a side may have produced are
+        // irrelevant because without an up-header none are produced).
+        if self.rejected || self.handshake.is_none() {
+            return (
+                FlowAnalysis {
+                    handshake: None,
+                    kernel_msgs: Vec::new(),
+                    opaque_ws_messages: 0,
+                    visibility: Visibility::Opaque,
+                    up_entropy_bits,
+                },
+                ScanHits::default(),
+            );
+        }
+        let mut kernel_msgs = self.up.msgs;
+        kernel_msgs.extend(self.down.msgs);
+        let mut per_msg = self.up.hits;
+        per_msg.extend(self.down.hits);
+        let opaque_ws_messages = self.up.opaque + self.down.opaque;
+        let visibility = classify_visibility(&kernel_msgs, true, opaque_ws_messages);
+        (
+            FlowAnalysis {
+                handshake: self.handshake,
+                kernel_msgs,
+                opaque_ws_messages,
+                visibility,
+                up_entropy_bits,
+            },
+            ScanHits {
+                url: self.url_hits,
+                per_msg,
+            },
+        )
+    }
+}
+
+/// Resume the CRLFCRLF search over `buf[*searched..]`, never
+/// re-examining bytes. Returns the index just past the terminator
+/// (identical to [`find_double_crlf`] on the full buffer).
+fn scan_crlfcrlf(buf: &[u8], searched: &mut usize) -> Option<usize> {
+    // Back up 3 bytes so a terminator straddling the previous chunk
+    // boundary is seen.
+    let from = searched.saturating_sub(3);
+    if let Some(i) = find_double_crlf(&buf[from..]) {
+        *searched = from + i;
+        return Some(from + i);
+    }
+    *searched = buf.len();
+    None
+}
+
+/// Feed raw post-handshake bytes of one side through its WebSocket
+/// decoder, interpreting completed messages immediately.
+fn feed_ws(side: &mut SideScan, bytes: &[u8], intel: &mut FeedCache) {
+    let SidePhase::Ws { dec, asm, failed } = &mut side.phase else {
+        return;
+    };
+    if *failed {
+        return;
+    }
+    let frames = match dec.feed(bytes) {
+        Ok(frames) => frames,
+        Err(_) => {
+            // The eager path feeds the whole side in one call, so an
+            // error anywhere drops every frame of the side and counts
+            // exactly one opaque unit. Mirror that by retracting
+            // everything this side accumulated.
+            *failed = true;
+            side.msgs.clear();
+            side.hits.clear();
+            side.opaque = 1;
+            return;
+        }
+    };
+    for frame in frames {
+        let Ok(Some(msg)) = asm.push(frame) else {
+            continue;
+        };
+        let before = side.msgs.len();
+        observe_ws_message(&msg, &mut side.msgs, &mut side.opaque);
+        if side.msgs.len() > before {
+            let hits = side.msgs[before]
+                .code
+                .as_deref()
+                .and_then(|code| scan_code_plane(code, intel));
+            side.hits.push(hits);
+        }
+    }
+}
+
+/// Scan a kernel message's code against the intel feed's code plane
+/// under the current generation, via the resumable matcher. `None` in
+/// naive mode (the naive path rescans at eviction from the feed lock).
+fn scan_code_plane(code: &str, intel: &mut FeedCache) -> Option<(u64, Vec<u32>)> {
+    if intel.mode() == MatchMode::Naive {
+        return None;
+    }
+    intel.refresh();
+    let (compiled, _) = intel.parts();
+    let ac = compiled.code_matcher();
+    let mut st = ac.begin();
+    ac.feed(&mut st, code.as_bytes());
+    let mut pids = Vec::new();
+    ac.finish_into(&mut st, &mut pids);
+    let ids = pids
+        .iter()
+        .map(|&pid| compiled.code_rule_index(pid))
+        .collect();
+    Some((intel.generation(), ids))
+}
+
+/// URL-plane counterpart of [`scan_code_plane`].
+fn scan_url_plane(target: &str, intel: &mut FeedCache) -> Option<(u64, Vec<u32>)> {
+    if intel.mode() == MatchMode::Naive {
+        return None;
+    }
+    intel.refresh();
+    let (compiled, _) = intel.parts();
+    let ac = compiled.url_matcher();
+    let mut st = ac.begin();
+    ac.feed(&mut st, target.as_bytes());
+    let mut pids = Vec::new();
+    ac.finish_into(&mut st, &mut pids);
+    let ids = pids
+        .iter()
+        .map(|&pid| compiled.url_rule_index(pid))
+        .collect();
+    Some((intel.generation(), ids))
+}

@@ -24,8 +24,10 @@ use crate::alerts::Alert;
 use crate::analyzers::Visibility;
 use crate::detectors;
 use crate::engine::{Monitor, MonitorStats};
-use crate::features::FlowFeatures;
+use crate::features::{FlowFeatures, RateAcc};
 use crate::reassembly::FlowBuf;
+use crate::scan::FlowScanner;
+use ja_netsim::payload::PayloadBytes;
 use ja_netsim::segment::SegmentRecord;
 use ja_netsim::time::{Duration, SimTime};
 use std::collections::HashMap;
@@ -123,6 +125,26 @@ struct LiveFlow {
     buf: FlowBuf,
     /// Capture time of the newest record on this flow.
     last_seen: SimTime,
+    /// Single-pass state for flows that qualify for incremental
+    /// scanning with early byte-drop ([`Monitor::scan_eligible`],
+    /// decided at flow creation); `None` = eager full-buffer path.
+    /// Boxed: the scanner carries a 2 KiB entropy histogram, which
+    /// eager flows shouldn't pay for in the live table.
+    scan: Option<Box<ScanState>>,
+}
+
+/// The incremental analyzer pair for one lean flow: the protocol
+/// scanner consuming delivered chunks and the rate-feature fold.
+#[derive(Debug)]
+struct ScanState {
+    scanner: FlowScanner,
+    acc: RateAcc,
+}
+
+impl ScanState {
+    fn retained_with(&self, buf: &FlowBuf) -> u64 {
+        buf.retained_bytes() + self.scanner.buffered()
+    }
 }
 
 /// Everything a streaming engine accumulated from its evicted flows:
@@ -160,6 +182,9 @@ pub struct MonitorShardSnapshot {
     pub peak_live_flows: u64,
     /// Alerts dropped by the degraded-mode confidence floor.
     pub shed_alerts: u64,
+    /// High-water mark of retained raw payload bytes (deterministic —
+    /// a pure function of the consumed record prefix).
+    pub peak_retained_bytes: u64,
     /// Per-flow alerts accumulated and not yet drained.
     pub pending_alerts: u64,
     /// Flow feature summaries retained for the cross-flow pass.
@@ -184,6 +209,15 @@ pub struct StreamingMonitor<'m> {
     summary: StreamSummary,
     /// Newest capture timestamp seen on any flow (eviction clock).
     watermark: SimTime,
+    /// Raw payload bytes currently retained across live flows
+    /// (reassembly buffers + reorder pendings + scanner codec
+    /// buffers); its high-water mark feeds
+    /// [`MonitorStats::peak_retained_bytes`].
+    retained_now: u64,
+    /// Reused delivered-chunk sinks for [`FlowBuf::absorb_with`], so
+    /// the per-record hot path allocates nothing in steady state.
+    scratch_up: Vec<PayloadBytes>,
+    scratch_down: Vec<PayloadBytes>,
     since_sweep: u64,
     started: std::time::Instant,
 }
@@ -199,6 +233,9 @@ impl<'m> StreamingMonitor<'m> {
             live: HashMap::new(),
             summary: StreamSummary::default(),
             watermark: SimTime::ZERO,
+            retained_now: 0,
+            scratch_up: Vec::new(),
+            scratch_down: Vec::new(),
             since_sweep: 0,
             started: std::time::Instant::now(),
         }
@@ -208,17 +245,61 @@ impl<'m> StreamingMonitor<'m> {
     pub fn push(&mut self, rec: &SegmentRecord) {
         self.summary.stats.segments += 1;
         self.watermark = self.watermark.max(rec.time);
-        let lf = self.live.entry(rec.flow_id).or_insert_with(|| LiveFlow {
-            buf: FlowBuf::default(),
-            last_seen: rec.time,
+        let monitor = self.monitor;
+        let lf = self.live.entry(rec.flow_id).or_insert_with(|| {
+            let mut buf = FlowBuf::default();
+            // Qualification is decided here, once, from the flow's
+            // first record — every record carries the five-tuple, so
+            // reordered captures decide identically.
+            let scan = monitor.scan_eligible(&rec.tuple).then(|| {
+                buf.set_lean();
+                Box::new(ScanState {
+                    scanner: FlowScanner::new(),
+                    acc: RateAcc::new(),
+                })
+            });
+            LiveFlow {
+                buf,
+                last_seen: rec.time,
+                scan,
+            }
         });
         lf.last_seen = lf.last_seen.max(rec.time);
-        lf.buf.absorb(rec);
-        self.summary.stats.peak_live_flows = self
-            .summary
-            .stats
-            .peak_live_flows
-            .max(self.live.len() as u64);
+        match lf.scan.as_deref_mut() {
+            Some(scan) => {
+                let before = scan.retained_with(&lf.buf);
+                self.scratch_up.clear();
+                self.scratch_down.clear();
+                let outcome = lf
+                    .buf
+                    .absorb_with(rec, &mut self.scratch_up, &mut self.scratch_down);
+                // Fold rate features off the same pass; up/down
+                // subsequences each keep arrival order, which is all
+                // the accumulator is sensitive to.
+                if outcome.up_new {
+                    scan.acc.on_up(rec.time, rec.wire_len);
+                }
+                if outcome.down_new {
+                    scan.acc.on_down(rec.time, rec.wire_len);
+                }
+                for chunk in self.scratch_up.drain(..) {
+                    scan.scanner.feed_up(&chunk, &mut self.intel);
+                }
+                for chunk in self.scratch_down.drain(..) {
+                    scan.scanner.feed_down(&chunk, &mut self.intel);
+                }
+                let after = scan.retained_with(&lf.buf);
+                self.retained_now = self.retained_now - before + after;
+            }
+            None => {
+                let before = lf.buf.retained_bytes();
+                lf.buf.absorb(rec);
+                self.retained_now = self.retained_now - before + lf.buf.retained_bytes();
+            }
+        }
+        let stats = &mut self.summary.stats;
+        stats.peak_live_flows = stats.peak_live_flows.max(self.live.len() as u64);
+        stats.peak_retained_bytes = stats.peak_retained_bytes.max(self.retained_now);
         self.since_sweep += 1;
         if self.since_sweep >= self.cfg.sweep_interval {
             self.sweep();
@@ -262,6 +343,7 @@ impl<'m> StreamingMonitor<'m> {
             kernel_msgs: s.kernel_msgs,
             peak_live_flows: s.peak_live_flows,
             shed_alerts: s.shed_alerts,
+            peak_retained_bytes: s.peak_retained_bytes,
             pending_alerts: self.summary.alerts.len() as u64,
             features: self.summary.features.len() as u64,
             feed_generation: self.intel.generation(),
@@ -301,10 +383,27 @@ impl<'m> StreamingMonitor<'m> {
         let Some(lf) = self.live.remove(&id) else {
             return;
         };
-        let Some((ff, analysis, mut alerts)) =
-            self.monitor
-                .flow_work(id, &lf.buf, &self.rules, &mut self.intel)
-        else {
+        self.retained_now -= match &lf.scan {
+            Some(scan) => scan.retained_with(&lf.buf),
+            None => lf.buf.retained_bytes(),
+        };
+        let work = match lf.scan {
+            Some(scan) => {
+                let ScanState { scanner, acc } = *scan;
+                self.monitor.scanned_flow_work(
+                    id,
+                    &lf.buf,
+                    scanner,
+                    &acc,
+                    &self.rules,
+                    &mut self.intel,
+                )
+            }
+            None => self
+                .monitor
+                .flow_work(id, &lf.buf, &self.rules, &mut self.intel),
+        };
+        let Some((ff, analysis, mut alerts)) = work else {
             return;
         };
         // Degraded-mode load shedding: drop low-severity per-flow alerts
@@ -380,6 +479,7 @@ impl Monitor {
             stats.kernel_msgs += p.stats.kernel_msgs;
             stats.peak_live_flows += p.stats.peak_live_flows;
             stats.shed_alerts += p.stats.shed_alerts;
+            stats.peak_retained_bytes += p.stats.peak_retained_bytes;
             alerts.extend(p.alerts);
             features.extend(p.features);
         }
@@ -563,10 +663,10 @@ mod tests {
     use ja_attackgen::AttackClass;
     use ja_kernelsim::deployment::{Deployment, DeploymentSpec};
 
-    fn alert_keys(alerts: &[Alert]) -> Vec<(SimTime, AttackClass, String)> {
+    fn alert_keys(alerts: &[Alert]) -> Vec<(SimTime, AttackClass, &str)> {
         let mut k: Vec<_> = alerts
             .iter()
-            .map(|a| (a.time, a.class, a.detail.clone()))
+            .map(|a| (a.time, a.class, a.detail.as_str()))
             .collect();
         k.sort();
         k

@@ -34,7 +34,10 @@ fn record(offset: u64, len: usize, t_ms: u64) -> SegmentRecord {
         flow_id: 0,
         dir: Direction::ToResponder,
         stream_offset: offset,
-        payload: (offset..offset + len as u64).map(stream_byte).collect(),
+        payload: (offset..offset + len as u64)
+            .map(stream_byte)
+            .collect::<Vec<u8>>()
+            .into(),
         wire_len: len as u32,
         flags: SegFlags::default(),
     }
@@ -536,4 +539,233 @@ fn streaming_alert_set_matches_batch_on_reordered_capture() {
         stream_stats.peak_live_flows,
         batch_stats.peak_live_flows
     );
+}
+
+proptest! {
+    /// Resumable chunked matching ([`PatternMatcher::begin`]/`feed`/
+    /// `finish`) reports exactly the hits a one-shot `find` reports,
+    /// for any split of the haystack — including empty chunks and
+    /// splits inside multi-byte patterns — and the state is reusable
+    /// for the next haystack after `finish`.
+    #[test]
+    fn resumable_matcher_equals_one_shot(
+        patterns in proptest::collection::vec(arb_pattern(), 0..12),
+        hay in arb_haystack(),
+        cuts in proptest::collection::vec(0.0f64..1.0, 0..6)) {
+        let ac = PatternMatcher::build(&patterns);
+        let bytes = hay.as_bytes();
+        let mut splits: Vec<usize> = cuts
+            .iter()
+            .map(|c| (c * bytes.len() as f64) as usize)
+            .collect();
+        splits.push(0);
+        splits.push(bytes.len());
+        splits.sort_unstable();
+        let want = ac.find(bytes);
+        let mut st = ac.begin();
+        for w in splits.windows(2) {
+            ac.feed(&mut st, &bytes[w[0]..w[1]]);
+        }
+        prop_assert_eq!(ac.finish(&mut st), want.clone());
+        // `finish` reset the cursor: the same state scans the next
+        // haystack from scratch.
+        ac.feed(&mut st, bytes);
+        prop_assert_eq!(ac.finish(&mut st), want);
+    }
+}
+
+/// One plaintext-WS notebook session per entry in `starts` (each runs a
+/// cell with a distinctive hostile token and a token-bearing upgrade
+/// URL), optionally one fully-encrypted (TLS) session, and one raw
+/// non-WebSocket flow — the three analyzer regimes (full content,
+/// ciphertext/rejected header, opaque) the incremental scanner must
+/// reproduce bit for bit.
+fn scan_regimes_trace(sessions: usize, with_tls: bool) -> Trace {
+    use ja_kernelsim::actions::CellScript;
+    use ja_kernelsim::config::{ServerConfig, TransportMode};
+    use ja_kernelsim::server::NotebookServer;
+    let mut net = Network::new().with_mss(64);
+    let mut scfg = ServerConfig::hardened();
+    scfg.transport = TransportMode::PlainWs;
+    scfg.token_in_url = true;
+    let mut srv = NotebookServer::new(1, scfg, 11);
+    srv.provision_user("alice", SimTime::ZERO);
+    srv.start_kernel("alice", SimTime::ZERO);
+    for i in 0..sessions {
+        let at = SimTime::from_secs(60 * (i as u64 + 1));
+        let mut conn = srv.connect(
+            &mut net,
+            at,
+            HostAddr::internal(HostId(200 + i as u32)),
+            "alice",
+            0,
+        );
+        let done = srv.run_cell(
+            &mut net,
+            at + Duration::from_millis(50),
+            &mut conn,
+            &CellScript::pure("subprocess.Popen('/tmp/.stratum_kworkerd')"),
+        );
+        conn.close(&mut net, done + Duration::from_secs(1));
+    }
+    if with_tls {
+        let mut tcfg = ServerConfig::hardened();
+        tcfg.transport = TransportMode::Tls;
+        let mut tsrv = NotebookServer::new(2, tcfg, 12);
+        tsrv.provision_user("bob", SimTime::ZERO);
+        tsrv.start_kernel("bob", SimTime::ZERO);
+        let at = SimTime::from_secs(30);
+        let mut conn = tsrv.connect(&mut net, at, HostAddr::internal(HostId(150)), "bob", 0);
+        let done = tsrv.run_cell(
+            &mut net,
+            at + Duration::from_millis(50),
+            &mut conn,
+            &CellScript::pure("print('x')"),
+        );
+        conn.close(&mut net, done + Duration::from_secs(1));
+    }
+    // A raw non-WebSocket flow: the header search never terminates.
+    let f = net.open(
+        SimTime::from_secs(5),
+        HostAddr::internal(HostId(9)),
+        40_000,
+        HostAddr::external(2),
+        443,
+    );
+    net.send(
+        SimTime::from_secs(6),
+        f,
+        Direction::ToResponder,
+        &[0xffu8; 700],
+    );
+    net.close(SimTime::from_secs(7), f, false);
+    net.into_trace()
+}
+
+fn scan_hot_rules() -> Vec<Rule> {
+    vec![
+        Rule {
+            id: "hp-scan-0".into(),
+            class: AttackClass::Cryptomining,
+            pattern: Pattern::CodeSubstring(".stratum_kworkerd".into()),
+            confidence: 0.9,
+            origin: RuleOrigin::HoneypotIntel,
+        },
+        Rule {
+            id: "hp-scan-1".into(),
+            class: AttackClass::AccountTakeover,
+            pattern: Pattern::UrlSubstring("token=".into()),
+            confidence: 0.6,
+            origin: RuleOrigin::HoneypotIntel,
+        },
+    ]
+}
+
+proptest! {
+    /// The incremental single-pass scanner is bit-identical to the
+    /// eager full-buffer path — same alerts (content and order), same
+    /// statistics — across random segment reorderings, duplicated
+    /// segments, both match modes, and intel rules published mid-flow
+    /// (an epoch bump between a payload's arrival and its flow's
+    /// eviction forces the stored-hit revalidation path). Retention,
+    /// meanwhile, must never exceed the eager path's.
+    #[test]
+    fn incremental_scan_matches_eager_engine(
+        sessions in 1usize..3,
+        with_tls in any::<bool>(),
+        jitter_ms in 0u64..50,
+        dup_mask in proptest::collection::vec(any::<bool>(), 8),
+        publish_frac in proptest::option::of(0.0f64..1.0),
+        naive in any::<bool>(),
+        seed in any::<u64>()) {
+        let trace = scan_regimes_trace(sessions, with_tls);
+        let mut recs = trace.into_records();
+        let dups: Vec<SegmentRecord> = recs
+            .iter()
+            .filter(|r| !r.payload.is_empty())
+            .enumerate()
+            .filter(|(i, _)| dup_mask[i % dup_mask.len()])
+            .map(|(_, r)| r.clone())
+            .collect();
+        recs.extend(dups);
+        let mut rng = SimRng::new(seed);
+        let shuffled = Trace::new(recs).perturb(&mut rng, 0.0, Duration::from_millis(jitter_ms));
+        let records = shuffled.records();
+        let publish_idx = publish_frac.map(|p| (p * records.len() as f64) as usize);
+        let run = |scan_mode: ja_monitor::ScanMode| {
+            let mut cfg = ja_monitor::MonitorConfig::default();
+            cfg.match_mode = if naive { MatchMode::Naive } else { MatchMode::Compiled };
+            cfg.scan_mode = scan_mode;
+            let m = Monitor::new(cfg);
+            let feed = m.config.intel.clone();
+            let mut sm = StreamingMonitor::new(&m, StreamingConfig::close_evict());
+            for (i, r) in records.iter().enumerate() {
+                if publish_idx == Some(i) {
+                    for rule in scan_hot_rules() {
+                        feed.publish(r.time, rule);
+                    }
+                }
+                sm.push(r);
+            }
+            sm.finish()
+        };
+        let (eager_alerts, eager_stats) = run(ja_monitor::ScanMode::Eager);
+        let (incr_alerts, incr_stats) = run(ja_monitor::ScanMode::Incremental);
+        prop_assert_eq!(feed_fingerprint(&eager_alerts), feed_fingerprint(&incr_alerts));
+        prop_assert_eq!(eager_stats.segments, incr_stats.segments);
+        prop_assert_eq!(eager_stats.flows, incr_stats.flows);
+        prop_assert_eq!(eager_stats.bytes, incr_stats.bytes);
+        prop_assert_eq!(eager_stats.kernel_msgs, incr_stats.kernel_msgs);
+        prop_assert_eq!(eager_stats.full_content_flows, incr_stats.full_content_flows);
+        prop_assert_eq!(eager_stats.framing_only_flows, incr_stats.framing_only_flows);
+        prop_assert_eq!(eager_stats.opaque_flows, incr_stats.opaque_flows);
+        prop_assert_eq!(eager_stats.peak_live_flows, incr_stats.peak_live_flows);
+        prop_assert!(
+            incr_stats.peak_retained_bytes <= eager_stats.peak_retained_bytes,
+            "incremental retained {} > eager {}",
+            incr_stats.peak_retained_bytes,
+            eager_stats.peak_retained_bytes
+        );
+    }
+}
+
+/// Deterministic anchor for the equivalence property above: with the hot
+/// rules published up front, both engines actually fire intel alerts
+/// (the property is not vacuously comparing empty alert sets), and the
+/// incremental path retains strictly less than the eager path on this
+/// plaintext-heavy trace.
+#[test]
+fn scan_regimes_trace_fires_alerts_in_both_modes() {
+    let trace = scan_regimes_trace(2, true);
+    let run = |scan_mode: ja_monitor::ScanMode| {
+        let cfg = ja_monitor::MonitorConfig {
+            scan_mode,
+            ..Default::default()
+        };
+        let m = Monitor::new(cfg);
+        for rule in scan_hot_rules() {
+            m.config.intel.publish(SimTime::ZERO, rule);
+        }
+        let mut sm = StreamingMonitor::new(&m, StreamingConfig::close_evict());
+        for r in trace.records() {
+            sm.push(r);
+        }
+        sm.finish()
+    };
+    let (eager_alerts, eager_stats) = run(ja_monitor::ScanMode::Eager);
+    let (incr_alerts, incr_stats) = run(ja_monitor::ScanMode::Incremental);
+    assert!(
+        eager_alerts
+            .iter()
+            .any(|a| a.detail.contains("hp-scan-0") || a.detail.contains("hp-scan-1")),
+        "expected intel rule hits, got {:?}",
+        eager_alerts.iter().map(|a| &a.detail).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        feed_fingerprint(&eager_alerts),
+        feed_fingerprint(&incr_alerts)
+    );
+    assert!(incr_stats.peak_retained_bytes < eager_stats.peak_retained_bytes);
+    assert!(incr_stats.full_content_flows > 0);
+    assert!(incr_stats.opaque_flows > 0);
 }

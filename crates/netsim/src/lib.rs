@@ -17,6 +17,8 @@
 //! - [`rng`] — seeded RNG with the distribution helpers campaigns need
 //!   (exponential inter-arrivals, Poisson counts, weighted choice).
 //! - [`addr`] — host/port addressing and five-tuple flow keys.
+//! - [`payload`] — zero-copy refcounted payload buffers shared by every
+//!   stage that touches captured bytes.
 //! - [`segment`] — timestamped segment records (the capture unit).
 //! - [`flow`] — flow handles: open/send/close with MSS segmentation and
 //!   per-direction byte accounting.
@@ -34,6 +36,7 @@ pub mod addr;
 pub mod events;
 pub mod flow;
 pub mod network;
+pub mod payload;
 pub mod rng;
 pub mod segment;
 pub mod time;
@@ -41,6 +44,7 @@ pub mod trace;
 
 pub use addr::{FiveTuple, HostAddr, HostId};
 pub use network::{Network, NetworkSnapshot, ScopeCounter};
+pub use payload::PayloadBytes;
 pub use rng::SimRng;
 pub use segment::{Direction, SegmentRecord};
 pub use time::{Duration, SimTime};

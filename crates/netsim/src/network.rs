@@ -4,6 +4,7 @@
 
 use crate::addr::{FiveTuple, HostAddr};
 use crate::flow::{FlowId, FlowState, DEFAULT_MSS};
+use crate::payload::{self, PayloadBytes};
 use crate::segment::{Direction, SegFlags, SegmentRecord};
 use crate::time::{Duration, SimTime};
 use crate::trace::Trace;
@@ -108,7 +109,7 @@ impl Network {
             flow_id: id.0,
             dir: Direction::ToResponder,
             stream_offset: 0,
-            payload: Vec::new(),
+            payload: PayloadBytes::new(),
             wire_len: 0,
             flags: SegFlags {
                 syn: true,
@@ -121,6 +122,11 @@ impl Network {
     /// Send application bytes on a flow. Splits into MSS-sized segments,
     /// spreads them over `per_segment_gap`, captures each, and delivers
     /// to the peer inbox. Returns the time the last segment left.
+    ///
+    /// The write is materialized into **one** shared
+    /// [`PayloadBytes`] allocation; every segment record holds a
+    /// zero-copy slice of it, so a byte is copied once at capture no
+    /// matter how many MSS segments (or downstream clones) it crosses.
     pub fn send(&mut self, at: SimTime, flow: FlowId, dir: Direction, payload: &[u8]) -> SimTime {
         let mss = self.mss;
         let gap = self.per_segment_gap;
@@ -132,37 +138,48 @@ impl Network {
             Direction::ToResponder => state.bytes_to_responder,
             Direction::ToInitiator => state.bytes_to_initiator,
         };
+        payload::count_captured(payload.len() as u64);
+        let shared = PayloadBytes::copy_from(payload);
         // Zero-length writes still produce a record (pure ACK/keepalive).
-        let chunks: Vec<&[u8]> = if payload.is_empty() {
-            vec![&[]]
+        let bounds: Vec<(usize, usize)> = if payload.is_empty() {
+            vec![(0, 0)]
         } else {
-            payload.chunks(mss).collect()
+            (0..payload.len())
+                .step_by(mss)
+                .map(|s| (s, (s + mss).min(payload.len())))
+                .collect()
         };
-        for chunk in chunks {
+        for (start, end) in bounds {
+            let chunk = shared.slice(start..end);
+            let chunk_len = chunk.len();
             self.records.push(SegmentRecord {
                 time: t,
                 tuple,
                 flow_id: flow.0,
                 dir,
                 stream_offset: offset,
-                payload: chunk.to_vec(),
-                wire_len: chunk.len() as u32,
+                payload: chunk,
+                wire_len: chunk_len as u32,
                 flags: SegFlags::default(),
             });
-            offset += chunk.len() as u64;
+            offset += chunk_len as u64;
             match dir {
                 Direction::ToResponder => {
-                    state.bytes_to_responder += chunk.len() as u64;
+                    state.bytes_to_responder += chunk_len as u64;
                     state.segs_to_responder += 1;
                     if self.retain_delivery {
-                        state.inbox_responder.extend_from_slice(chunk);
+                        state
+                            .inbox_responder
+                            .extend_from_slice(&payload[start..end]);
                     }
                 }
                 Direction::ToInitiator => {
-                    state.bytes_to_initiator += chunk.len() as u64;
+                    state.bytes_to_initiator += chunk_len as u64;
                     state.segs_to_initiator += 1;
                     if self.retain_delivery {
-                        state.inbox_initiator.extend_from_slice(chunk);
+                        state
+                            .inbox_initiator
+                            .extend_from_slice(&payload[start..end]);
                     }
                 }
             }
@@ -205,7 +222,7 @@ impl Network {
                 flow_id: flow.0,
                 dir,
                 stream_offset: offset,
-                payload: Vec::new(),
+                payload: PayloadBytes::new(),
                 wire_len: chunk as u32,
                 flags: SegFlags::default(),
             });
@@ -249,7 +266,7 @@ impl Network {
             flow_id: flow.0,
             dir: Direction::ToResponder,
             stream_offset: state.bytes_to_responder,
-            payload: Vec::new(),
+            payload: PayloadBytes::new(),
             wire_len: 0,
             flags: SegFlags {
                 fin: !abortive,
@@ -505,7 +522,7 @@ mod tests {
         let snap = net.snapshot();
 
         // Serde round trip is lossless.
-        use serde::{Deserialize, Serialize};
+        use serde::Deserialize;
         let json = serde_json::to_string(&snap).unwrap();
         let back = NetworkSnapshot::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back, snap);

@@ -1,6 +1,7 @@
 //! Timestamped segment records — the unit of capture.
 
 use crate::addr::FiveTuple;
+use crate::payload::PayloadBytes;
 use crate::time::SimTime;
 
 /// Direction of a segment relative to the flow initiator.
@@ -48,8 +49,11 @@ pub struct SegmentRecord {
     pub stream_offset: u64,
     /// Captured payload bytes (possibly truncated by the snap length,
     /// like a pcap snaplen capture; possibly encrypted by the transport
-    /// model).
-    pub payload: Vec<u8>,
+    /// model). A zero-copy view: every segment of one application write
+    /// shares the write's single backing allocation, and cloning the
+    /// record (fan-out channels, taps) bumps a refcount instead of
+    /// copying bytes.
+    pub payload: PayloadBytes,
     /// True on-the-wire byte count for this segment (≥ `payload.len()`;
     /// the difference is bytes the capture truncated).
     pub wire_len: u32,
@@ -88,7 +92,7 @@ mod tests {
             flow_id: 0,
             dir: Direction::ToResponder,
             stream_offset: 0,
-            payload: vec![1, 2, 3],
+            payload: vec![1, 2, 3].into(),
             wire_len: 3,
             flags: SegFlags::default(),
         };

@@ -79,3 +79,54 @@ proptest! {
         prop_assert!(seen.iter().all(|&s| s));
     }
 }
+
+proptest! {
+    /// A [`ja_netsim::PayloadBytes`] view narrowed through an arbitrary
+    /// chain of zero-copy slices behaves exactly like the equivalent
+    /// `&[u8]` reslicing: same bytes, same length, content equality
+    /// with the original vector's range — and views taken earlier in
+    /// the chain are unaffected by later narrowing (aliasing is
+    /// read-only sharing).
+    #[test]
+    fn payload_bytes_slicing_equals_vec_slicing(
+        data in proptest::collection::vec(any::<u8>(), 0..300),
+        cuts in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0), 0..6)) {
+        let root = ja_netsim::PayloadBytes::copy_from(&data);
+        prop_assert_eq!(&root, &data);
+        let mut view = root.clone();
+        let mut want: &[u8] = &data;
+        for (a, b) in cuts {
+            let lo = (a * view.len() as f64) as usize;
+            let hi = lo + ((b * (view.len() - lo) as f64) as usize);
+            want = &want[lo..hi];
+            view = view.slice(lo..hi);
+            prop_assert_eq!(view.as_slice(), want);
+            prop_assert_eq!(view.len(), want.len());
+            prop_assert_eq!(view.is_empty(), want.is_empty());
+        }
+        // The root view still sees every original byte.
+        prop_assert_eq!(root.as_slice(), data.as_slice());
+    }
+
+    /// `slice_from(n)` is `slice(n..len)`, and segmentation via the
+    /// network's MSS chunking round-trips: concatenating a record
+    /// split's zero-copy views reproduces the original payload.
+    #[test]
+    fn payload_bytes_split_concat_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 1..500),
+        mss in 1usize..64) {
+        let pb = ja_netsim::PayloadBytes::copy_from(&data);
+        let mut rebuilt = Vec::new();
+        let mut start = 0usize;
+        while start < pb.len() {
+            let end = (start + mss).min(pb.len());
+            let chunk = pb.slice(start..end);
+            prop_assert_eq!(chunk.as_slice(), &data[start..end]);
+            rebuilt.extend_from_slice(&chunk);
+            start = end;
+        }
+        prop_assert_eq!(rebuilt.as_slice(), data.as_slice());
+        let tail = (data.len() / 2).min(data.len());
+        prop_assert_eq!(pb.slice_from(tail).as_slice(), &data[tail..]);
+    }
+}

@@ -177,6 +177,12 @@ impl MessageAssembler {
         self.partial.is_some()
     }
 
+    /// Bytes buffered for the in-progress fragmented message (0 when
+    /// none). Streaming consumers count this toward per-flow retention.
+    pub fn buffered(&self) -> usize {
+        self.partial.as_ref().map_or(0, |(_, acc)| acc.len())
+    }
+
     /// Push one frame; returns a completed message if one finished.
     pub fn push(&mut self, frame: Frame) -> Result<Option<Message>, AssemblyError> {
         match frame.opcode {
