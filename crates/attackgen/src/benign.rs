@@ -134,11 +134,7 @@ pub fn session(server: usize, user: &str, profile: &BenignProfile, rng: &mut Sim
         });
         t = t + Duration::from_secs_f64(rng.exp(profile.mean_think_secs).max(1.0));
     }
-    Campaign {
-        class: None,
-        name: format!("benign-{user}-s{server}"),
-        steps,
-    }
+    Campaign::scripted(None, &format!("benign-{user}-s{server}"), steps)
 }
 
 #[cfg(test)]

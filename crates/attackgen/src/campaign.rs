@@ -6,6 +6,7 @@
 //! network, producing the three observation streams every experiment
 //! consumes — plus [`GroundTruth`] labels for scoring.
 
+use crate::interactive::Adversary;
 use crate::AttackClass;
 use ja_kernelsim::actions::CellScript;
 use ja_kernelsim::deployment::Deployment;
@@ -81,19 +82,47 @@ impl CampaignStep {
     }
 }
 
-/// A campaign: an attributed, labeled step sequence.
+/// A campaign: an attributed, labeled step sequence — scripted (all
+/// steps fixed up front) or interactive (steps materialize from an
+/// [`Adversary`]'s reactions to kernel output as the session runs).
 #[derive(Clone, Debug)]
 pub struct Campaign {
     /// Attack class, or `None` for benign workload.
     pub class: Option<AttackClass>,
     /// Human-readable name for reports.
     pub name: String,
-    /// Steps with offsets from campaign start.
+    /// Steps with offsets from campaign start. Empty at construction for
+    /// interactive campaigns; the executor materializes their steps from
+    /// adversary decisions.
     pub steps: Vec<CampaignStep>,
+    /// The reactive driver, for interactive campaigns.
+    pub adversary: Option<Adversary>,
 }
 
 impl Campaign {
-    /// Campaign duration (max step offset).
+    /// A scripted campaign: every step fixed up front.
+    pub fn scripted(class: Option<AttackClass>, name: &str, steps: Vec<CampaignStep>) -> Self {
+        Campaign {
+            class,
+            name: name.to_string(),
+            steps,
+            adversary: None,
+        }
+    }
+
+    /// An interactive campaign: steps materialize from `adversary`'s
+    /// reactions to real kernel output as the session runs.
+    pub fn interactive(class: Option<AttackClass>, name: &str, adversary: Adversary) -> Self {
+        Campaign {
+            class,
+            name: name.to_string(),
+            steps: Vec::new(),
+            adversary: Some(adversary),
+        }
+    }
+
+    /// Campaign duration (max step offset). Zero for interactive
+    /// campaigns until their steps materialize.
     pub fn duration(&self) -> Duration {
         self.steps
             .iter()
@@ -105,6 +134,30 @@ impl Campaign {
     /// Is this an attack campaign?
     pub fn is_attack(&self) -> bool {
         self.class.is_some()
+    }
+
+    /// Every server this campaign can mutate: servers named by scripted
+    /// cell/terminal steps plus, for interactive campaigns, the
+    /// adversary's declared footprint. Partitioning for parallel
+    /// execution keys off this — not off `steps` alone, which is empty
+    /// for a not-yet-started interactive session.
+    pub fn mutated_servers(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .steps
+            .iter()
+            .filter_map(|s| match s {
+                CampaignStep::Cell { server, .. } | CampaignStep::Terminal { server, .. } => {
+                    Some(*server)
+                }
+                _ => None,
+            })
+            .collect();
+        if let Some(adv) = &self.adversary {
+            out.extend(adv.footprint());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
     }
 }
 
@@ -169,10 +222,10 @@ mod tests {
     use ja_kernelsim::vfs::ContentKind;
 
     fn tiny_campaign(class: Option<AttackClass>, server: usize, user: &str) -> Campaign {
-        Campaign {
+        Campaign::scripted(
             class,
-            name: "tiny".into(),
-            steps: vec![
+            "tiny",
+            vec![
                 CampaignStep::Cell {
                     server,
                     user: user.into(),
@@ -193,7 +246,7 @@ mod tests {
                     script: CellScript::pure("1+1"),
                 },
             ],
-        }
+        )
     }
 
     #[test]
@@ -233,16 +286,16 @@ mod tests {
     #[test]
     fn probe_step_creates_rst_flow() {
         let mut d = Deployment::build(&DeploymentSpec::small_lab(3));
-        let c = Campaign {
-            class: Some(AttackClass::Misconfiguration),
-            name: "scan".into(),
-            steps: vec![CampaignStep::Probe {
+        let c = Campaign::scripted(
+            Some(AttackClass::Misconfiguration),
+            "scan",
+            vec![CampaignStep::Probe {
                 src: HostAddr::external(9),
                 server: 0,
                 port: 8888,
                 offset: Duration::ZERO,
             }],
-        };
+        );
         let out = execute(&mut d, &[(SimTime::ZERO, c)], 1);
         let flows = out.trace.flow_summaries();
         assert!(flows.iter().any(|f| f.reset));

@@ -100,11 +100,11 @@ pub fn campaign(server: usize, user: &str, params: &MiningParams) -> Campaign {
         });
         t = t + Duration::from_secs(params.share_interval_secs);
     }
-    Campaign {
-        class: Some(AttackClass::Cryptomining),
-        name: format!("cryptomining-{user}-s{server}"),
+    Campaign::scripted(
+        Some(AttackClass::Cryptomining),
+        &format!("cryptomining-{user}-s{server}"),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

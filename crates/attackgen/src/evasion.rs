@@ -100,10 +100,10 @@ mod tests {
     use ja_kernelsim::actions::CellScript;
 
     fn sample_campaign() -> Campaign {
-        Campaign {
-            class: Some(AttackClass::DataExfiltration),
-            name: "x".into(),
-            steps: vec![
+        Campaign::scripted(
+            Some(AttackClass::DataExfiltration),
+            "x",
+            vec![
                 CampaignStep::Cell {
                     server: 0,
                     user: "u".into(),
@@ -117,7 +117,7 @@ mod tests {
                     script: CellScript::pure("b"),
                 },
             ],
-        }
+        )
     }
 
     #[test]

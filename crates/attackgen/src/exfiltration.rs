@@ -154,11 +154,11 @@ pub fn campaign(server: usize, user: &str, params: &ExfilParams) -> Campaign {
             }
         }
     }
-    Campaign {
-        class: Some(AttackClass::DataExfiltration),
-        name: format!("exfil-{:?}-{user}-s{server}", params.variant).to_lowercase(),
+    Campaign::scripted(
+        Some(AttackClass::DataExfiltration),
+        &format!("exfil-{:?}-{user}-s{server}", params.variant).to_lowercase(),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

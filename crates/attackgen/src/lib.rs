@@ -23,6 +23,10 @@
 //!   signature-based detection.
 //! - [`evasion`] — low-and-slow stretching and detection-threshold
 //!   inference (the paper's §IV.A evasion lessons).
+//! - [`interactive`] — reactive adversaries: state machines that read
+//!   decoded kernel output ([`ja_jupyter_proto::CellOutcome`]) and choose
+//!   their next action, including a notebook worm that hops between
+//!   servers using credentials it reads from real outputs.
 //! - [`campaign`] — the step/schedule model and the batch executor that
 //!   drives a deployment + network to produce traces, audit events and
 //!   ground truth.
@@ -40,6 +44,7 @@ pub mod campaign;
 pub mod cryptomining;
 pub mod evasion;
 pub mod exfiltration;
+pub mod interactive;
 pub mod misconfig;
 pub mod mixer;
 pub mod parallel;
@@ -49,6 +54,7 @@ pub mod takeover;
 pub mod zeroday;
 
 pub use campaign::{Campaign, CampaignStep, GroundTruth};
+pub use interactive::{Adversary, SessionAction, SessionOp};
 pub use parallel::{run_parallel, ParallelOutcome};
 pub use stream::{CampaignProgress, ScenarioItem, ScenarioStream, StreamKey, StreamSnapshot};
 

@@ -91,11 +91,11 @@ pub fn campaign(deployment: &Deployment, params: &ScanParams) -> Campaign {
             }
         }
     }
-    Campaign {
-        class: Some(AttackClass::Misconfiguration),
-        name: format!("scan-exploit-{}srv", production.len()),
+    Campaign::scripted(
+        Some(AttackClass::Misconfiguration),
+        &format!("scan-exploit-{}srv", production.len()),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

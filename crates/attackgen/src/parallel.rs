@@ -26,7 +26,7 @@
 //! Producers ship items in chunked batches over bounded channels
 //! ([`BATCH`] items per send) so the merge thread amortizes wakeups.
 
-use crate::campaign::{Campaign, CampaignStep, GroundTruth};
+use crate::campaign::{Campaign, GroundTruth};
 use crate::stream::{ScenarioItem, ScenarioStream, StreamKey};
 use ja_kernelsim::deployment::Deployment;
 use ja_netsim::time::SimTime;
@@ -76,13 +76,7 @@ pub fn partition_campaigns(
         x
     }
     for (ci, (_, c)) in campaigns.iter().enumerate() {
-        for step in &c.steps {
-            let server = match step {
-                CampaignStep::Cell { server, .. } | CampaignStep::Terminal { server, .. } => {
-                    *server
-                }
-                _ => continue,
-            };
+        for server in c.mutated_servers() {
             let a = find(&mut parent, n_servers + ci);
             let b = find(&mut parent, server);
             parent[a] = b;
@@ -152,12 +146,8 @@ pub fn run_parallel(
     let mut owner = vec![0usize; n_servers];
     for (b, group) in groups.iter().enumerate() {
         for &ci in group {
-            for step in &campaigns[ci].1.steps {
-                if let CampaignStep::Cell { server, .. } | CampaignStep::Terminal { server, .. } =
-                    step
-                {
-                    owner[*server] = b;
-                }
+            for server in campaigns[ci].1.mutated_servers() {
+                owner[server] = b;
             }
         }
     }
@@ -374,6 +364,75 @@ mod tests {
         let mut all: Vec<usize> = a.iter().flatten().copied().collect();
         all.sort_unstable();
         assert_eq!(all, (0..campaigns.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interactive_campaigns_partition_by_footprint_and_merge_exactly() {
+        // A worm's steps are empty until it runs; partitioning must key
+        // off its declared footprint, or another producer could mutate a
+        // server the worm is about to hop to.
+        let d = Deployment::build(&DeploymentSpec::small_lab(25));
+        let u0 = d.owner_of(0).to_string();
+        let u3 = d.owner_of(3).to_string();
+        let campaigns = vec![
+            (
+                SimTime::ZERO,
+                crate::interactive::worm_campaign(0, &u0, vec![0, 1, 2], 3),
+            ),
+            (
+                SimTime::from_secs(10),
+                exfiltration::campaign(3, &u3, &ExfilParams::default()),
+            ),
+        ];
+        let groups = partition_campaigns(&campaigns, d.servers.len(), 4);
+        assert_eq!(
+            groups.len(),
+            2,
+            "worm fleet and server-3 exfil are disjoint"
+        );
+
+        // And the parallel run is bit-identical to the sequential one.
+        let mut d1 = Deployment::build(&DeploymentSpec::small_lab(25));
+        let plan1 = vec![
+            (
+                SimTime::ZERO,
+                crate::interactive::worm_campaign(0, &d1.owner_of(0).to_string(), vec![0, 1, 2], 3),
+            ),
+            (
+                SimTime::from_secs(10),
+                exfiltration::campaign(3, &d1.owner_of(3).to_string(), &ExfilParams::default()),
+            ),
+        ];
+        let mut seq = Vec::new();
+        let mut stream = ScenarioStream::new(&mut d1, plan1, 9);
+        while let Some(item) = stream.next_item() {
+            seq.push(fingerprint(&item));
+        }
+        let (seq_gt, _) = stream.into_labels();
+        let mut d2 = Deployment::build(&DeploymentSpec::small_lab(25));
+        let plan2 = vec![
+            (
+                SimTime::ZERO,
+                crate::interactive::worm_campaign(0, &d2.owner_of(0).to_string(), vec![0, 1, 2], 3),
+            ),
+            (
+                SimTime::from_secs(10),
+                exfiltration::campaign(3, &d2.owner_of(3).to_string(), &ExfilParams::default()),
+            ),
+        ];
+        let mut par = Vec::new();
+        let out = run_parallel(&mut d2, plan2, 9, 4, |item| par.push(fingerprint(&item)));
+        assert_eq!(out.producers_used, 2);
+        assert_eq!(seq, par, "interactive plans must merge bit-identically");
+        assert_eq!(seq_gt.len(), out.ground_truth.len());
+        for (a, b) in seq_gt.iter().zip(&out.ground_truth) {
+            assert_eq!(a.servers, b.servers);
+            assert_eq!(a.end, b.end);
+        }
+        assert!(
+            out.ground_truth[0].servers.len() >= 2,
+            "worm still propagates under the parallel path"
+        );
     }
 
     #[test]

@@ -113,11 +113,11 @@ pub fn campaign(
             }],
         ),
     });
-    Campaign {
-        class: Some(AttackClass::Ransomware),
-        name: format!("ransomware-{user}-s{server_idx}"),
+    Campaign::scripted(
+        Some(AttackClass::Ransomware),
+        &format!("ransomware-{user}-s{server_idx}"),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

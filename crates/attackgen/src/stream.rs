@@ -45,7 +45,9 @@
 //! ```
 
 use crate::campaign::{Campaign, CampaignStep, GroundTruth, ScenarioOutput};
+use crate::interactive::{Adversary, SessionOp};
 use crate::AttackClass;
+use ja_jupyter_proto::session::CellOutcome;
 use ja_kernelsim::deployment::{Deployment, DeploymentPart};
 use ja_kernelsim::events::SysEvent;
 use ja_kernelsim::hub::AuthEvent;
@@ -113,6 +115,10 @@ struct CampaignRun {
     conns: BTreeMap<(usize, String), ClientConn>,
     /// Latest simulated instant any of this campaign's steps reached.
     last_activity: SimTime,
+    /// The reactive driver, for interactive campaigns: each executed
+    /// step's decoded [`CellOutcome`] feeds it and its next action is
+    /// appended to `steps` and scheduled. `None` for scripted campaigns.
+    adversary: Option<Adversary>,
 }
 
 /// Canonical per-item sort key: `(item time, kind, scheduler pop time,
@@ -153,6 +159,10 @@ pub struct CampaignProgress {
     pub open_conns: u64,
     /// Raw xoshiro256++ state of the campaign's private RNG (4 words).
     pub rng: Vec<u64>,
+    /// [`Adversary::fingerprint`] of the campaign's interactive driver
+    /// (0 for scripted campaigns) — proves a replayed service run's
+    /// adversaries converged to the same decision state.
+    pub adversary: u64,
 }
 
 /// Serializable scheduler state of a [`ScenarioStream`] at a watermark —
@@ -258,6 +268,7 @@ impl<'d> ScenarioStream<'d> {
                     rng: SimRng::new(split_seed(rng_seed, gci as u64)),
                     conns: BTreeMap::new(),
                     last_activity: start,
+                    adversary: c.adversary,
                 }
             })
             .collect();
@@ -382,6 +393,7 @@ impl<'d> ScenarioStream<'d> {
                     touched: run.touched.iter().map(|&s| s as u64).collect(),
                     open_conns: run.conns.len() as u64,
                     rng: run.rng.state().to_vec(),
+                    adversary: run.adversary.as_ref().map_or(0, Adversary::fingerprint),
                 })
                 .collect(),
             net: self.net.snapshot(),
@@ -449,7 +461,14 @@ impl<'d> ScenarioStream<'d> {
             SchedEntry::Start(ci) => {
                 let run = &self.campaigns[ci];
                 pop_rank = rank(run.gci, None);
-                if run.steps.is_empty() {
+                if run.adversary.is_some() {
+                    // Interactive: the first move materializes now; later
+                    // moves materialize as outcomes come back.
+                    self.materialize_next(t, ci, None);
+                    if self.campaigns[ci].remaining == 0 {
+                        self.retire(ci);
+                    }
+                } else if run.steps.is_empty() {
                     self.retire(ci);
                 } else {
                     let gci = run.gci;
@@ -464,11 +483,16 @@ impl<'d> ScenarioStream<'d> {
             }
             SchedEntry::Step(ci, si) => {
                 pop_rank = rank(self.campaigns[ci].gci, Some(si));
-                let step_end = self.exec_step(t, ci, si);
+                let (step_end, outcome) = self.exec_step(t, ci, si);
                 let run = &mut self.campaigns[ci];
                 run.last_activity = run.last_activity.max(step_end);
                 run.remaining -= 1;
                 self.end = self.end.max(step_end);
+                if self.campaigns[ci].adversary.is_some() {
+                    // Feed the decoded outcome back; the adversary's
+                    // reaction becomes the next scheduled step.
+                    self.materialize_next(step_end.max(t), ci, outcome.as_ref());
+                }
                 if self.campaigns[ci].remaining == 0 {
                     self.retire(ci);
                 }
@@ -478,16 +502,19 @@ impl<'d> ScenarioStream<'d> {
     }
 
     /// Execute one campaign step; returns the simulated instant it
-    /// finished. Mirrors the historical batch executor arm for arm.
-    /// Network allocations (flow ids, ephemeral ports) happen inside the
-    /// campaign's own scope, and random draws come from the campaign's
-    /// own RNG, so the step behaves identically no matter which other
-    /// campaigns share the stream.
-    fn exec_step(&mut self, t: SimTime, ci: usize, si: usize) -> SimTime {
+    /// finished plus, for interactive campaigns, the decoded client-side
+    /// [`CellOutcome`] the adversary reacts to. Mirrors the historical
+    /// batch executor arm for arm. Network allocations (flow ids,
+    /// ephemeral ports) happen inside the campaign's own scope, and
+    /// random draws come from the campaign's own RNG, so the step
+    /// behaves identically no matter which other campaigns share the
+    /// stream.
+    fn exec_step(&mut self, t: SimTime, ci: usize, si: usize) -> (SimTime, Option<CellOutcome>) {
         let part = &mut self.part;
         let net = &mut self.net;
         let run = &mut self.campaigns[ci];
         net.set_scope(run.gci as u32);
+        let interactive = run.adversary.is_some();
         let step = &run.steps[si];
         match step {
             CampaignStep::Cell {
@@ -507,7 +534,12 @@ impl<'d> ScenarioStream<'d> {
                     let addr = HostAddr::internal(HostId(1000 + *server as u32));
                     srv.connect(net, t, addr, user, 0)
                 });
-                srv.run_cell(net, t, conn, script)
+                let delivery = srv.deliver_cell(net, t, conn, script);
+                let outcome = interactive.then(|| {
+                    conn.decode_outcome(&delivery)
+                        .expect("direct transport delivers well-formed replies")
+                });
+                (delivery.end, outcome)
             }
             CampaignStep::Terminal {
                 server,
@@ -516,19 +548,37 @@ impl<'d> ScenarioStream<'d> {
                 ..
             } => {
                 run.touched.insert(*server);
-                part.servers[*server]
+                let srv = part.servers[*server]
                     .as_deref_mut()
-                    .expect("campaign touches a server this part does not own")
-                    .run_terminal(t, user, cmdline);
-                t
+                    .expect("campaign touches a server this part does not own");
+                if interactive {
+                    // Interactive terminals ride a real client session so
+                    // the command and its output cross the wire and the
+                    // adversary reacts to what actually came back.
+                    let key = (*server, user.clone());
+                    let conn = run.conns.entry(key).or_insert_with(|| {
+                        let addr = HostAddr::internal(HostId(1000 + *server as u32));
+                        srv.connect(net, t, addr, user, 0)
+                    });
+                    let delivery = srv.deliver_terminal(net, t, conn, cmdline);
+                    let outcome = conn
+                        .decode_outcome(&delivery)
+                        .expect("terminal delivery always carries output");
+                    (delivery.end, Some(outcome))
+                } else {
+                    // Scripted terminals stay session-less, exactly as
+                    // the batch executor always ran them.
+                    srv.run_terminal(t, user, cmdline);
+                    (t, None)
+                }
             }
             CampaignStep::AuthGuess { username, src, .. } => {
                 part.hub.login_guess(t, username, *src, &mut run.rng);
-                t
+                (t, None)
             }
             CampaignStep::AuthLogin { username, src, .. } => {
                 part.hub.login_legitimate(t, username, *src);
-                t
+                (t, None)
             }
             CampaignStep::Probe {
                 src, server, port, ..
@@ -541,9 +591,45 @@ impl<'d> ScenarioStream<'d> {
                 let f = net.open(t, *src, sport, dst, *port);
                 let done = t + Duration::from_millis(1);
                 net.close(done, f, true);
-                done
+                (done, None)
             }
         }
+    }
+
+    /// Ask campaign `ci`'s adversary for its next move given `outcome`,
+    /// append it to the campaign's steps, and schedule it `delay` after
+    /// `now`. No-op (letting the campaign retire) once the adversary's
+    /// loop completes.
+    fn materialize_next(&mut self, now: SimTime, ci: usize, outcome: Option<&CellOutcome>) {
+        let run = &mut self.campaigns[ci];
+        let Some(adv) = run.adversary.as_mut() else {
+            return;
+        };
+        let Some(action) = adv.next_action(outcome) else {
+            return;
+        };
+        let at = now + action.delay;
+        let si = run.steps.len();
+        let offset = at.since(run.start);
+        let step = match action.op {
+            SessionOp::Cell(script) => CampaignStep::Cell {
+                server: action.server,
+                user: action.user,
+                offset,
+                script,
+            },
+            SessionOp::Terminal(cmdline) => CampaignStep::Terminal {
+                server: action.server,
+                user: action.user,
+                offset,
+                cmdline,
+            },
+        };
+        run.steps.push(step);
+        run.remaining += 1;
+        run.duration = run.duration.max(offset);
+        self.queue
+            .schedule_ranked(at, rank(run.gci, Some(si)), SchedEntry::Step(ci, si));
     }
 
     /// Retire campaign `ci`: drop its steps, close its sessions (FIN
@@ -556,12 +642,20 @@ impl<'d> ScenarioStream<'d> {
         for (_key, conn) in std::mem::take(&mut run.conns) {
             conn.close(&mut self.net, at);
         }
+        // Scripted windows are knowable up front (max offset); an
+        // interactive session's window is only known once its adversary
+        // stops acting.
+        let end = if run.adversary.is_some() {
+            run.last_activity
+        } else {
+            run.start + run.duration
+        };
         let gt = GroundTruth {
             class: run.class,
             name: run.name.clone(),
             servers: run.touched.iter().copied().collect(),
             start: run.start,
-            end: run.start + run.duration,
+            end,
         };
         self.retired.push((run.gci, gt));
     }
@@ -794,6 +888,96 @@ mod tests {
         assert!(seen_partial, "first campaign should retire mid-stream");
         let (labels, _) = stream.into_labels();
         assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn interactive_escalation_materializes_steps_from_outcomes() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(37));
+        let u0 = d.owner_of(0).to_string();
+        let c = crate::interactive::escalation_campaign(0, &u0);
+        assert!(c.steps.is_empty(), "interactive campaigns start stepless");
+        let out = ScenarioStream::new(&mut d, vec![(SimTime::from_secs(5), c)], 7).collect_output();
+        // The full explore→react→escalate loop ran: the probe cell, the
+        // reaction, and the ssh escalation all left audit events.
+        let cells = out
+            .sys_events
+            .iter()
+            .filter(|e| e.class() == "cell_execute")
+            .count();
+        assert!(cells >= 2, "probe + escalation cells, got {cells}");
+        let sshed = out
+            .sys_events
+            .iter()
+            .any(|e| e.class() == "proc_exec" && format!("{e:?}").contains(".ssh/id_rsa"));
+        assert!(sshed, "escalation step should exec ssh with the stolen key");
+        // Ground truth covers the materialized session window.
+        assert_eq!(out.ground_truth.len(), 1);
+        let gt = &out.ground_truth[0];
+        assert_eq!(gt.servers, vec![0]);
+        assert_eq!(gt.start, SimTime::from_secs(5));
+        assert!(gt.end > gt.start, "window must cover the session");
+        assert_eq!(out.end, gt.end);
+    }
+
+    #[test]
+    fn interactive_stream_is_deterministic() {
+        let run = || {
+            let mut d = Deployment::build(&DeploymentSpec::small_lab(38));
+            let u0 = d.owner_of(0).to_string();
+            let u1 = d.owner_of(1).to_string();
+            let campaigns = vec![
+                (
+                    SimTime::from_secs(5),
+                    crate::interactive::comm_exfil_campaign(0, &u0),
+                ),
+                (
+                    SimTime::from_secs(9),
+                    crate::interactive::terminal_abuse_campaign(1, &u1),
+                ),
+            ];
+            let mut stream = ScenarioStream::new(&mut d, campaigns, 5);
+            let mut items = Vec::new();
+            while let Some((key, item)) = stream.next_keyed() {
+                items.push((key, item.time()));
+            }
+            let snap = stream.snapshot();
+            (items, snap)
+        };
+        let (a_items, a_snap) = run();
+        let (b_items, b_snap) = run();
+        assert_eq!(a_items, b_items);
+        assert_eq!(a_snap, b_snap);
+        assert!(
+            a_snap.campaigns.iter().all(|c| c.adversary != 0),
+            "interactive campaigns must report adversary fingerprints"
+        );
+    }
+
+    #[test]
+    fn worm_propagates_via_outputs_and_is_labeled_fleet_wide() {
+        let mut d = Deployment::build(&DeploymentSpec::small_lab(39));
+        let u0 = d.owner_of(0).to_string();
+        let fleet: Vec<usize> = (0..d.servers.len()).collect();
+        let c = crate::interactive::worm_campaign(0, &u0, fleet, 3);
+        let out = ScenarioStream::new(&mut d, vec![(SimTime::ZERO, c)], 3).collect_output();
+        assert_eq!(out.ground_truth.len(), 1);
+        let gt = &out.ground_truth[0];
+        assert!(
+            gt.servers.len() >= 2,
+            "worm must reach at least two servers, got {:?}",
+            gt.servers
+        );
+        // Each compromised server carries the dropped seed.
+        for &s in &gt.servers {
+            let user = d.owner_of(s).to_string();
+            let seed_path = format!("/home/{user}/.jupyter/wormseed.py");
+            if s != *gt.servers.last().unwrap() {
+                assert!(
+                    d.servers[s].vfs.read(&seed_path).is_ok(),
+                    "seed missing on server {s}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -84,11 +84,11 @@ pub fn campaign(params: &TakeoverParams) -> Campaign {
             });
         }
     }
-    Campaign {
-        class: Some(AttackClass::AccountTakeover),
-        name: format!("takeover-{}targets", params.targets.len()),
+    Campaign::scripted(
+        Some(AttackClass::AccountTakeover),
+        &format!("takeover-{}targets", params.targets.len()),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

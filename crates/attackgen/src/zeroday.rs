@@ -72,11 +72,11 @@ pub fn campaign(server: usize, user: &str, params: &ZeroDayParams) -> Campaign {
             ],
         ),
     });
-    Campaign {
-        class: Some(AttackClass::ZeroDay),
-        name: format!("zeroday-{user}-s{server}"),
+    Campaign::scripted(
+        Some(AttackClass::ZeroDay),
+        &format!("zeroday-{user}-s{server}"),
         steps,
-    }
+    )
 }
 
 #[cfg(test)]

@@ -104,6 +104,7 @@ fn soak_source(seed: u64, epochs: u64) -> QueueSource {
             AttackClass::Cryptomining,
             AttackClass::Ransomware,
         ],
+        interactive: Vec::new(),
         horizon_secs: 2 * 3600,
         stretch: 1.0,
         seed,

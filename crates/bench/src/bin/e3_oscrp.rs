@@ -18,6 +18,7 @@ fn main() {
         let out = p.run(&CampaignPlan {
             benign_sessions_per_server: 0,
             attacks: vec![class],
+            interactive: Vec::new(),
             horizon_secs: 3600,
             stretch: 1.0,
             seed,

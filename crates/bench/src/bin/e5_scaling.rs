@@ -106,6 +106,7 @@ fn e2e_plan(sessions: usize, seed: u64) -> CampaignPlan {
     CampaignPlan {
         benign_sessions_per_server: sessions,
         attacks: vec![AttackClass::DataExfiltration, AttackClass::Cryptomining],
+        interactive: Vec::new(),
         horizon_secs: 4 * 3600,
         stretch: 1.0,
         seed,

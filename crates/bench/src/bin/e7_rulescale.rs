@@ -167,11 +167,7 @@ fn code_heavy_campaigns(d: &Deployment) -> Vec<(SimTime, Campaign)> {
             let at = SimTime::from_secs(30 + (si as u64 * 6 + k) * 120);
             campaigns.push((
                 at,
-                Campaign {
-                    class: None,
-                    name: format!("code-dense-{si}-{k}"),
-                    steps,
-                },
+                Campaign::scripted(None, &format!("code-dense-{si}-{k}"), steps),
             ));
         }
     }

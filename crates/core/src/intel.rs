@@ -370,11 +370,11 @@ pub fn build_wave(
         });
     }
     WaveCampaign {
-        campaign: Campaign {
-            class: Some(spec.class),
-            name: format!("wave-{}", spec.class.label()),
+        campaign: Campaign::scripted(
+            Some(spec.class),
+            &format!("wave-{}", spec.class.label()),
             steps,
-        },
+        ),
         production_visits,
         decoy_visits,
         decoys_skipped,

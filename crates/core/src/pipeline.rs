@@ -212,6 +212,35 @@ impl EpochObserver for NoopObserver {
     fn at_watermark(&mut self, _mark: EpochWatermark) {}
 }
 
+/// An interactive scenario slot in a plan: which reactive adversary
+/// drives a live session ([`ja_attackgen::interactive`]). Unlike the
+/// scripted [`AttackClass`] campaigns, these have no steps up front —
+/// the executor materializes each move from the previous kernel
+/// outcome, and all three execution paths (batch, streamed, parallel)
+/// carry them through the same [`ja_attackgen::StreamKey`] total order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InteractiveScenario {
+    /// Hands-on-keyboard privilege escalation on one server.
+    Escalation,
+    /// Terminal-channel abuse: explore, then `curl | sh`.
+    TerminalAbuse,
+    /// Comm-channel exfiltration of exactly the files a listing reveals.
+    CommExfil,
+    /// Notebook worm pivoting across the production fleet on harvested
+    /// credentials.
+    Worm,
+}
+
+impl InteractiveScenario {
+    /// All interactive scenario kinds.
+    pub const ALL: [InteractiveScenario; 4] = [
+        InteractiveScenario::Escalation,
+        InteractiveScenario::TerminalAbuse,
+        InteractiveScenario::CommExfil,
+        InteractiveScenario::Worm,
+    ];
+}
+
 /// What to run.
 #[derive(Clone, Debug)]
 pub struct CampaignPlan {
@@ -219,6 +248,9 @@ pub struct CampaignPlan {
     pub benign_sessions_per_server: usize,
     /// Attack classes to inject.
     pub attacks: Vec<AttackClass>,
+    /// Interactive adversary sessions to inject (empty = scripted-only
+    /// plan, bit-identical to the pre-interactive pipeline).
+    pub interactive: Vec<InteractiveScenario>,
     /// Scenario horizon (seconds).
     pub horizon_secs: u64,
     /// Stretch factor applied to every attack campaign's schedule:
@@ -237,6 +269,7 @@ impl CampaignPlan {
         CampaignPlan {
             benign_sessions_per_server: 1,
             attacks: vec![class],
+            interactive: Vec::new(),
             horizon_secs: 3600,
             stretch: 1.0,
             seed: 7,
@@ -248,6 +281,7 @@ impl CampaignPlan {
         CampaignPlan {
             benign_sessions_per_server: 2,
             attacks: AttackClass::ALL.to_vec(),
+            interactive: Vec::new(),
             horizon_secs: 6 * 3600,
             stretch: 1.0,
             seed,
@@ -268,6 +302,7 @@ impl CampaignPlan {
                 AttackClass::ZeroDay,
                 AttackClass::AccountTakeover,
             ],
+            interactive: Vec::new(),
             horizon_secs: 48 * 3600,
             stretch: 8.0,
             seed,
@@ -329,6 +364,37 @@ impl Pipeline {
             if plan.stretch > 1.0 {
                 c = ja_attackgen::evasion::low_and_slow(c, plan.stretch);
             }
+            campaigns.push((start, c));
+        }
+        // Interactive sessions: stepless at plan time; each gets a start
+        // slot and an entry server exactly like a scripted attack, and
+        // the executor materializes its moves from live kernel outcomes.
+        // `stretch` does not apply — there is no schedule to stretch,
+        // only reaction delays.
+        for (i, &kind) in plan.interactive.iter().enumerate() {
+            let server = (plan.attacks.len() + i) % self.deployment.production_count();
+            let user = self.deployment.owner_of(server).to_string();
+            let start = SimTime(rng.range(
+                Duration::from_secs(plan.horizon_secs / 4).as_micros(),
+                Duration::from_secs(plan.horizon_secs / 2).as_micros(),
+            ));
+            let c = match kind {
+                InteractiveScenario::Escalation => {
+                    ja_attackgen::interactive::escalation_campaign(server, &user)
+                }
+                InteractiveScenario::TerminalAbuse => {
+                    ja_attackgen::interactive::terminal_abuse_campaign(server, &user)
+                }
+                InteractiveScenario::CommExfil => {
+                    ja_attackgen::interactive::comm_exfil_campaign(server, &user)
+                }
+                InteractiveScenario::Worm => ja_attackgen::interactive::worm_campaign(
+                    server,
+                    &user,
+                    (0..self.deployment.production_count()).collect(),
+                    self.deployment.production_count(),
+                ),
+            };
             campaigns.push((start, c));
         }
         campaigns

@@ -911,6 +911,7 @@ mod tests {
             base: CampaignPlan {
                 benign_sessions_per_server: 1,
                 attacks: vec![AttackClass::Ransomware, AttackClass::Cryptomining],
+                interactive: Vec::new(),
                 horizon_secs: 1800,
                 stretch: 1.0,
                 seed,

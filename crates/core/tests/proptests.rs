@@ -7,7 +7,7 @@ use ja_attackgen::AttackClass;
 use ja_core::classify::incidents;
 use ja_core::metrics::{score, ScoringConfig};
 use ja_core::oscrp;
-use ja_core::pipeline::{CampaignPlan, Pipeline, PipelineConfig, RunOutcome};
+use ja_core::pipeline::{CampaignPlan, InteractiveScenario, Pipeline, PipelineConfig, RunOutcome};
 use ja_core::risk::incident_risk;
 use ja_kernelsim::deployment::DeploymentSpec;
 use ja_monitor::alerts::{Alert, AlertSource};
@@ -98,6 +98,7 @@ proptest! {
         seed in 0u64..4096,
         benign in 0usize..2,
         attack_mask in 0u8..64,
+        interactive_mask in 0u8..16,
         horizon_halves in 1u64..4,
     ) {
         let attacks: Vec<AttackClass> = AttackClass::ALL
@@ -106,9 +107,16 @@ proptest! {
             .filter(|(i, _)| attack_mask & (1 << i) != 0)
             .map(|(_, &c)| c)
             .collect();
+        let interactive: Vec<InteractiveScenario> = InteractiveScenario::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| interactive_mask & (1 << i) != 0)
+            .map(|(_, &k)| k)
+            .collect();
         let plan = CampaignPlan {
             benign_sessions_per_server: benign,
             attacks,
+            interactive,
             horizon_secs: horizon_halves * 1800,
             stretch: 1.0,
             seed,
@@ -163,6 +171,7 @@ proptest! {
         seed in 0u64..4096,
         benign in 0usize..2,
         attack_mask in 0u8..64,
+        interactive_mask in 0u8..16,
         shards in 1usize..5,
         producers in 1usize..9,
     ) {
@@ -172,9 +181,16 @@ proptest! {
             .filter(|(i, _)| attack_mask & (1 << i) != 0)
             .map(|(_, &c)| c)
             .collect();
+        let interactive: Vec<InteractiveScenario> = InteractiveScenario::ALL
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| interactive_mask & (1 << i) != 0)
+            .map(|(_, &k)| k)
+            .collect();
         let plan = CampaignPlan {
             benign_sessions_per_server: benign,
             attacks,
+            interactive,
             horizon_secs: 3600,
             stretch: 1.0,
             seed,
@@ -247,6 +263,7 @@ proptest! {
         let plan = CampaignPlan {
             benign_sessions_per_server: 1,
             attacks,
+            interactive: vec![],
             horizon_secs: 3600,
             stretch: 1.0,
             seed,
@@ -285,6 +302,7 @@ fn streamed_peak_memory_proxy_stays_bounded_while_capture_grows() {
         let plan = CampaignPlan {
             benign_sessions_per_server: 2 * scale as usize,
             attacks: vec![],
+            interactive: vec![],
             horizon_secs: scale * 7200,
             stretch: 1.0,
             seed: 5,
@@ -334,6 +352,7 @@ proptest! {
         let plan = CampaignPlan {
             benign_sessions_per_server: benign,
             attacks,
+            interactive: vec![],
             horizon_secs: 1800,
             stretch: 1.0,
             seed,

@@ -93,6 +93,7 @@ proptest! {
             base: CampaignPlan {
                 benign_sessions_per_server: benign,
                 attacks,
+                interactive: Vec::new(),
                 horizon_secs: 1800,
                 stretch: 1.0,
                 seed,

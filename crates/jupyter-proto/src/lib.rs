@@ -35,4 +35,5 @@ pub mod wire;
 pub use channels::{Channel, ConnectionInfo};
 pub use messages::{Header, MsgType};
 pub use nbformat::{Cell, Notebook};
+pub use session::{CellOutcome, ClientSession};
 pub use wire::WireMessage;

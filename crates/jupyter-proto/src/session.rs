@@ -56,6 +56,52 @@ impl CellEffect {
     }
 }
 
+/// What a client *learned* from one execute exchange: the decoded,
+/// typed view of the kernel's reply sequence. This is the receive half
+/// of the two-process model — the thing an interactive adversary (or a
+/// notebook UI) reacts to. Produced by
+/// [`ClientSession::decode_responses`] from raw wire messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// Outcome status from the shell `execute_reply`.
+    pub status: ReplyStatus,
+    /// Execution counter assigned by the kernel.
+    pub execution_count: u32,
+    /// Concatenated stdout stream text.
+    pub stdout: String,
+    /// Concatenated stderr stream text.
+    pub stderr: String,
+    /// Final expression value, when any.
+    pub result: Option<String>,
+    /// Raised exception `(ename, evalue)`, when any.
+    pub error: Option<(String, String)>,
+    /// Protocol-conformance violation reported by
+    /// [`validate_execute_sequence`] over the reply trace, when any.
+    pub violation: Option<String>,
+}
+
+impl CellOutcome {
+    /// Did the cell run cleanly: ok reply, no exception, conformant
+    /// message sequence?
+    pub fn succeeded(&self) -> bool {
+        self.status == ReplyStatus::Ok && self.error.is_none() && self.violation.is_none()
+    }
+
+    /// Outcome of a terminal command (no kernel protocol on that
+    /// channel — the command's output is all there is).
+    pub fn from_terminal(output: &str) -> Self {
+        CellOutcome {
+            status: ReplyStatus::Ok,
+            execution_count: 0,
+            stdout: output.to_string(),
+            stderr: String::new(),
+            result: None,
+            error: None,
+            violation: None,
+        }
+    }
+}
+
 /// Client half of the two-process model.
 #[derive(Clone, Debug)]
 pub struct ClientSession {
@@ -101,6 +147,71 @@ impl ClientSession {
     /// Messages issued so far.
     pub fn messages_sent(&self) -> u64 {
         self.seq
+    }
+
+    /// The receive half: decode one execute exchange's kernel replies
+    /// into a typed [`CellOutcome`].
+    ///
+    /// Every reply is signature-verified with the session key, the
+    /// `(channel, msg_type)` trace is checked against the canonical
+    /// Fig. 2 shape via [`validate_execute_sequence`] (recorded as
+    /// `violation`, not an error — a non-conformant kernel is a
+    /// *finding*, not a decode failure), and stream/result/error
+    /// contents are parsed out. Fails only when a reply is forged,
+    /// unparseable, or the shell `execute_reply` is missing entirely.
+    pub fn decode_responses(
+        &self,
+        replies: &[(Channel, WireMessage)],
+    ) -> Result<CellOutcome, WireError> {
+        let mut trace = Vec::with_capacity(replies.len());
+        let mut stdout = String::new();
+        let mut stderr = String::new();
+        let mut result = None;
+        let mut error = None;
+        let mut reply: Option<ExecuteReply> = None;
+        for (channel, msg) in replies {
+            if !msg.verify(&self.key) {
+                return Err(WireError::BadSignature);
+            }
+            let header = msg.parsed_header()?;
+            trace.push((*channel, header.msg_type));
+            match header.msg_type {
+                MsgType::Stream => {
+                    let c: StreamContent =
+                        serde_json::from_str(&msg.content).map_err(|_| WireError::BadHeader)?;
+                    if c.name == "stderr" {
+                        stderr.push_str(&c.text);
+                    } else {
+                        stdout.push_str(&c.text);
+                    }
+                }
+                MsgType::ExecuteResult => {
+                    let c: ExecuteResultContent =
+                        serde_json::from_str(&msg.content).map_err(|_| WireError::BadHeader)?;
+                    result = Some(c.data);
+                }
+                MsgType::Error => {
+                    let c: ErrorContent =
+                        serde_json::from_str(&msg.content).map_err(|_| WireError::BadHeader)?;
+                    error = Some((c.ename, c.evalue));
+                }
+                MsgType::ExecuteReply => {
+                    reply =
+                        Some(serde_json::from_str(&msg.content).map_err(|_| WireError::BadHeader)?);
+                }
+                _ => {}
+            }
+        }
+        let reply = reply.ok_or(WireError::TruncatedMessage)?;
+        Ok(CellOutcome {
+            status: reply.status,
+            execution_count: reply.execution_count,
+            stdout,
+            stderr,
+            result,
+            error,
+            violation: validate_execute_sequence(&trace),
+        })
     }
 }
 
@@ -500,6 +611,91 @@ mod tests {
     fn heartbeat_echo() {
         let kernel = KernelSession::new("ks-8", KEY);
         assert_eq!(kernel.heartbeat(b"ping-7"), b"ping-7".to_vec());
+    }
+
+    #[test]
+    fn decode_responses_round_trips_effect() {
+        let mut client = ClientSession::new("cs-9", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-9", KEY);
+        let req = client.execute_request("print('hi'); 2+2", 10);
+        let effect = CellEffect {
+            stdout: Some("hi\n".into()),
+            result: Some("4".into()),
+            ..Default::default()
+        };
+        let msgs = kernel.handle_execute(&req, &effect, 11).unwrap();
+        let outcome = client.decode_responses(&msgs).unwrap();
+        assert!(outcome.succeeded());
+        assert_eq!(outcome.status, ReplyStatus::Ok);
+        assert_eq!(outcome.execution_count, 1);
+        assert_eq!(outcome.stdout, "hi\n");
+        assert_eq!(outcome.result.as_deref(), Some("4"));
+        assert_eq!(outcome.error, None);
+        assert_eq!(outcome.violation, None);
+    }
+
+    #[test]
+    fn decode_responses_surfaces_error_and_stderr() {
+        let mut client = ClientSession::new("cs-10", "bob", KEY);
+        let mut kernel = KernelSession::new("ks-10", KEY);
+        let req = client.execute_request("open('/nope')", 0);
+        let effect = CellEffect {
+            stderr: Some("Traceback...\n".into()),
+            error: Some(("FileNotFoundError".into(), "/nope".into())),
+            ..Default::default()
+        };
+        let msgs = kernel.handle_execute(&req, &effect, 1).unwrap();
+        let outcome = client.decode_responses(&msgs).unwrap();
+        assert!(!outcome.succeeded());
+        assert_eq!(outcome.status, ReplyStatus::Error);
+        assert_eq!(outcome.stderr, "Traceback...\n");
+        assert_eq!(
+            outcome.error,
+            Some(("FileNotFoundError".into(), "/nope".into()))
+        );
+    }
+
+    #[test]
+    fn decode_responses_rejects_forged_replies() {
+        let mut client = ClientSession::new("cs-11", "eve", KEY);
+        let mut kernel = KernelSession::new("ks-11", KEY);
+        let req = client.execute_request("1", 0);
+        let mut msgs = kernel
+            .handle_execute(&req, &CellEffect::result("1"), 0)
+            .unwrap();
+        // Tamper with a reply body after signing.
+        msgs[2].1.content.push(' ');
+        assert_eq!(client.decode_responses(&msgs), Err(WireError::BadSignature));
+    }
+
+    #[test]
+    fn decode_responses_flags_nonconformant_trace() {
+        let mut client = ClientSession::new("cs-12", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-12", KEY);
+        let req = client.execute_request("1", 0);
+        let mut msgs = kernel
+            .handle_execute(&req, &CellEffect::result("1"), 0)
+            .unwrap();
+        // Drop the leading busy status: still decodable, but flagged.
+        msgs.remove(0);
+        let outcome = client.decode_responses(&msgs).unwrap();
+        assert!(outcome.violation.is_some());
+        assert!(!outcome.succeeded());
+    }
+
+    #[test]
+    fn decode_responses_requires_execute_reply() {
+        let mut client = ClientSession::new("cs-13", "alice", KEY);
+        let mut kernel = KernelSession::new("ks-13", KEY);
+        let req = client.execute_request("1", 0);
+        let mut msgs = kernel
+            .handle_execute(&req, &CellEffect::result("1"), 0)
+            .unwrap();
+        msgs.pop();
+        assert_eq!(
+            client.decode_responses(&msgs),
+            Err(WireError::TruncatedMessage)
+        );
     }
 
     #[test]

@@ -31,6 +31,9 @@
 //! - [`actions`] — the cell effect model: what executing a cell *does*.
 //! - [`server`] — a single-user notebook server: kernels, sessions,
 //!   transport encryption, cell execution wiring everything together.
+//! - [`transport`] — the session transport seam: client requests in,
+//!   kernel replies out, with [`transport::DirectTransport`] as the
+//!   in-process implementation.
 //! - [`hub`] — the JupyterHub front door: logins, spawning, auth log.
 //! - [`deployment`] — fleet builder for multi-server experiments.
 
@@ -45,6 +48,7 @@ pub mod hub;
 pub mod process;
 pub mod server;
 pub mod terminal;
+pub mod transport;
 pub mod users;
 pub mod vfs;
 
@@ -53,4 +57,5 @@ pub use config::{AuthMode, ServerConfig, TransportMode};
 pub use deployment::Deployment;
 pub use events::{SysEvent, SysEventKind};
 pub use hub::Hub;
-pub use server::NotebookServer;
+pub use server::{ClientConn, NotebookServer};
+pub use transport::{DirectTransport, SessionDelivery, SessionRequest, SessionTransport};

@@ -11,12 +11,14 @@ use crate::config::{ServerConfig, TransportMode};
 use crate::events::{SysEvent, SysEventKind};
 use crate::process::{Pid, ProcessTable};
 use crate::terminal::TerminalSession;
+use crate::transport::SessionDelivery;
 use crate::vfs::Vfs;
 use ja_crypto::chacha::ChaCha20;
 use ja_crypto::entropy::ByteStats;
 use ja_crypto::sha256::sha256;
 use ja_jupyter_proto::channels::ConnectionInfo;
-use ja_jupyter_proto::session::{CellEffect, ClientSession, KernelSession};
+use ja_jupyter_proto::session::{CellEffect, CellOutcome, ClientSession, KernelSession};
+use ja_jupyter_proto::wire::WireError;
 
 use ja_netsim::addr::{HostAddr, HostId};
 use ja_netsim::flow::FlowId;
@@ -39,6 +41,20 @@ pub fn transport_seed(secret: &[u8], flow: FlowId, dir: Direction) -> Vec<u8> {
         Direction::ToInitiator => 1,
     });
     sha256(&s).to_vec()
+}
+
+/// Derive the per-message payload cipher seed for E2E-encrypted
+/// sessions: connection seed ‖ per-direction sequence ‖ direction tag.
+/// The direction byte keeps the derivation injective even though both
+/// directions count from zero.
+pub fn message_cipher_seed(conn_seed: &[u8], msg_seq: u64, dir: Direction) -> Vec<u8> {
+    let mut s = conn_seed.to_vec();
+    s.extend_from_slice(&msg_seq.to_le_bytes());
+    s.push(match dir {
+        Direction::ToResponder => 0,
+        Direction::ToInitiator => 1,
+    });
+    s
 }
 
 struct KernelEntry {
@@ -70,6 +86,10 @@ pub struct ClientConn {
     /// Per-message payload cipher (E2E mode); never derivable by the
     /// monitor.
     msg_cipher_seed: Option<Vec<u8>>,
+    /// Client→server WebSocket messages sent (per-direction sequence).
+    c2s_seq: u64,
+    /// Server→client WebSocket messages sent (per-direction sequence).
+    s2c_seq: u64,
 }
 
 impl ClientConn {
@@ -80,6 +100,23 @@ impl ClientConn {
             net.close(at, flow, false);
         }
         net.close(at, self.flow, false);
+    }
+
+    /// WebSocket messages sent so far as `(client→server, server→client)`
+    /// per-direction sequence counters.
+    pub fn wire_counters(&self) -> (u64, u64) {
+        (self.c2s_seq, self.s2c_seq)
+    }
+
+    /// Decode a delivery's kernel replies into a typed [`CellOutcome`]
+    /// using this connection's client session (the receive half).
+    /// Terminal deliveries have no kernel protocol; their output *is*
+    /// the outcome.
+    pub fn decode_outcome(&self, delivery: &SessionDelivery) -> Result<CellOutcome, WireError> {
+        if let Some(output) = &delivery.terminal_output {
+            return Ok(CellOutcome::from_terminal(output));
+        }
+        self.client.decode_responses(&delivery.replies)
     }
 }
 
@@ -257,6 +294,8 @@ impl NotebookServer {
             c2s,
             s2c,
             msg_cipher_seed,
+            c2s_seq: 0,
+            s2c_seq: 0,
         }
     }
 
@@ -266,13 +305,22 @@ impl NotebookServer {
         conn: &mut ClientConn,
         dir: Direction,
         payload: &[u8],
-        msg_seq: u64,
     ) -> SimTime {
+        // Allocate this message's number from the direction's counter.
+        let msg_seq = match dir {
+            Direction::ToResponder => {
+                conn.c2s_seq += 1;
+                conn.c2s_seq - 1
+            }
+            Direction::ToInitiator => {
+                conn.s2c_seq += 1;
+                conn.s2c_seq - 1
+            }
+        };
         // E2E mode: encrypt the message body before framing.
         let body: Vec<u8> = match &conn.msg_cipher_seed {
             Some(seed) => {
-                let mut s = seed.clone();
-                s.extend_from_slice(&msg_seq.to_le_bytes());
+                let s = message_cipher_seed(seed, msg_seq, dir);
                 ChaCha20::from_seed(&s).encrypt(payload)
             }
             None => payload.to_vec(),
@@ -303,6 +351,10 @@ impl NotebookServer {
     /// Execute a cell over a connection: protocol messages ride the flow,
     /// side effects hit the VFS/process table/network and are audited.
     /// Returns the time execution finished.
+    ///
+    /// Thin wrapper over [`NotebookServer::deliver_cell`] — the
+    /// server-side message handling behind the transport seam — kept for
+    /// callers that don't consume replies.
     pub fn run_cell(
         &mut self,
         net: &mut Network,
@@ -310,6 +362,21 @@ impl NotebookServer {
         conn: &mut ClientConn,
         script: &CellScript,
     ) -> SimTime {
+        self.deliver_cell(net, at, conn, script).end
+    }
+
+    /// Server-side handling of one `execute_request`: the request and the
+    /// kernel's replies ride the flow exactly as [`NotebookServer::run_cell`]
+    /// always put them there (same wire bytes, same audit events, same
+    /// clock advance), and the plaintext replies are *returned* so the
+    /// client side can decode them into a [`CellOutcome`].
+    pub fn deliver_cell(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        script: &CellScript,
+    ) -> SessionDelivery {
         let user = conn.user.clone();
         self.push_event(
             at,
@@ -321,34 +388,23 @@ impl NotebookServer {
         );
         // 1. Request on the wire.
         let request = conn.client.execute_request(&script.code, at.as_micros());
-        let mut t = Self::ws_send(
-            net,
-            at,
-            conn,
-            Direction::ToResponder,
-            &request.encode(),
-            conn.client.messages_sent(),
-        );
+        let mut t = Self::ws_send(net, at, conn, Direction::ToResponder, &request.encode());
         // 2. Apply side effects.
         let (effect, end) = self.apply_actions(net, t, conn, script);
         t = end;
         // 3. Kernel responses on the wire.
         let kernel = &mut self.kernels[conn.kernel_idx].kernel;
-        let responses = kernel
+        let replies = kernel
             .handle_execute(&request, &effect, t.as_micros())
             .unwrap_or_default();
-        let seq_base = conn.client.messages_sent() + 1_000_000; // server-side message numbering
-        for (i, (_ch, msg)) in responses.into_iter().enumerate() {
-            t = Self::ws_send(
-                net,
-                t,
-                conn,
-                Direction::ToInitiator,
-                &msg.encode(),
-                seq_base + i as u64,
-            );
+        for (_ch, msg) in &replies {
+            t = Self::ws_send(net, t, conn, Direction::ToInitiator, &msg.encode());
         }
-        t
+        SessionDelivery {
+            replies,
+            terminal_output: None,
+            end: t,
+        }
     }
 
     /// Apply a script's actions; returns the protocol-visible effect and
@@ -544,6 +600,78 @@ impl NotebookServer {
                 .take(len)
                 .copied()
                 .collect()
+        }
+    }
+
+    /// Server-side handling of one terminal command over a connection:
+    /// the command and its synthesized output ride the WebSocket flow,
+    /// side effects land exactly as [`NotebookServer::run_terminal`]
+    /// records them (one spawned process, one `proc_exec` audit event),
+    /// and the output text is returned for the client to react to.
+    pub fn deliver_terminal(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        cmdline: &str,
+    ) -> SessionDelivery {
+        let user = conn.user.clone();
+        let mut t = Self::ws_send(net, at, conn, Direction::ToResponder, cmdline.as_bytes());
+        self.run_terminal(at, &user, cmdline);
+        let output = self.terminal_output(&user, cmdline);
+        t = Self::ws_send(net, t, conn, Direction::ToInitiator, output.as_bytes());
+        SessionDelivery {
+            replies: Vec::new(),
+            terminal_output: Some(output),
+            end: t,
+        }
+    }
+
+    /// Synthesize what a terminal command prints, read-only against the
+    /// server's VFS — the output plane an interactive adversary mines
+    /// for credentials and paths. Only the handful of read commands the
+    /// scenarios use are modeled; anything else prints nothing.
+    pub fn terminal_output(&self, user: &str, cmdline: &str) -> String {
+        let mut parts = cmdline.split_whitespace();
+        let program = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts
+            .filter(|a| !a.starts_with('-') && !a.starts_with('2') && *a != "|" && *a != "sh")
+            .collect();
+        let expand = |p: &str| {
+            if let Some(rest) = p.strip_prefix("~/") {
+                format!("/home/{user}/{rest}")
+            } else {
+                p.to_string()
+            }
+        };
+        match program {
+            "cat" => {
+                let mut out = String::new();
+                for arg in args {
+                    let path = expand(arg);
+                    match self.vfs.read(&path) {
+                        Ok(node) => out.push_str(&String::from_utf8_lossy(&node.sample)),
+                        Err(_) => {
+                            out.push_str(&format!("cat: {path}: No such file or directory\n"))
+                        }
+                    }
+                }
+                out
+            }
+            "ls" => {
+                let prefix = args
+                    .first()
+                    .map(|a| expand(a))
+                    .unwrap_or_else(|| format!("/home/{user}/"));
+                let mut out = String::new();
+                for path in self.vfs.list(&prefix) {
+                    out.push_str(&path);
+                    out.push('\n');
+                }
+                out
+            }
+            "whoami" => format!("{user}\n"),
+            _ => String::new(),
         }
     }
 

@@ -1,0 +1,238 @@
+//! The session transport seam: client-side requests in, kernel replies
+//! out.
+//!
+//! The paper's threat model is a hands-on-keyboard attacker at a live
+//! REPL: a *client* that sends an execute request, reads the replies it
+//! gets back, and decides what to do next. [`SessionTransport`] is that
+//! seam — everything above it (scripted campaigns, interactive
+//! adversaries, the streamed/parallel/service pipelines) speaks
+//! [`SessionRequest`]/[`SessionDelivery`]; everything below it is
+//! server-side message handling. [`DirectTransport`] is the in-process
+//! implementation: same wire bytes, same audit events, same clock
+//! advance as the pre-seam `run_cell`/`run_terminal` fused paths —
+//! property-tested bit-identical — while leaving room for out-of-process
+//! transports later.
+
+use crate::actions::CellScript;
+use crate::server::{ClientConn, NotebookServer};
+use ja_jupyter_proto::channels::Channel;
+use ja_jupyter_proto::session::CellOutcome;
+use ja_jupyter_proto::wire::{WireError, WireMessage};
+use ja_netsim::addr::HostAddr;
+use ja_netsim::network::Network;
+use ja_netsim::time::SimTime;
+
+/// One client-side request on a session: a cell for the kernel, or a
+/// command for the terminal channel. Borrows its payload — the hot path
+/// never clones scripts.
+#[derive(Clone, Copy, Debug)]
+pub enum SessionRequest<'a> {
+    /// Execute a notebook cell on the connection's kernel.
+    ExecuteCell(&'a CellScript),
+    /// Run a command in the user's terminal session.
+    TerminalCommand(&'a str),
+}
+
+/// What came back from delivering one request: the kernel's plaintext
+/// reply messages (empty for terminal requests), the terminal output
+/// text (terminal requests only), and the simulation time the exchange
+/// finished.
+#[derive(Clone, Debug)]
+pub struct SessionDelivery {
+    /// Kernel protocol replies, `(channel, message)`, in emission order.
+    pub replies: Vec<(Channel, WireMessage)>,
+    /// Terminal output text, for terminal requests.
+    pub terminal_output: Option<String>,
+    /// Simulation time the exchange finished.
+    pub end: SimTime,
+}
+
+impl SessionDelivery {
+    /// Decode this delivery into a typed outcome via the connection's
+    /// client session — the conformance check at the transport boundary
+    /// (replies are signature-verified and their trace validated against
+    /// the canonical execute sequence).
+    pub fn outcome(&self, conn: &ClientConn) -> Result<CellOutcome, WireError> {
+        conn.decode_outcome(self)
+    }
+}
+
+/// A way to reach a notebook server's session plane: open connections
+/// and deliver requests on them. Implementations must preserve the
+/// server's observable behavior — wire bytes, audit events, clock
+/// advance — so callers can swap transports without changing results.
+pub trait SessionTransport {
+    /// Open a browser connection for `user` to kernel `kernel_idx`,
+    /// performing the HTTP upgrade on the wire.
+    fn connect(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        client_addr: HostAddr,
+        user: &str,
+        kernel_idx: usize,
+    ) -> ClientConn;
+
+    /// Deliver one request over `conn`, returning the kernel's replies.
+    fn deliver(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        request: SessionRequest<'_>,
+    ) -> SessionDelivery;
+}
+
+/// The in-process transport: requests are handled by the server behind
+/// the same `&mut` the caller already holds. This is the pre-refactor
+/// fused path behind the seam — bit-identical by construction and
+/// pinned so by the equivalence proptests.
+pub struct DirectTransport<'a> {
+    /// The server being driven.
+    pub server: &'a mut NotebookServer,
+}
+
+impl<'a> DirectTransport<'a> {
+    /// Wrap a server borrow as a transport.
+    pub fn new(server: &'a mut NotebookServer) -> Self {
+        DirectTransport { server }
+    }
+}
+
+impl SessionTransport for DirectTransport<'_> {
+    fn connect(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        client_addr: HostAddr,
+        user: &str,
+        kernel_idx: usize,
+    ) -> ClientConn {
+        self.server.connect(net, at, client_addr, user, kernel_idx)
+    }
+
+    fn deliver(
+        &mut self,
+        net: &mut Network,
+        at: SimTime,
+        conn: &mut ClientConn,
+        request: SessionRequest<'_>,
+    ) -> SessionDelivery {
+        match request {
+            SessionRequest::ExecuteCell(script) => self.server.deliver_cell(net, at, conn, script),
+            SessionRequest::TerminalCommand(cmdline) => {
+                self.server.deliver_terminal(net, at, conn, cmdline)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actions::Action;
+    use crate::config::ServerConfig;
+    use ja_netsim::addr::HostId;
+
+    fn boot() -> (NotebookServer, Network) {
+        let mut srv = NotebookServer::new(1, ServerConfig::hardened(), 42);
+        srv.provision_user("alice", SimTime::ZERO);
+        srv.start_kernel("alice", SimTime::ZERO);
+        (srv, Network::new())
+    }
+
+    #[test]
+    fn deliver_cell_outcome_matches_effect() {
+        let (mut srv, mut net) = boot();
+        let mut conn = srv.connect(
+            &mut net,
+            SimTime::ZERO,
+            HostAddr::internal(HostId(200)),
+            "alice",
+            0,
+        );
+        let script = CellScript::new(
+            "print('hi')",
+            vec![Action::Print {
+                text: "hi\n".into(),
+            }],
+        );
+        let mut transport = DirectTransport::new(&mut srv);
+        let delivery = transport.deliver(
+            &mut net,
+            SimTime::from_secs(1),
+            &mut conn,
+            SessionRequest::ExecuteCell(&script),
+        );
+        assert!(delivery.end > SimTime::from_secs(1));
+        let outcome = delivery.outcome(&conn).unwrap();
+        assert!(outcome.succeeded());
+        assert_eq!(outcome.stdout, "hi\n");
+    }
+
+    #[test]
+    fn deliver_cell_surfaces_kernel_errors() {
+        let (mut srv, mut net) = boot();
+        let mut conn = srv.connect(
+            &mut net,
+            SimTime::ZERO,
+            HostAddr::internal(HostId(200)),
+            "alice",
+            0,
+        );
+        let script = CellScript::new(
+            "open('/no/such')",
+            vec![Action::ReadFile {
+                path: "/no/such".into(),
+            }],
+        );
+        let delivery = srv.deliver_cell(&mut net, SimTime::from_secs(1), &mut conn, &script);
+        let outcome = delivery.outcome(&conn).unwrap();
+        assert!(outcome.stderr.contains("FileNotFoundError"));
+    }
+
+    #[test]
+    fn deliver_terminal_returns_synthesized_output() {
+        let (mut srv, mut net) = boot();
+        let mut conn = srv.connect(
+            &mut net,
+            SimTime::ZERO,
+            HostAddr::internal(HostId(200)),
+            "alice",
+            0,
+        );
+        let delivery = srv.deliver_terminal(
+            &mut net,
+            SimTime::from_secs(1),
+            &mut conn,
+            "ls /home/alice/data/",
+        );
+        let outcome = delivery.outcome(&conn).unwrap();
+        assert!(outcome.succeeded());
+        assert!(outcome.stdout.contains("/home/alice/data/run_0.csv"));
+        // Exactly one process spawned, exactly one proc_exec audited.
+        assert_eq!(
+            srv.sys_events
+                .iter()
+                .filter(|e| e.class() == "proc_exec")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn terminal_cat_missing_file_reports_error_text() {
+        let (mut srv, mut net) = boot();
+        let mut conn = srv.connect(
+            &mut net,
+            SimTime::ZERO,
+            HostAddr::internal(HostId(200)),
+            "alice",
+            0,
+        );
+        let delivery =
+            srv.deliver_terminal(&mut net, SimTime::from_secs(1), &mut conn, "cat ~/.nope");
+        let out = delivery.terminal_output.as_deref().unwrap();
+        assert!(out.contains("No such file or directory"), "{out}");
+    }
+}

@@ -191,6 +191,34 @@ impl Vfs {
         Ok(())
     }
 
+    /// Create a file with explicit content bytes (no RNG draw) — used for
+    /// provisioned artifacts whose *text* matters, like credentials and
+    /// peer lists an interactive adversary reads back through a terminal.
+    /// The nominal size equals the sample length.
+    pub fn create_with_sample(
+        &mut self,
+        path: &str,
+        kind: ContentKind,
+        sample: Vec<u8>,
+        owner: &str,
+        now: SimTime,
+    ) -> Result<(), VfsError> {
+        if self.files.contains_key(path) {
+            return Err(VfsError::Exists);
+        }
+        self.files.insert(
+            path.to_string(),
+            FileNode {
+                size: sample.len() as u64,
+                sample,
+                kind,
+                owner: owner.to_string(),
+                mtime: now,
+            },
+        );
+        Ok(())
+    }
+
     /// Read a file node.
     pub fn read(&self, path: &str) -> Result<&FileNode, VfsError> {
         self.files.get(path).ok_or(VfsError::NotFound)

@@ -1,9 +1,14 @@
 //! Property tests for the deployment substrate.
 
-use ja_kernelsim::config::{MisconfigClass, ServerConfig};
+use ja_kernelsim::actions::{Action, CellScript};
+use ja_kernelsim::config::{MisconfigClass, ServerConfig, TransportMode};
 use ja_kernelsim::process::ProcessTable;
+use ja_kernelsim::server::{message_cipher_seed, NotebookServer};
 use ja_kernelsim::vfs::{ContentKind, Vfs};
+use ja_netsim::addr::{HostAddr, HostId};
+use ja_netsim::network::Network;
 use ja_netsim::rng::SimRng;
+use ja_netsim::segment::Direction;
 use ja_netsim::time::SimTime;
 use proptest::prelude::*;
 
@@ -101,5 +106,64 @@ proptest! {
         }
         let sum: f64 = t.all().iter().map(|p| p.cpu_secs).sum();
         prop_assert!((sum - total).abs() < 1e-9);
+    }
+
+    /// Per-direction message numbering is collision-free: across any
+    /// interleaving of cell and terminal exchanges (each putting traffic
+    /// on the wire in both directions), every message's cipher-seed
+    /// derivation `(direction, seq)` is unique — the property the old
+    /// `messages_sent + 1_000_000` server-side numbering hack only held
+    /// by accident for short sessions.
+    #[test]
+    fn wire_numbering_collision_free(
+        ops in proptest::collection::vec(prop_oneof![Just(0u8), Just(1u8)], 1..24),
+        seed in any::<u64>(),
+    ) {
+        let mut cfg = ServerConfig::hardened();
+        cfg.transport = TransportMode::E2eEncrypted;
+        let mut srv = NotebookServer::new(1, cfg, seed);
+        srv.provision_user("alice", SimTime::ZERO);
+        srv.start_kernel("alice", SimTime::ZERO);
+        let mut net = Network::new();
+        let mut conn = srv.connect(
+            &mut net, SimTime::ZERO, HostAddr::internal(HostId(200)), "alice", 0,
+        );
+        let mut t = SimTime::from_millis(10);
+        let mut cells = 0u64;
+        let mut terms = 0u64;
+        let mut total_replies = 0u64;
+        for op in ops {
+            if op == 0 {
+                let script = CellScript::new(
+                    "print('x')",
+                    vec![Action::Print { text: "x\n".into() }],
+                );
+                let d = srv.deliver_cell(&mut net, t, &mut conn, &script);
+                total_replies += d.replies.len() as u64;
+                cells += 1;
+                t = d.end + ja_netsim::time::Duration::from_millis(1);
+            } else {
+                let d = srv.deliver_terminal(&mut net, t, &mut conn, "whoami");
+                terms += 1;
+                t = d.end + ja_netsim::time::Duration::from_millis(1);
+            }
+        }
+        // Counters account for exactly one request per exchange upstream
+        // and every reply (plus terminal echo) downstream.
+        let (c2s, s2c) = conn.wire_counters();
+        prop_assert_eq!(c2s, cells + terms);
+        prop_assert_eq!(s2c, total_replies + terms);
+        // Every (direction, seq) pair used so far derives a distinct
+        // per-message cipher seed — including across directions, where
+        // the raw seq values overlap.
+        let base = b"conn-seed";
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..c2s {
+            prop_assert!(seen.insert(message_cipher_seed(base, s, Direction::ToResponder)));
+        }
+        for s in 0..s2c {
+            prop_assert!(seen.insert(message_cipher_seed(base, s, Direction::ToInitiator)));
+        }
+        prop_assert_eq!(seen.len() as u64, c2s + s2c);
     }
 }

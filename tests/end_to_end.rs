@@ -3,7 +3,7 @@
 
 use jupyter_audit::attackgen::AttackClass;
 use jupyter_audit::core::dataset::Dataset;
-use jupyter_audit::core::pipeline::{CampaignPlan, Pipeline, PipelineConfig};
+use jupyter_audit::core::pipeline::{CampaignPlan, InteractiveScenario, Pipeline, PipelineConfig};
 use jupyter_audit::monitor::alerts::AlertSource;
 
 #[test]
@@ -72,6 +72,7 @@ fn benign_only_plan_produces_no_high_confidence_alerts() {
     let plan = CampaignPlan {
         benign_sessions_per_server: 3,
         attacks: vec![],
+        interactive: Vec::new(),
         horizon_secs: 4 * 3600,
         stretch: 1.0,
         seed: 103,
@@ -85,6 +86,84 @@ fn benign_only_plan_produces_no_high_confidence_alerts() {
         .collect();
     assert!(high.is_empty(), "benign false alarms: {high:?}");
     assert_eq!(out.report.scoreboard.as_ref().unwrap().total_fp(), 0);
+}
+
+#[test]
+fn interactive_escalation_is_detected_on_the_streamed_pipeline() {
+    // The hands-on-keyboard adversary has no steps at plan time; every
+    // move materializes from live kernel output inside the fused
+    // streamed pipeline — and the session is still caught end to end.
+    let mut p = Pipeline::new(PipelineConfig::small_lab(106));
+    let plan = CampaignPlan {
+        benign_sessions_per_server: 1,
+        attacks: vec![],
+        interactive: vec![InteractiveScenario::Escalation],
+        horizon_secs: 3600,
+        stretch: 1.0,
+        seed: 106,
+    };
+    let out = p.run_streamed(&plan);
+    let gt = out
+        .scenario
+        .ground_truth
+        .iter()
+        .find(|g| g.name.contains("escalation"))
+        .expect("escalation session labeled");
+    assert!(gt.end > gt.start, "materialized window");
+    let board = out.report.scoreboard.as_ref().expect("scored");
+    let s = board.class(AttackClass::AccountTakeover);
+    assert_eq!(
+        s.detected,
+        s.campaigns,
+        "interactive escalation not detected:\n{}",
+        board.render()
+    );
+}
+
+#[test]
+fn notebook_worm_compromises_fleet_and_is_detected() {
+    // The worm hops using credentials read from real terminal outputs;
+    // the parallel streamed pipeline must both carry it (ground truth
+    // spanning servers) and catch its credential harvesting fleet-wide.
+    let mut cfg = PipelineConfig::small_lab(107);
+    cfg.shards = Some(2);
+    cfg.producers = Some(2);
+    let mut p = Pipeline::new(cfg);
+    let plan = CampaignPlan {
+        benign_sessions_per_server: 1,
+        attacks: vec![],
+        interactive: vec![InteractiveScenario::Worm],
+        horizon_secs: 3600,
+        stretch: 1.0,
+        seed: 107,
+    };
+    let out = p.run_streamed_parallel(&plan);
+    let gt = out
+        .scenario
+        .ground_truth
+        .iter()
+        .find(|g| g.name.contains("worm"))
+        .expect("worm labeled");
+    assert!(
+        gt.servers.len() >= 2,
+        "worm must reach at least two servers, got {:?}",
+        gt.servers
+    );
+    // Credential harvesting raises takeover alerts on multiple servers.
+    let takeover_servers: std::collections::BTreeSet<u32> = out
+        .report
+        .alerts
+        .iter()
+        .filter(|a| a.class == AttackClass::AccountTakeover)
+        .filter_map(|a| a.server_id)
+        .collect();
+    assert!(
+        takeover_servers.len() >= 2,
+        "worm detected on {takeover_servers:?} only"
+    );
+    let board = out.report.scoreboard.as_ref().expect("scored");
+    let s = board.class(AttackClass::AccountTakeover);
+    assert_eq!(s.detected, s.campaigns, "{}", board.render());
 }
 
 #[test]
